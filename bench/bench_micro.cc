@@ -1,0 +1,102 @@
+// Microbenchmarks (google-benchmark) for the substrate hot paths: tensor
+// matmul, conv im2col forward/backward, face rendering, SLIC segmentation,
+// and one full chain inference. These bound the per-sample costs reported
+// in Figure 6.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "cot/pipeline.h"
+#include "data/generator.h"
+#include "face/renderer.h"
+#include "img/slic.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+#include "tensor/tensor.h"
+#include "vlm/foundation_model.h"
+
+namespace {
+
+namespace ag = ::vsd::autograd;
+using ::vsd::Rng;
+using ::vsd::tensor::Tensor;
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vsd::tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ConvForwardBackward(benchmark::State& state) {
+  Rng rng(2);
+  vsd::nn::Conv2d conv(1, 8, 5, 2, 2, &rng);
+  Tensor images = Tensor::Randn({8, 48, 48, 1}, &rng);
+  for (auto _ : state) {
+    vsd::nn::Var x(images, /*requires_grad=*/true);
+    vsd::nn::Var loss = ag::MeanAll(conv.Forward(x));
+    ag::Backward(loss);
+    benchmark::DoNotOptimize(loss.value().at(0));
+  }
+}
+BENCHMARK(BM_ConvForwardBackward);
+
+void BM_RenderFace(benchmark::State& state) {
+  Rng rng(3);
+  vsd::face::FaceParams params;
+  params.identity = vsd::face::Identity::Sample(&rng);
+  params.au_intensity[2] = 0.8f;
+  params.au_intensity[6] = 0.6f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vsd::face::RenderFace(params, &rng));
+  }
+}
+BENCHMARK(BM_RenderFace);
+
+void BM_Slic64(benchmark::State& state) {
+  Rng rng(4);
+  vsd::face::FaceParams params;
+  params.identity = vsd::face::Identity::Sample(&rng);
+  vsd::img::Image face = vsd::face::RenderFace(params, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vsd::img::Slic(face, 64));
+  }
+}
+BENCHMARK(BM_Slic64);
+
+void BM_ChainInference(benchmark::State& state) {
+  // Full Describe -> Assess -> Highlight on uncached frames.
+  vsd::data::Dataset dataset = vsd::data::MakeUvsdSimSmall(4, 5);
+  vsd::vlm::FoundationModelConfig config;
+  vsd::vlm::FoundationModel model(config);
+  vsd::cot::ChainConfig chain;
+  vsd::cot::ChainPipeline pipeline(&model, chain);
+  Rng rng(6);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pipeline.Run(dataset.samples[i++ % dataset.size()], &rng));
+  }
+}
+BENCHMARK(BM_ChainInference);
+
+void BM_VisionEmbedPair(benchmark::State& state) {
+  vsd::data::Dataset dataset = vsd::data::MakeUvsdSimSmall(2, 7);
+  vsd::vlm::FoundationModelConfig config;
+  vsd::vlm::FoundationModel model(config);
+  const auto& sample = dataset.samples[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.vision().EmbedPair(
+        sample.expressive_frame, sample.neutral_frame));
+  }
+}
+BENCHMARK(BM_VisionEmbedPair);
+
+}  // namespace
+
+BENCHMARK_MAIN();

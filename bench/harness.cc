@@ -1,0 +1,216 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "common/logging.h"
+#include "core/evaluation.h"
+#include "cot/pipeline.h"
+#include "cot/trainer.h"
+#include "data/folds.h"
+#include "data/generator.h"
+#include "face/renderer.h"
+
+namespace vsd::bench {
+
+BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions options;
+  options.folds = core::NumFoldsFromEnv(2);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+      options.folds = 2;
+    } else if (std::strcmp(argv[i], "--folds") == 0 && i + 1 < argc) {
+      options.folds = std::atoi(argv[++i]);
+      if (options.folds < 2) options.folds = 2;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  return options;
+}
+
+BenchData MakeBenchData(const BenchOptions& options) {
+  BenchData data;
+  if (options.quick) {
+    data.uvsd = data::MakeUvsdSimSmall(400, options.seed + 1);
+    data.rsl = data::MakeRslSimSmall(240, options.seed + 2);
+    data.disfa = data::MakeDisfaSim(options.seed + 3, 300);
+  } else {
+    data.uvsd = data::MakeUvsdSim(options.seed + 1);
+    data.rsl = data::MakeRslSim(options.seed + 2);
+    data.disfa = data::MakeDisfaSim(options.seed + 3, 645);
+  }
+  return data;
+}
+
+const vlm::FoundationModel& PretrainedBase(const BenchOptions& options) {
+  static std::map<uint64_t, std::unique_ptr<vlm::FoundationModel>> cache;
+  auto it = cache.find(options.seed);
+  if (it == cache.end()) {
+    std::fprintf(stderr, "[bench] pretraining generalist backbone...\n");
+    vlm::ApiModelSpec spec = vlm::BackboneInitSpec();
+    if (options.quick) {
+      spec.pretrain_epochs = 4;
+      spec.corpus_size = 300;
+    }
+    auto model = std::make_unique<vlm::FoundationModel>(spec.config);
+    vlm::PretrainGeneralist(model.get(), spec, options.seed * 11 + 5);
+    it = cache.emplace(options.seed, std::move(model)).first;
+  }
+  return *it->second;
+}
+
+const vlm::FoundationModel& ApiModel(vlm::ApiModelKind kind,
+                                     const BenchOptions& options) {
+  static std::map<int, std::unique_ptr<vlm::FoundationModel>> cache;
+  const int key = static_cast<int>(kind);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    std::fprintf(stderr, "[bench] pretraining %s...\n",
+                 vlm::ApiModelName(kind));
+    vlm::ApiModelSpec spec = vlm::GetApiModelSpec(kind);
+    if (options.quick) {
+      spec.pretrain_epochs = 3;
+      spec.corpus_size = 250;
+    }
+    auto model = std::make_unique<vlm::FoundationModel>(spec.config);
+    vlm::PretrainGeneralist(model.get(), spec,
+                            options.seed * 13 + 7 + key);
+    it = cache.emplace(key, std::move(model)).first;
+  }
+  return *it->second;
+}
+
+cot::ChainConfig OursChainConfig(const BenchOptions& options) {
+  cot::ChainConfig chain;
+  chain.seed = options.seed;
+  if (options.quick) {
+    chain.describe_epochs = 6;
+    chain.describe_augment_copies = 1;
+    chain.assess_epochs = 6;
+    chain.max_refine_rounds = 1;
+    chain.rationale_dpo_samples = 80;
+  }
+  return chain;
+}
+
+std::unique_ptr<vlm::FoundationModel> TrainOurs(
+    const cot::ChainConfig& chain, const data::Dataset& au_data,
+    const data::Dataset& train, const data::Dataset& test,
+    const BenchOptions& options, uint64_t fold_seed) {
+  auto model = PretrainedBase(options).Clone();
+  model->ClearFeatureCache();
+  Rng rng(fold_seed ^ 0xC0FFEE);
+  cot::ChainTrainer trainer(chain);
+  trainer.Train(model.get(), au_data, train, &rng);
+  model->PrecomputeFeatures(test);
+  return model;
+}
+
+core::Metrics CrossValidate(
+    const data::Dataset& dataset, const BenchOptions& options,
+    const std::function<core::Metrics(const data::Dataset& train,
+                                      const data::Dataset& test,
+                                      uint64_t fold_seed)>& run_fold) {
+  Rng rng(options.seed ^ 0xF01D5);
+  const auto splits = data::StratifiedKFold(dataset, options.folds, &rng);
+  std::vector<core::Metrics> fold_metrics;
+  for (size_t f = 0; f < splits.size(); ++f) {
+    const data::Dataset train = dataset.Subset(splits[f].train);
+    const data::Dataset test = dataset.Subset(splits[f].test);
+    fold_metrics.push_back(
+        run_fold(train, test, options.seed + 1000 * (f + 1)));
+  }
+  return core::AverageMetrics(fold_metrics);
+}
+
+InterpContext BuildInterpContext(
+    const std::vector<const data::VideoSample*>& samples) {
+  InterpContext context;
+  context.samples = samples;
+  context.segmentations.reserve(samples.size());
+  for (const auto* sample : samples) {
+    context.segmentations.push_back(
+        img::Slic(sample->expressive_frame, kNumSlicSegments));
+  }
+  return context;
+}
+
+explain::ClassifierFn ModelClassifier(const vlm::FoundationModel& model,
+                                      const data::VideoSample& sample,
+                                      bool use_chain) {
+  // The description is fixed from the clean frame (the chain's Describe
+  // output); the perturbation probes the Assess decision, mirroring the
+  // paper's protocol of disturbing segments of f_e.
+  face::AuMask description{};
+  if (use_chain) {
+    const auto probs = model.DescribeProbs(sample);
+    for (int j = 0; j < face::kNumAus; ++j) description[j] = probs[j] > 0.5;
+  }
+  const img::Image neutral = sample.neutral_frame;
+  return [&model, description, neutral](const img::Image& frame) {
+    return model.AssessProbStressedWithFrames(frame, neutral, description);
+  };
+}
+
+std::vector<int> RationaleToSegments(const std::vector<int>& rationale,
+                                     const img::Segmentation& segmentation) {
+  std::vector<int> segments;
+  std::vector<bool> used(segmentation.num_segments, false);
+  for (int au : rationale) {
+    const auto region = face::RegionMask(face::GetAu(au).region);
+    // Count overlap of every segment with the region (region masks are
+    // defined on the 96x96 canvas, matching the frames).
+    std::vector<int> overlap(segmentation.num_segments, 0);
+    for (int y = 0; y < segmentation.height; ++y) {
+      for (int x = 0; x < segmentation.width; ++x) {
+        if (region[y * segmentation.width + x]) {
+          ++overlap[segmentation.LabelAt(y, x)];
+        }
+      }
+    }
+    int best = -1;
+    int best_overlap = 0;
+    for (int s = 0; s < segmentation.num_segments; ++s) {
+      if (used[s]) continue;
+      if (overlap[s] > best_overlap) {
+        best_overlap = overlap[s];
+        best = s;
+      }
+    }
+    if (best >= 0) {
+      used[best] = true;
+      segments.push_back(best);
+    }
+  }
+  return segments;
+}
+
+std::vector<double> RationaleDrops(
+    const vlm::FoundationModel& model, const cot::ChainConfig& chain,
+    const std::vector<const data::VideoSample*>& samples,
+    const BenchOptions& options) {
+  InterpContext context = BuildInterpContext(samples);
+  cot::ChainPipeline pipeline(&model, chain);
+  std::vector<explain::ExplainedSample> explained;
+  explained.reserve(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const auto* sample = samples[i];
+    Rng rng(options.seed + 91 * i);
+    const auto output = pipeline.Run(*sample, &rng);
+    explain::ExplainedSample e;
+    e.image = &sample->expressive_frame;
+    e.segmentation = &context.segmentations[i];
+    e.classifier = ModelClassifier(model, *sample, chain.use_chain);
+    e.true_label = sample->stress_label;
+    e.ranked_segments = RationaleToSegments(output.highlight.ranked_aus,
+                                            context.segmentations[i]);
+    explained.push_back(std::move(e));
+  }
+  Rng drop_rng(options.seed ^ 0xD0D0);
+  return TopKAccuracyDrop(explained, {1, 2, 3}, kDisturbNoise, &drop_rng);
+}
+
+}  // namespace vsd::bench

@@ -1,0 +1,111 @@
+#ifndef VSD_BENCH_HARNESS_H_
+#define VSD_BENCH_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/metrics.h"
+#include "cot/chain_config.h"
+#include "data/sample.h"
+#include "explain/faithfulness.h"
+#include "img/slic.h"
+#include "vlm/api_models.h"
+#include "vlm/foundation_model.h"
+
+namespace vsd::bench {
+
+/// Command-line options shared by every bench binary.
+///
+///   --quick        small datasets + 1 fold (development sanity runs)
+///   --folds N      cross-validation folds (default: VSD_FOLDS env or 2;
+///                  the paper protocol is 10)
+///   --seed S       master seed
+struct BenchOptions {
+  bool quick = false;
+  int folds = 2;
+  uint64_t seed = 20250706;
+};
+
+BenchOptions ParseBenchArgs(int argc, char** argv);
+
+/// The two stress datasets (full-size unless quick) plus the AU dataset.
+struct BenchData {
+  data::Dataset uvsd;
+  data::Dataset rsl;
+  data::Dataset disfa;
+};
+
+BenchData MakeBenchData(const BenchOptions& options);
+
+/// Builds (once per process) the generalist-pretrained backbone used to
+/// initialize "Ours" — the Qwen-VL stand-in. Subsequent calls return the
+/// cached copy.
+const vlm::FoundationModel& PretrainedBase(const BenchOptions& options);
+
+/// Frozen API-model simulations, built lazily once per process.
+const vlm::FoundationModel& ApiModel(vlm::ApiModelKind kind,
+                                     const BenchOptions& options);
+
+/// Trains "Ours" (or an ablation variant) on one split: clones the
+/// pretrained base and runs Algorithm 1. Features for `test` are also
+/// precomputed so evaluation is cache-served.
+std::unique_ptr<vlm::FoundationModel> TrainOurs(
+    const cot::ChainConfig& chain, const data::Dataset& au_data,
+    const data::Dataset& train, const data::Dataset& test,
+    const BenchOptions& options, uint64_t fold_seed);
+
+/// Cross-validated evaluation of a train-and-predict procedure.
+/// `run_fold(train, test, fold_seed)` returns per-fold metrics.
+core::Metrics CrossValidate(
+    const data::Dataset& dataset, const BenchOptions& options,
+    const std::function<core::Metrics(const data::Dataset& train,
+                                      const data::Dataset& test,
+                                      uint64_t fold_seed)>& run_fold);
+
+/// Default chain config used for "Ours" in the benches.
+cot::ChainConfig OursChainConfig(const BenchOptions& options);
+
+// ---- Interpretability plumbing (Tables II/IV/VI) ----
+
+/// Per-sample explanation context for our model over SLIC segments.
+struct InterpContext {
+  std::vector<img::Segmentation> segmentations;  ///< One per sample.
+  std::vector<const data::VideoSample*> samples;
+};
+
+/// Number of SLIC segments in the paper's protocol.
+inline constexpr int kNumSlicSegments = 64;
+
+/// Builds segmentations for a set of samples (expressive frames).
+InterpContext BuildInterpContext(
+    const std::vector<const data::VideoSample*>& samples);
+
+/// Classifier closure for explainers: p(stressed | perturbed f_e) with the
+/// model's own greedy description fixed.
+explain::ClassifierFn ModelClassifier(const vlm::FoundationModel& model,
+                                      const data::VideoSample& sample,
+                                      bool use_chain);
+
+/// Maps an ordered AU rationale to ranked SLIC segments: each cue selects
+/// the not-yet-used segment overlapping its facial region the most (the
+/// paper locates segments via the cue's facial landmarks).
+std::vector<int> RationaleToSegments(const std::vector<int>& rationale,
+                                     const img::Segmentation& segmentation);
+
+/// Noise level used when disturbing top-k segments.
+inline constexpr float kDisturbNoise = 0.8f;
+
+/// Top-1/2/3 accuracy drops of the model's own rationale (mapped to SLIC
+/// segments) over the given test samples — the "Ours" rows of Tables
+/// II/IV/VI.
+std::vector<double> RationaleDrops(
+    const vlm::FoundationModel& model, const cot::ChainConfig& chain,
+    const std::vector<const data::VideoSample*>& samples,
+    const BenchOptions& options);
+
+}  // namespace vsd::bench
+
+#endif  // VSD_BENCH_HARNESS_H_

@@ -1,0 +1,69 @@
+// The text ("prompt the model") interface: a scripted dialogue driving the
+// model through the paper's instructions — I1 (describe), I2 (assess), I3
+// (highlight), a reflection turn, a self-verification turn in a fresh
+// session, and the chain-free direct prompt of the "w/o Chain" ablation.
+//
+// Build & run:   ./build/examples/chat_session
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/stress_detector.h"
+#include "data/folds.h"
+#include "data/generator.h"
+#include "text/instructions.h"
+
+int main() {
+  using namespace vsd;  // NOLINT(build/namespaces): example code
+
+  std::printf("Training the model...\n");
+  data::Dataset stress = data::MakeUvsdSimSmall(400, 4040);
+  data::Dataset au_data = data::MakeDisfaSim(4041, 300);
+  Rng rng(123);
+  auto split = data::StratifiedHoldout(stress, 0.2, &rng);
+  data::Dataset train = stress.Subset(split.train);
+  data::Dataset test = stress.Subset(split.test);
+
+  core::StressDetector::Options options;
+  options.seed = 21;
+  core::StressDetector detector(options);
+  detector.Train(au_data, train, &rng);
+  detector.PrecomputeFeatures(test);
+  const auto& model = detector.model();
+
+  const data::VideoSample& video = test.samples[0];
+  Rng chat_rng(7);
+  auto say = [&](const std::string& instruction, const std::string& context,
+                 const std::vector<const data::VideoSample*>& videos) {
+    std::printf("\n>>> USER: %s\n", instruction.c_str());
+    auto reply = model.Chat(videos, instruction, context, 0.5, &chat_rng);
+    std::printf("<<< MODEL: %s\n",
+                reply.ok() ? reply.value().c_str()
+                           : reply.status().ToString().c_str());
+    return reply.ok() ? reply.value() : std::string();
+  };
+
+  std::printf("\n===== Chain-of-thought session (video %d, truth: %s) =====\n",
+              video.id, video.stress_label == 1 ? "stressed" : "unstressed");
+  // I1 -> I2 -> I3, context accumulating like a dialogue history.
+  const std::string description =
+      say(text::DescribeInstruction(), "", {&video});
+  const std::string assessment =
+      say(text::AssessInstruction(), description, {&video});
+  say(text::HighlightInstruction(), description + "\n" + assessment,
+      {&video});
+
+  // Reflection (Fig. 3): with the ground-truth outcome revealed.
+  say(text::ReflectDescribeInstruction(description, video.stress_label), "",
+      {&video});
+
+  // Self-verification (Fig. 4): a *fresh* session — no dialogue history —
+  // must pick which of four videos the description refers to.
+  std::vector<const data::VideoSample*> lineup = {
+      &test.samples[1], &video, &test.samples[2], &test.samples[3]};
+  std::printf("\n(The described video is option 2.)\n");
+  say(text::VerifyDescribeInstruction(description, 4), "", lineup);
+
+  // The "w/o Chain" direct prompt.
+  say(text::DirectAssessInstruction(), "", {&video});
+  return 0;
+}

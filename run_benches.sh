@@ -1,0 +1,5 @@
+#!/bin/sh
+# Runs every bench binary in a stable order, as `for b in build/bench/*`.
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done

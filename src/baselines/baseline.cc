@@ -1,0 +1,16 @@
+#include "baselines/baseline.h"
+
+namespace vsd::baselines {
+
+std::vector<face::Landmark> DetectLandmarks(const data::VideoSample& sample,
+                                            bool expressive_frame,
+                                            float noise) {
+  // Deterministic per sample/frame so repeated predictions agree.
+  Rng rng(static_cast<uint64_t>(sample.id) * 2654435761ULL +
+          (expressive_frame ? 17 : 31));
+  const face::FaceParams& params =
+      expressive_frame ? sample.render_params : sample.neutral_params;
+  return face::ExtractLandmarks(params, noise, &rng);
+}
+
+}  // namespace vsd::baselines

@@ -1,0 +1,42 @@
+#ifndef VSD_BASELINES_BASELINE_H_
+#define VSD_BASELINES_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/sample.h"
+#include "face/landmarks.h"
+
+namespace vsd::baselines {
+
+/// \brief Common interface of the supervised stress-detection baselines of
+/// Table I (and the zero-shot LFM wrappers).
+class StressClassifier {
+ public:
+  virtual ~StressClassifier() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on the given dataset. Zero-shot models may ignore it.
+  virtual void Fit(const data::Dataset& train, Rng* rng) = 0;
+
+  /// p(stressed) for a sample.
+  virtual double PredictProbStressed(
+      const data::VideoSample& sample) const = 0;
+
+  /// Hard decision (threshold 0.5).
+  int Predict(const data::VideoSample& sample) const {
+    return PredictProbStressed(sample) >= 0.5 ? 1 : 0;
+  }
+};
+
+/// Simulated landmark detection for a sample's frame: analytic geometry
+/// plus `noise` px of jitter, deterministic per (sample, expressive flag).
+std::vector<face::Landmark> DetectLandmarks(const data::VideoSample& sample,
+                                            bool expressive_frame,
+                                            float noise);
+
+}  // namespace vsd::baselines
+
+#endif  // VSD_BASELINES_BASELINE_H_

@@ -1,0 +1,73 @@
+#include "baselines/ding_fusion.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+
+namespace vsd::baselines {
+
+namespace ag = ::vsd::autograd;
+using nn::Var;
+using tensor::Tensor;
+
+DingFusion::DingFusion(const vlm::FoundationModel* vlm, int epochs)
+    : vlm_(vlm), epochs_(epochs) {
+  VSD_CHECK(vlm_ != nullptr) << "null foundation model";
+  feature_dim_ = 2 * vlm_->config().vision_dim + face::kNumAus;
+}
+
+std::vector<float> DingFusion::Features(
+    const data::VideoSample& sample) const {
+  std::vector<float> features = vlm_->VideoFeature(sample).ToVector();
+  // World-knowledge channel: the frozen VLM's facial-action description
+  // probabilities.
+  const auto probs = vlm_->DescribeProbs(sample);
+  for (double p : probs) features.push_back(static_cast<float>(p));
+  return features;
+}
+
+void DingFusion::Fit(const data::Dataset& train, Rng* rng) {
+  fusion_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{feature_dim_, 48, 2}, nn::Activation::kGelu, rng);
+  nn::Adam opt(fusion_->Parameters(), 2e-3f);
+  const int n = train.size();
+  const int batch_size = 32;
+
+  // Cache features once (the VLM is frozen).
+  std::vector<std::vector<float>> features(n);
+  for (int i = 0; i < n; ++i) features[i] = Features(train.samples[i]);
+
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    rng->Shuffle(&order);
+    for (int start = 0; start < n; start += batch_size) {
+      const int end = std::min(start + batch_size, n);
+      Tensor xs({end - start, feature_dim_});
+      std::vector<int> labels(end - start);
+      for (int i = start; i < end; ++i) {
+        for (int j = 0; j < feature_dim_; ++j) {
+          xs.at(i - start, j) = features[order[i]][j];
+        }
+        labels[i - start] = train.samples[order[i]].stress_label;
+      }
+      Var loss =
+          ag::SoftmaxCrossEntropy(fusion_->Forward(Var(xs)), labels);
+      opt.ZeroGrad();
+      ag::Backward(loss);
+      opt.Step();
+    }
+  }
+}
+
+double DingFusion::PredictProbStressed(
+    const data::VideoSample& sample) const {
+  const auto f = Features(sample);
+  Tensor x({1, feature_dim_});
+  for (int j = 0; j < feature_dim_; ++j) x.at(0, j) = f[j];
+  Var logits = fusion_->Forward(Var(x));
+  return vsd::Sigmoid(logits.value().at(0, 1) - logits.value().at(0, 0));
+}
+
+}  // namespace vsd::baselines

@@ -1,0 +1,42 @@
+#ifndef VSD_BASELINES_DING_FUSION_H_
+#define VSD_BASELINES_DING_FUSION_H_
+
+#include <memory>
+
+#include "baselines/baseline.h"
+#include "nn/layers.h"
+#include "vlm/foundation_model.h"
+
+namespace vsd::baselines {
+
+/// \brief Ding et al. (ACM MM 2024): exploits a large foundation model to
+/// describe facial actions, then fuses the description with the visual
+/// representation for supervised stress detection — the strongest baseline
+/// of Table I.
+///
+/// Uses a frozen generalist VLM (the GPT-4o simulation) for both the
+/// visual features and the facial-action description probabilities; a
+/// fusion MLP on top is trained on the stress labels. It lacks the chain's
+/// DISFA instruction tuning and self-refinement, which is the gap to
+/// "Ours".
+class DingFusion : public StressClassifier {
+ public:
+  /// `vlm` is the frozen description provider; must outlive this object.
+  explicit DingFusion(const vlm::FoundationModel* vlm, int epochs = 25);
+
+  std::string name() const override { return "Ding et al."; }
+  void Fit(const data::Dataset& train, Rng* rng) override;
+  double PredictProbStressed(const data::VideoSample& sample) const override;
+
+ private:
+  std::vector<float> Features(const data::VideoSample& sample) const;
+
+  const vlm::FoundationModel* vlm_;
+  int epochs_;
+  int feature_dim_ = 0;
+  std::unique_ptr<nn::Mlp> fusion_;
+};
+
+}  // namespace vsd::baselines
+
+#endif  // VSD_BASELINES_DING_FUSION_H_

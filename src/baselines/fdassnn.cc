@@ -1,0 +1,64 @@
+#include "baselines/fdassnn.h"
+
+#include "common/math_util.h"
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+
+namespace vsd::baselines {
+
+namespace ag = ::vsd::autograd;
+using tensor::Tensor;
+
+Fdassnn::Fdassnn(float landmark_noise) : landmark_noise_(landmark_noise) {}
+
+std::vector<float> Fdassnn::Features(const data::VideoSample& sample) const {
+  const auto expressive = face::EstimateAuIntensities(
+      DetectLandmarks(sample, /*expressive_frame=*/true, landmark_noise_));
+  const auto neutral = face::EstimateAuIntensities(
+      DetectLandmarks(sample, /*expressive_frame=*/false, landmark_noise_));
+  std::vector<float> features;
+  features.reserve(2 * face::kNumAus);
+  features.insert(features.end(), expressive.begin(), expressive.end());
+  features.insert(features.end(), neutral.begin(), neutral.end());
+  return features;
+}
+
+void Fdassnn::Fit(const data::Dataset& train, Rng* rng) {
+  mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{2 * face::kNumAus, 32, 2}, nn::Activation::kRelu,
+      rng);
+  nn::Adam opt(mlp_->Parameters(), 2e-3f);
+  const int n = train.size();
+  const int batch_size = 32;
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    rng->Shuffle(&order);
+    for (int start = 0; start < n; start += batch_size) {
+      const int end = std::min(start + batch_size, n);
+      Tensor xs({end - start, 2 * face::kNumAus});
+      std::vector<int> ys(end - start);
+      for (int i = start; i < end; ++i) {
+        const auto f = Features(train.samples[order[i]]);
+        for (size_t j = 0; j < f.size(); ++j) {
+          xs.at(i - start, static_cast<int>(j)) = f[j];
+        }
+        ys[i - start] = train.samples[order[i]].stress_label;
+      }
+      nn::Var loss = ag::SoftmaxCrossEntropy(mlp_->Forward(nn::Var(xs)), ys);
+      opt.ZeroGrad();
+      ag::Backward(loss);
+      opt.Step();
+    }
+  }
+}
+
+double Fdassnn::PredictProbStressed(const data::VideoSample& sample) const {
+  const auto f = Features(sample);
+  Tensor x({1, 2 * face::kNumAus});
+  for (size_t j = 0; j < f.size(); ++j) x.at(0, static_cast<int>(j)) = f[j];
+  nn::Var logits = mlp_->Forward(nn::Var(x));
+  return vsd::Sigmoid(logits.value().at(0, 1) - logits.value().at(0, 0));
+}
+
+}  // namespace vsd::baselines

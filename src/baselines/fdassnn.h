@@ -1,0 +1,35 @@
+#ifndef VSD_BASELINES_FDASSNN_H_
+#define VSD_BASELINES_FDASSNN_H_
+
+#include <memory>
+
+#include "baselines/baseline.h"
+#include "nn/layers.h"
+
+namespace vsd::baselines {
+
+/// \brief FDASSNN (Gavrilescu & Vizireanu 2019): an Active Appearance
+/// Model extracts per-AU intensities, and a small feed-forward network
+/// maps them to a stress decision.
+///
+/// The AAM stage is simulated by the geometric AU-intensity estimator over
+/// jittered landmarks (see face/landmarks.h); its estimation noise is what
+/// caps this baseline at the paper's mid-tier accuracy.
+class Fdassnn : public StressClassifier {
+ public:
+  explicit Fdassnn(float landmark_noise = 3.2f);
+
+  std::string name() const override { return "FDASSNN"; }
+  void Fit(const data::Dataset& train, Rng* rng) override;
+  double PredictProbStressed(const data::VideoSample& sample) const override;
+
+ private:
+  std::vector<float> Features(const data::VideoSample& sample) const;
+
+  float landmark_noise_;
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+}  // namespace vsd::baselines
+
+#endif  // VSD_BASELINES_FDASSNN_H_

@@ -1,0 +1,103 @@
+#include "baselines/gao_svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace vsd::baselines {
+
+GaoSvm::GaoSvm(float landmark_noise) : landmark_noise_(landmark_noise) {}
+
+double GaoSvm::FrameMargin(
+    const std::vector<face::Landmark>& points) const {
+  const auto features = face::LandmarksToFeatures(points);
+  double margin = weights_.back();  // bias
+  for (size_t j = 0; j < features.size(); ++j) {
+    margin += weights_[j] * features[j];
+  }
+  return margin;
+}
+
+void GaoSvm::Fit(const data::Dataset& train, Rng* rng) {
+  const int dim = 2 * face::kNumLandmarks;
+  weights_.assign(dim + 1, 0.0);
+
+  // Frame-level weak labels: both frames inherit the video label (+1
+  // stressed/negative, -1 unstressed/positive).
+  struct FrameExample {
+    std::vector<float> features;
+    int y;
+  };
+  std::vector<FrameExample> frames;
+  frames.reserve(2 * train.size());
+  for (const auto& sample : train.samples) {
+    const int y = sample.stress_label == 1 ? 1 : -1;
+    frames.push_back({face::LandmarksToFeatures(DetectLandmarks(
+                          sample, true, landmark_noise_)),
+                      y});
+    frames.push_back({face::LandmarksToFeatures(DetectLandmarks(
+                          sample, false, landmark_noise_)),
+                      y});
+  }
+
+  // Pegasos-style SGD on the hinge loss.
+  const double lambda = 1e-4;
+  int t = 0;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    rng->Shuffle(&frames);
+    for (const auto& frame : frames) {
+      ++t;
+      const double eta = 1.0 / (lambda * t);
+      double margin = weights_.back();
+      for (int j = 0; j < dim; ++j) {
+        margin += weights_[j] * frame.features[j];
+      }
+      for (int j = 0; j < dim; ++j) weights_[j] *= (1.0 - eta * lambda);
+      if (frame.y * margin < 1.0) {
+        for (int j = 0; j < dim; ++j) {
+          weights_[j] += eta * frame.y * frame.features[j];
+        }
+        weights_.back() += eta * frame.y * 0.1;
+      }
+    }
+  }
+
+  // Tune the negative-frame-ratio threshold on the training videos.
+  std::vector<double> scores;
+  scores.reserve(train.size());
+  for (const auto& sample : train.samples) scores.push_back(VideoScore(sample));
+  double best_threshold = 0.5;
+  int best_correct = -1;
+  for (double threshold = 0.05; threshold <= 0.95; threshold += 0.05) {
+    int correct = 0;
+    for (int i = 0; i < train.size(); ++i) {
+      const int prediction = scores[i] >= threshold ? 1 : 0;
+      correct += (prediction == train.samples[i].stress_label);
+    }
+    if (correct > best_correct) {
+      best_correct = correct;
+      best_threshold = threshold;
+    }
+  }
+  ratio_threshold_ = best_threshold;
+}
+
+double GaoSvm::VideoScore(const data::VideoSample& sample) const {
+  // Fraction of frames classified negative (weighted by margin softness).
+  const double m1 =
+      FrameMargin(DetectLandmarks(sample, true, landmark_noise_));
+  const double m2 =
+      FrameMargin(DetectLandmarks(sample, false, landmark_noise_));
+  const double negative_fraction =
+      0.5 * ((m1 > 0 ? 1.0 : 0.0) + (m2 > 0 ? 1.0 : 0.0));
+  return negative_fraction;
+}
+
+double GaoSvm::PredictProbStressed(const data::VideoSample& sample) const {
+  const double score = VideoScore(sample);
+  // Smooth the step into a probability-ish score around the threshold.
+  return vsd::Sigmoid(6.0 * (score - ratio_threshold_ + 1e-9));
+}
+
+}  // namespace vsd::baselines

@@ -1,0 +1,36 @@
+#ifndef VSD_BASELINES_GAO_SVM_H_
+#define VSD_BASELINES_GAO_SVM_H_
+
+#include <vector>
+
+#include "baselines/baseline.h"
+
+namespace vsd::baselines {
+
+/// \brief Gao et al. (ICIP 2014): 49 facial feature points per frame, a
+/// linear SVM classifies each frame as positive/negative emotion, and the
+/// video is stressed when the negative-frame ratio exceeds a threshold.
+///
+/// The SVM is trained with hinge loss + L2 (SGD / Pegasos-style) on frame
+/// features weakly labeled by the video's stress label; the decision
+/// threshold over the two frames is then tuned on the training set.
+class GaoSvm : public StressClassifier {
+ public:
+  explicit GaoSvm(float landmark_noise = 1.0f);
+
+  std::string name() const override { return "Gao et al."; }
+  void Fit(const data::Dataset& train, Rng* rng) override;
+  double PredictProbStressed(const data::VideoSample& sample) const override;
+
+ private:
+  double FrameMargin(const std::vector<face::Landmark>& points) const;
+  double VideoScore(const data::VideoSample& sample) const;
+
+  float landmark_noise_;
+  std::vector<double> weights_;  // linear SVM weights (+ bias at end)
+  double ratio_threshold_ = 0.5;
+};
+
+}  // namespace vsd::baselines
+
+#endif  // VSD_BASELINES_GAO_SVM_H_

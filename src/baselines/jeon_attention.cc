@@ -1,0 +1,101 @@
+#include "baselines/jeon_attention.h"
+
+#include "common/math_util.h"
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+
+namespace vsd::baselines {
+
+namespace ag = ::vsd::autograd;
+using nn::Var;
+using tensor::Tensor;
+
+namespace {
+constexpr int kTowerDim = 32;
+constexpr int kLandmarkDim = 24;
+constexpr int kFrameDim = kTowerDim + kLandmarkDim;
+}  // namespace
+
+JeonAttention::JeonAttention(float landmark_noise, int epochs)
+    : landmark_noise_(landmark_noise), epochs_(epochs) {}
+
+Var JeonAttention::Forward(
+    const std::vector<const data::VideoSample*>& batch) const {
+  const int n = static_cast<int>(batch.size());
+  // Per-frame inputs for the two frames.
+  auto frame_repr = [&](bool expressive) {
+    std::vector<const img::Image*> images;
+    Tensor landmarks({n, 2 * face::kNumLandmarks});
+    for (int i = 0; i < n; ++i) {
+      images.push_back(expressive ? &batch[i]->expressive_frame
+                                  : &batch[i]->neutral_frame);
+      const auto features = face::LandmarksToFeatures(
+          DetectLandmarks(*batch[i], expressive, landmark_noise_));
+      for (size_t j = 0; j < features.size(); ++j) {
+        landmarks.at(i, static_cast<int>(j)) = features[j];
+      }
+    }
+    Var conv = tower_->Forward(Var(tower_->PackImages(images)));
+    Var lm = ag::Relu(landmark_net_->Forward(Var(landmarks)));
+    return ag::Concat(conv, lm);  // [N, kFrameDim]
+  };
+  Var h_expressive = frame_repr(true);
+  Var h_neutral = frame_repr(false);
+
+  // Temporal attention over the two frames.
+  Var s_expressive = attention_->Forward(h_expressive);  // [N,1]
+  Var s_neutral = attention_->Forward(h_neutral);        // [N,1]
+  Var weights = ag::SoftmaxRowsV(ag::Concat(s_expressive, s_neutral));
+  // Split the [N,2] weights back into two [N,1] columns via MatMul with
+  // selector matrices.
+  Var select0(Tensor::FromVector({2, 1}, {1, 0}));
+  Var select1(Tensor::FromVector({2, 1}, {0, 1}));
+  Var fused = ag::Add(
+      ag::MulColumn(h_expressive, ag::MatMul(weights, select0)),
+      ag::MulColumn(h_neutral, ag::MatMul(weights, select1)));
+  return head_->Forward(fused);  // [N,2]
+}
+
+void JeonAttention::Fit(const data::Dataset& train, Rng* rng) {
+  tower_ = std::make_unique<vlm::VisionTower>(kTowerDim, rng, 32);
+  landmark_net_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{2 * face::kNumLandmarks, kLandmarkDim},
+      nn::Activation::kRelu, rng);
+  attention_ = std::make_unique<nn::Linear>(kFrameDim, 1, rng);
+  head_ = std::make_unique<nn::Linear>(kFrameDim, 2, rng);
+
+  std::vector<Var> params = tower_->Parameters();
+  for (const auto& p : landmark_net_->Parameters()) params.push_back(p);
+  for (const auto& p : attention_->Parameters()) params.push_back(p);
+  for (const auto& p : head_->Parameters()) params.push_back(p);
+  nn::Adam opt(params, 1.5e-3f);
+
+  const int n = train.size();
+  const int batch_size = 32;
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    rng->Shuffle(&order);
+    for (int start = 0; start < n; start += batch_size) {
+      const int end = std::min(start + batch_size, n);
+      std::vector<const data::VideoSample*> batch;
+      std::vector<int> labels;
+      for (int i = start; i < end; ++i) {
+        batch.push_back(&train.samples[order[i]]);
+        labels.push_back(train.samples[order[i]].stress_label);
+      }
+      Var loss = ag::SoftmaxCrossEntropy(Forward(batch), labels);
+      opt.ZeroGrad();
+      ag::Backward(loss);
+      opt.Step();
+    }
+  }
+}
+
+double JeonAttention::PredictProbStressed(
+    const data::VideoSample& sample) const {
+  Var logits = Forward({&sample});
+  return vsd::Sigmoid(logits.value().at(0, 1) - logits.value().at(0, 0));
+}
+
+}  // namespace vsd::baselines

@@ -1,0 +1,37 @@
+#ifndef VSD_BASELINES_JEON_ATTENTION_H_
+#define VSD_BASELINES_JEON_ATTENTION_H_
+
+#include <memory>
+
+#include "baselines/baseline.h"
+#include "nn/layers.h"
+#include "vlm/vision.h"
+
+namespace vsd::baselines {
+
+/// \brief Jeon et al. (Sensors 2021): per-frame representations from a
+/// frame encoder (ResNet-18 in the paper; a conv tower here) concatenated
+/// with a Facial Landmark Feature Network embedding, fused across frames
+/// by temporal attention, trained end-to-end on stress labels.
+class JeonAttention : public StressClassifier {
+ public:
+  explicit JeonAttention(float landmark_noise = 1.2f, int epochs = 8);
+
+  std::string name() const override { return "Jeon et al."; }
+  void Fit(const data::Dataset& train, Rng* rng) override;
+  double PredictProbStressed(const data::VideoSample& sample) const override;
+
+ private:
+  nn::Var Forward(const std::vector<const data::VideoSample*>& batch) const;
+
+  float landmark_noise_;
+  int epochs_;
+  std::unique_ptr<vlm::VisionTower> tower_;
+  std::unique_ptr<nn::Mlp> landmark_net_;
+  std::unique_ptr<nn::Linear> attention_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace vsd::baselines
+
+#endif  // VSD_BASELINES_JEON_ATTENTION_H_

@@ -1,0 +1,116 @@
+#include "baselines/marlin.h"
+
+#include "common/math_util.h"
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+
+namespace vsd::baselines {
+
+namespace ag = ::vsd::autograd;
+using nn::Var;
+using tensor::Tensor;
+
+namespace {
+constexpr int kDim = 40;
+constexpr int kInput = 32;
+constexpr int kPatch = 8;  // masking granularity
+}  // namespace
+
+Marlin::Marlin(int pretrain_epochs, int finetune_epochs)
+    : pretrain_epochs_(pretrain_epochs), finetune_epochs_(finetune_epochs) {}
+
+void Marlin::Fit(const data::Dataset& train, Rng* rng) {
+  encoder_ = std::make_unique<vlm::VisionTower>(kDim, rng, 32);
+  decoder_ = std::make_unique<nn::Linear>(kDim, kInput * kInput, rng);
+  head_ = std::make_unique<nn::Mlp>(std::vector<int>{2 * kDim, 32, 2},
+                                    nn::Activation::kGelu, rng);
+
+  const int n = train.size();
+  const int batch_size = 32;
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+
+  // ---- Stage 1: masked-autoencoder pretraining (no labels). ----
+  {
+    std::vector<Var> params = encoder_->Parameters();
+    for (const auto& p : decoder_->Parameters()) params.push_back(p);
+    nn::Adam opt(params, 2e-3f);
+    for (int epoch = 0; epoch < pretrain_epochs_; ++epoch) {
+      rng->Shuffle(&order);
+      for (int start = 0; start < n; start += batch_size) {
+        const int end = std::min(start + batch_size, n);
+        const int m = end - start;
+        // Each sample contributes its expressive frame.
+        std::vector<const img::Image*> images;
+        for (int i = start; i < end; ++i) {
+          images.push_back(&train.samples[order[i]].expressive_frame);
+        }
+        Tensor clean = encoder_->PackImages(images);
+        Tensor masked = clean.Clone();
+        for (int i = 0; i < m; ++i) {
+          for (int py = 0; py < kInput; py += kPatch) {
+            for (int px = 0; px < kInput; px += kPatch) {
+              if (!rng->Bernoulli(0.5)) continue;  // mask half the patches
+              for (int y = py; y < py + kPatch; ++y) {
+                for (int x = px; x < px + kPatch; ++x) {
+                  masked.at4(i, y, x, 0) = 0.0f;
+                }
+              }
+            }
+          }
+        }
+        Var latent = encoder_->Forward(Var(masked));
+        Var recon = decoder_->Forward(latent);
+        Var target(clean.Reshape({m, kInput * kInput}).Clone());
+        Var diff = ag::Sub(recon, target);
+        Var loss = ag::MeanAll(ag::Mul(diff, diff));
+        opt.ZeroGrad();
+        ag::Backward(loss);
+        opt.Step();
+      }
+    }
+  }
+
+  // ---- Stage 2: stress head fine-tuning (encoder included, lower lr). --
+  {
+    std::vector<Var> params = head_->Parameters();
+    for (const auto& p : encoder_->Parameters()) params.push_back(p);
+    nn::Adam opt(params, 8e-4f);
+    for (int epoch = 0; epoch < finetune_epochs_; ++epoch) {
+      rng->Shuffle(&order);
+      for (int start = 0; start < n; start += batch_size) {
+        const int end = std::min(start + batch_size, n);
+        std::vector<const data::VideoSample*> batch;
+        std::vector<int> labels;
+        for (int i = start; i < end; ++i) {
+          batch.push_back(&train.samples[order[i]]);
+          labels.push_back(train.samples[order[i]].stress_label);
+        }
+        Var loss = ag::SoftmaxCrossEntropy(PairLogits(batch), labels);
+        opt.ZeroGrad();
+        ag::Backward(loss);
+        opt.Step();
+      }
+    }
+  }
+}
+
+Var Marlin::PairLogits(
+    const std::vector<const data::VideoSample*>& batch) const {
+  const int n = static_cast<int>(batch.size());
+  std::vector<const img::Image*> images;
+  for (const auto* sample : batch) {
+    images.push_back(&sample->expressive_frame);
+    images.push_back(&sample->neutral_frame);
+  }
+  Var embeds = encoder_->Forward(Var(encoder_->PackImages(images)));
+  Var pairs = ag::Reshape(embeds, {n, 2 * kDim});
+  return head_->Forward(pairs);
+}
+
+double Marlin::PredictProbStressed(const data::VideoSample& sample) const {
+  Var logits = PairLogits({&sample});
+  return vsd::Sigmoid(logits.value().at(0, 1) - logits.value().at(0, 0));
+}
+
+}  // namespace vsd::baselines

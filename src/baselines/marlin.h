@@ -1,0 +1,39 @@
+#ifndef VSD_BASELINES_MARLIN_H_
+#define VSD_BASELINES_MARLIN_H_
+
+#include <memory>
+
+#include "baselines/baseline.h"
+#include "nn/layers.h"
+#include "vlm/vision.h"
+
+namespace vsd::baselines {
+
+/// \brief MARLIN (Cai et al., CVPR 2023): masked-autoencoder pretraining
+/// on facial crops, then a stress head on the frozen-ish representation.
+///
+/// Pretraining masks random patches of each frame and reconstructs the
+/// full frame (MSE); the encoder therefore learns facial structure without
+/// labels. A linear probe + light fine-tune on the stress labels follows.
+class Marlin : public StressClassifier {
+ public:
+  Marlin(int pretrain_epochs = 4, int finetune_epochs = 6);
+
+  std::string name() const override { return "MARLIN"; }
+  void Fit(const data::Dataset& train, Rng* rng) override;
+  double PredictProbStressed(const data::VideoSample& sample) const override;
+
+ private:
+  nn::Var PairLogits(const std::vector<const data::VideoSample*>& batch)
+      const;
+
+  int pretrain_epochs_;
+  int finetune_epochs_;
+  std::unique_ptr<vlm::VisionTower> encoder_;
+  std::unique_ptr<nn::Linear> decoder_;  // MAE reconstruction head
+  std::unique_ptr<nn::Mlp> head_;
+};
+
+}  // namespace vsd::baselines
+
+#endif  // VSD_BASELINES_MARLIN_H_

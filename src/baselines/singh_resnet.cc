@@ -1,0 +1,73 @@
+#include "baselines/singh_resnet.h"
+
+#include "common/math_util.h"
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+
+namespace vsd::baselines {
+
+namespace ag = ::vsd::autograd;
+using nn::Var;
+
+namespace {
+constexpr int kDim = 40;
+}  // namespace
+
+SinghResnet::SinghResnet(int epochs) : epochs_(epochs) {}
+
+Var SinghResnet::Forward(
+    const std::vector<const data::VideoSample*>& batch) const {
+  std::vector<const img::Image*> images;
+  for (const auto* sample : batch) {
+    images.push_back(&sample->expressive_frame);
+  }
+  Var h = tower_->Forward(Var(tower_->PackImages(images)));
+  // Two residual blocks: h = h + MLP(h).
+  h = ag::Add(h, block1_->Forward(h));
+  h = ag::Add(h, block2_->Forward(h));
+  return head_->Forward(ag::Relu(h));
+}
+
+void SinghResnet::Fit(const data::Dataset& train, Rng* rng) {
+  tower_ = std::make_unique<vlm::VisionTower>(kDim, rng, 32);
+  block1_ = std::make_unique<nn::Mlp>(std::vector<int>{kDim, kDim, kDim},
+                                      nn::Activation::kRelu, rng);
+  block2_ = std::make_unique<nn::Mlp>(std::vector<int>{kDim, kDim, kDim},
+                                      nn::Activation::kRelu, rng);
+  head_ = std::make_unique<nn::Linear>(kDim, 2, rng);
+
+  std::vector<Var> params = tower_->Parameters();
+  for (const auto& p : block1_->Parameters()) params.push_back(p);
+  for (const auto& p : block2_->Parameters()) params.push_back(p);
+  for (const auto& p : head_->Parameters()) params.push_back(p);
+  nn::Adam opt(params, 1.5e-3f);
+
+  const int n = train.size();
+  const int batch_size = 32;
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    rng->Shuffle(&order);
+    for (int start = 0; start < n; start += batch_size) {
+      const int end = std::min(start + batch_size, n);
+      std::vector<const data::VideoSample*> batch;
+      std::vector<int> labels;
+      for (int i = start; i < end; ++i) {
+        batch.push_back(&train.samples[order[i]]);
+        labels.push_back(train.samples[order[i]].stress_label);
+      }
+      Var loss = ag::SoftmaxCrossEntropy(Forward(batch), labels);
+      opt.ZeroGrad();
+      ag::Backward(loss);
+      opt.Step();
+    }
+  }
+}
+
+double SinghResnet::PredictProbStressed(
+    const data::VideoSample& sample) const {
+  Var logits = Forward({&sample});
+  return vsd::Sigmoid(logits.value().at(0, 1) - logits.value().at(0, 0));
+}
+
+}  // namespace vsd::baselines

@@ -1,0 +1,37 @@
+#ifndef VSD_BASELINES_SINGH_RESNET_H_
+#define VSD_BASELINES_SINGH_RESNET_H_
+
+#include <memory>
+
+#include "baselines/baseline.h"
+#include "nn/layers.h"
+#include "vlm/vision.h"
+
+namespace vsd::baselines {
+
+/// \brief Singh et al. (Microprocessors & Microsystems 2022): a deep
+/// ResNet-101 classifier over surveillance frames. Scaled to this repo as
+/// a conv tower followed by residual MLP blocks on the expressive frame
+/// only (no neutral-frame contrast, no landmark input — which is what
+/// keeps it below the two-stream/landmark methods in Table I).
+class SinghResnet : public StressClassifier {
+ public:
+  explicit SinghResnet(int epochs = 6);
+
+  std::string name() const override { return "Singh et al."; }
+  void Fit(const data::Dataset& train, Rng* rng) override;
+  double PredictProbStressed(const data::VideoSample& sample) const override;
+
+ private:
+  nn::Var Forward(const std::vector<const data::VideoSample*>& batch) const;
+
+  int epochs_;
+  std::unique_ptr<vlm::VisionTower> tower_;
+  std::unique_ptr<nn::Mlp> block1_;
+  std::unique_ptr<nn::Mlp> block2_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace vsd::baselines
+
+#endif  // VSD_BASELINES_SINGH_RESNET_H_

@@ -1,0 +1,101 @@
+#include "baselines/tsdnet.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+
+namespace vsd::baselines {
+
+namespace ag = ::vsd::autograd;
+using nn::Var;
+using tensor::Tensor;
+
+namespace {
+constexpr int kStreamDim = 32;
+}  // namespace
+
+Tsdnet::Tsdnet(int epochs) : epochs_(epochs) {}
+
+img::Image Tsdnet::MotionImage(const data::VideoSample& sample) {
+  // |f_e - f_l| rescaled into [0,1]: where the face moved.
+  const auto& a = sample.expressive_frame;
+  const auto& b = sample.neutral_frame;
+  img::Image out(a.width(), a.height());
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      out.at(y, x) = std::abs(a.at(y, x) - b.at(y, x));
+    }
+  }
+  return out;
+}
+
+Var Tsdnet::Forward(
+    const std::vector<const data::VideoSample*>& batch) const {
+  const int n = static_cast<int>(batch.size());
+  std::vector<const img::Image*> faces;
+  std::vector<img::Image> motion_storage;
+  motion_storage.reserve(n);
+  for (const auto* sample : batch) {
+    faces.push_back(&sample->expressive_frame);
+    motion_storage.push_back(MotionImage(*sample));
+  }
+  std::vector<const img::Image*> motions;
+  for (const auto& m : motion_storage) motions.push_back(&m);
+
+  Var h_face = face_stream_->Forward(Var(face_stream_->PackImages(faces)));
+  Var h_action =
+      action_stream_->Forward(Var(action_stream_->PackImages(motions)));
+
+  // Stream-weighted integrator: global attention over the two streams.
+  Var both = ag::Concat(h_face, h_action);          // [N, 2*dim]
+  Var weights = ag::SoftmaxRowsV(integrator_->Forward(both));  // [N,2]
+  Var select0(Tensor::FromVector({2, 1}, {1, 0}));
+  Var select1(Tensor::FromVector({2, 1}, {0, 1}));
+  Var fused = ag::Concat(
+      ag::MulColumn(h_face, ag::MatMul(weights, select0)),
+      ag::MulColumn(h_action, ag::MatMul(weights, select1)));
+  return head_->Forward(fused);
+}
+
+void Tsdnet::Fit(const data::Dataset& train, Rng* rng) {
+  face_stream_ = std::make_unique<vlm::VisionTower>(kStreamDim, rng, 32);
+  action_stream_ = std::make_unique<vlm::VisionTower>(kStreamDim, rng, 32);
+  integrator_ = std::make_unique<nn::Linear>(2 * kStreamDim, 2, rng);
+  head_ = std::make_unique<nn::Linear>(2 * kStreamDim, 2, rng);
+
+  std::vector<Var> params = face_stream_->Parameters();
+  for (const auto& p : action_stream_->Parameters()) params.push_back(p);
+  for (const auto& p : integrator_->Parameters()) params.push_back(p);
+  for (const auto& p : head_->Parameters()) params.push_back(p);
+  nn::Adam opt(params, 1.5e-3f);
+
+  const int n = train.size();
+  const int batch_size = 32;
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    rng->Shuffle(&order);
+    for (int start = 0; start < n; start += batch_size) {
+      const int end = std::min(start + batch_size, n);
+      std::vector<const data::VideoSample*> batch;
+      std::vector<int> labels;
+      for (int i = start; i < end; ++i) {
+        batch.push_back(&train.samples[order[i]]);
+        labels.push_back(train.samples[order[i]].stress_label);
+      }
+      Var loss = ag::SoftmaxCrossEntropy(Forward(batch), labels);
+      opt.ZeroGrad();
+      ag::Backward(loss);
+      opt.Step();
+    }
+  }
+}
+
+double Tsdnet::PredictProbStressed(const data::VideoSample& sample) const {
+  Var logits = Forward({&sample});
+  return vsd::Sigmoid(logits.value().at(0, 1) - logits.value().at(0, 0));
+}
+
+}  // namespace vsd::baselines

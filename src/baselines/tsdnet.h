@@ -1,0 +1,37 @@
+#ifndef VSD_BASELINES_TSDNET_H_
+#define VSD_BASELINES_TSDNET_H_
+
+#include <memory>
+
+#include "baselines/baseline.h"
+#include "nn/layers.h"
+#include "vlm/vision.h"
+
+namespace vsd::baselines {
+
+/// \brief TSDNet (Zhang et al., Sensors 2020): a two-level network with a
+/// face stream (most expressive frame) and an action stream (the
+/// expressive-minus-neutral motion image), fused by a stream-weighted
+/// integrator with learned attention, trained end-to-end.
+class Tsdnet : public StressClassifier {
+ public:
+  explicit Tsdnet(int epochs = 6);
+
+  std::string name() const override { return "TSDNet"; }
+  void Fit(const data::Dataset& train, Rng* rng) override;
+  double PredictProbStressed(const data::VideoSample& sample) const override;
+
+ private:
+  nn::Var Forward(const std::vector<const data::VideoSample*>& batch) const;
+  static img::Image MotionImage(const data::VideoSample& sample);
+
+  int epochs_;
+  std::unique_ptr<vlm::VisionTower> face_stream_;
+  std::unique_ptr<vlm::VisionTower> action_stream_;
+  std::unique_ptr<nn::Linear> integrator_;  // stream weights
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace vsd::baselines
+
+#endif  // VSD_BASELINES_TSDNET_H_

@@ -1,0 +1,20 @@
+#include "baselines/zero_shot_lfm.h"
+
+#include "common/logging.h"
+
+namespace vsd::baselines {
+
+ZeroShotLfm::ZeroShotLfm(const vlm::FoundationModel* model,
+                         std::string display_name)
+    : model_(model), display_name_(std::move(display_name)) {
+  VSD_CHECK(model_ != nullptr) << "null model";
+}
+
+double ZeroShotLfm::PredictProbStressed(
+    const data::VideoSample& sample) const {
+  // Direct prompt, no description context (the Table I protocol).
+  return model_->AssessProbStressedWithFrames(
+      sample.expressive_frame, sample.neutral_frame, face::AuMask{});
+}
+
+}  // namespace vsd::baselines

@@ -1,0 +1,32 @@
+#ifndef VSD_BASELINES_ZERO_SHOT_LFM_H_
+#define VSD_BASELINES_ZERO_SHOT_LFM_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/baseline.h"
+#include "vlm/api_models.h"
+
+namespace vsd::baselines {
+
+/// \brief Zero-shot off-the-shelf foundation model (Table I, top block):
+/// the frozen API-model simulation answers "Is the subject in this video
+/// stressed?" with no task training (its stress notion is the generic
+/// negative-emotion prior from pretraining).
+class ZeroShotLfm : public StressClassifier {
+ public:
+  /// `model` frozen, not owned.
+  ZeroShotLfm(const vlm::FoundationModel* model, std::string display_name);
+
+  std::string name() const override { return display_name_; }
+  void Fit(const data::Dataset& train, Rng* rng) override {}  // zero-shot
+  double PredictProbStressed(const data::VideoSample& sample) const override;
+
+ private:
+  const vlm::FoundationModel* model_;
+  std::string display_name_;
+};
+
+}  // namespace vsd::baselines
+
+#endif  // VSD_BASELINES_ZERO_SHOT_LFM_H_

@@ -1,0 +1,54 @@
+#include "baselines/zhang_emotion.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace vsd::baselines {
+
+ZhangEmotionRule::ZhangEmotionRule(
+    const vlm::FoundationModel* emotion_model)
+    : emotion_model_(emotion_model) {
+  VSD_CHECK(emotion_model_ != nullptr) << "null emotion model";
+}
+
+double ZhangEmotionRule::NegativityScore(
+    const data::VideoSample& sample) const {
+  // Per-frame negative-emotion probability from the frozen emotion model;
+  // the expressive frame carries double weight (it is the "emotion peak"
+  // frame the rule keys on).
+  const double p_expressive = emotion_model_->AssessProbStressedWithFrames(
+      sample.expressive_frame, sample.expressive_frame, face::AuMask{});
+  const double p_neutral = emotion_model_->AssessProbStressedWithFrames(
+      sample.neutral_frame, sample.neutral_frame, face::AuMask{});
+  return (2.0 * p_expressive + p_neutral) / 3.0;
+}
+
+void ZhangEmotionRule::Fit(const data::Dataset& train, Rng* rng) {
+  // Only the ratio threshold is calibrated (grid search on train).
+  std::vector<double> scores;
+  scores.reserve(train.size());
+  for (const auto& sample : train.samples) {
+    scores.push_back(NegativityScore(sample));
+  }
+  double best_threshold = 2.0 / 3.0;
+  int best_correct = -1;
+  for (double threshold = 0.2; threshold <= 0.8; threshold += 0.02) {
+    int correct = 0;
+    for (int i = 0; i < train.size(); ++i) {
+      const int prediction = scores[i] >= threshold ? 1 : 0;
+      correct += (prediction == train.samples[i].stress_label);
+    }
+    if (correct > best_correct) {
+      best_correct = correct;
+      best_threshold = threshold;
+    }
+  }
+  threshold_ = best_threshold;
+}
+
+double ZhangEmotionRule::PredictProbStressed(
+    const data::VideoSample& sample) const {
+  return vsd::Sigmoid(8.0 * (NegativityScore(sample) - threshold_));
+}
+
+}  // namespace vsd::baselines

@@ -1,0 +1,36 @@
+#ifndef VSD_BASELINES_ZHANG_EMOTION_H_
+#define VSD_BASELINES_ZHANG_EMOTION_H_
+
+#include "baselines/baseline.h"
+#include "vlm/foundation_model.h"
+
+namespace vsd::baselines {
+
+/// \brief Zhang et al. (ICSIP 2019): a CNN detects the emotion of each
+/// frame; the video is flagged stressed when at least two-thirds of the
+/// frames show negative emotions (anger/sadness/fear).
+///
+/// The frame emotion detector is a generalist model pretrained on the
+/// emotion corpus (its "negativity" head, see vlm/api_models.h); it is
+/// NOT fine-tuned on stress data — only the negativity-ratio threshold is
+/// calibrated on the training set, mirroring the original rule-based
+/// design (and explaining its modest recall in Table I).
+class ZhangEmotionRule : public StressClassifier {
+ public:
+  /// `emotion_model` must outlive this classifier (pretrained, frozen).
+  explicit ZhangEmotionRule(const vlm::FoundationModel* emotion_model);
+
+  std::string name() const override { return "Zhang et al."; }
+  void Fit(const data::Dataset& train, Rng* rng) override;
+  double PredictProbStressed(const data::VideoSample& sample) const override;
+
+ private:
+  double NegativityScore(const data::VideoSample& sample) const;
+
+  const vlm::FoundationModel* emotion_model_;
+  double threshold_ = 2.0 / 3.0;
+};
+
+}  // namespace vsd::baselines
+
+#endif  // VSD_BASELINES_ZHANG_EMOTION_H_

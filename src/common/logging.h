@@ -1,0 +1,66 @@
+#ifndef VSD_COMMON_LOGGING_H_
+#define VSD_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace vsd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after flushing.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace vsd
+
+#define VSD_LOG(level)                                               \
+  if (::vsd::LogLevel::k##level < ::vsd::GetLogLevel()) {            \
+  } else                                                             \
+    ::vsd::internal::LogMessage(::vsd::LogLevel::k##level, __FILE__, \
+                                __LINE__)                            \
+        .stream()
+
+/// Fatal precondition check; aborts with a message when `cond` is false.
+#define VSD_CHECK(cond)                                            \
+  if (cond) {                                                      \
+  } else                                                           \
+    ::vsd::internal::FatalLogMessage(__FILE__, __LINE__).stream()  \
+        << "Check failed: " #cond " "
+
+#endif  // VSD_COMMON_LOGGING_H_

@@ -1,0 +1,130 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace vsd {
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  if (xs.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - m);
+  return m + std::log(sum);
+}
+
+void SoftmaxInPlace(std::vector<double>* xs, double temperature) {
+  if (xs->empty()) return;
+  if (temperature <= 0.0) temperature = 1e-6;
+  double m = *std::max_element(xs->begin(), xs->end());
+  double sum = 0.0;
+  for (double& x : *xs) {
+    x = std::exp((x - m) / temperature);
+    sum += x;
+  }
+  for (double& x : *xs) x /= sum;
+}
+
+double Clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+namespace {
+template <typename T>
+double CosineImpl(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    na += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+    nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+}  // namespace
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  return CosineImpl(a, b);
+}
+
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  return CosineImpl(a, b);
+}
+
+int ArgMax(const std::vector<double>& xs) {
+  if (xs.empty()) return -1;
+  return static_cast<int>(
+      std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+std::vector<int> TopK(const std::vector<double>& xs, int k) {
+  std::vector<int> idx(xs.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  if (k > static_cast<int>(xs.size())) k = static_cast<int>(xs.size());
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](int a, int b) { return xs[a] > xs[b]; });
+  idx.resize(k);
+  return idx;
+}
+
+bool SolveLinearSystem(std::vector<std::vector<double>>* a,
+                       std::vector<double>* b) {
+  const int n = static_cast<int>(b->size());
+  auto& m = *a;
+  auto& rhs = *b;
+  for (int col = 0; col < n; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int row = col + 1; row < n; ++row) {
+      if (std::abs(m[row][col]) > std::abs(m[pivot][col])) pivot = row;
+    }
+    if (std::abs(m[pivot][col]) < 1e-12) return false;
+    std::swap(m[col], m[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    const double inv = 1.0 / m[col][col];
+    for (int row = col + 1; row < n; ++row) {
+      const double factor = m[row][col] * inv;
+      if (factor == 0.0) continue;
+      for (int k = col; k < n; ++k) m[row][k] -= factor * m[col][k];
+      rhs[row] -= factor * rhs[col];
+    }
+  }
+  for (int row = n - 1; row >= 0; --row) {
+    double sum = rhs[row];
+    for (int k = row + 1; k < n; ++k) sum -= m[row][k] * rhs[k];
+    rhs[row] = sum / m[row][row];
+  }
+  return true;
+}
+
+}  // namespace vsd

@@ -1,0 +1,46 @@
+#ifndef VSD_COMMON_MATH_UTIL_H_
+#define VSD_COMMON_MATH_UTIL_H_
+
+#include <vector>
+
+namespace vsd {
+
+/// Numerically stable logistic sigmoid.
+double Sigmoid(double x);
+
+/// log(sum(exp(xs))) computed stably.
+double LogSumExp(const std::vector<double>& xs);
+
+/// In-place stable softmax with temperature (temperature > 0).
+void SoftmaxInPlace(std::vector<double>* xs, double temperature = 1.0);
+
+/// Returns clamp(x, lo, hi).
+double Clamp(double x, double lo, double hi);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 when n < 2.
+double StdDev(const std::vector<double>& xs);
+
+/// Cosine similarity between equal-length vectors; 0 if either is zero.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b);
+
+/// Index of the maximum element; -1 for empty input.
+int ArgMax(const std::vector<double>& xs);
+
+/// Indices of the k largest elements, in descending value order.
+std::vector<int> TopK(const std::vector<double>& xs, int k);
+
+/// Solves the dense linear system A x = b in place (Gaussian elimination
+/// with partial pivoting). Returns false when A is (near-)singular.
+/// `a` is row-major n x n; on success `b` holds the solution.
+bool SolveLinearSystem(std::vector<std::vector<double>>* a,
+                       std::vector<double>* b);
+
+}  // namespace vsd
+
+#endif  // VSD_COMMON_MATH_UTIL_H_

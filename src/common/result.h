@@ -1,0 +1,92 @@
+#ifndef VSD_COMMON_RESULT_H_
+#define VSD_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace vsd {
+
+/// \brief A value-or-error type: holds either a `T` or a non-OK `Status`.
+///
+/// Mirrors `arrow::Result<T>` / `absl::StatusOr<T>`. Accessing the value of
+/// an errored result aborts the process (library code must check `ok()` or
+/// use `VSD_ASSIGN_OR_RETURN`).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Returns OK when a value is present, the stored error otherwise.
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : status_;
+  }
+
+  /// Returns the contained value; aborts if this result holds an error.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) std::abort();
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace vsd
+
+/// Evaluates `rexpr` (a Result<T>), propagates the error, or assigns the
+/// value to `lhs`.
+#define VSD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define VSD_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define VSD_ASSIGN_OR_RETURN_NAME(a, b) VSD_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define VSD_ASSIGN_OR_RETURN(lhs, rexpr)                                    \
+  VSD_ASSIGN_OR_RETURN_IMPL(                                                \
+      VSD_ASSIGN_OR_RETURN_NAME(_vsd_result_, __LINE__), lhs, rexpr)
+
+#endif  // VSD_COMMON_RESULT_H_

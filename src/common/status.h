@@ -1,0 +1,93 @@
+#ifndef VSD_COMMON_STATUS_H_
+#define VSD_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace vsd {
+
+/// Error categories used across the library. Modeled after the RocksDB /
+/// Arrow convention: library code never throws; every fallible operation
+/// returns a `Status` (or a `Result<T>`, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kIoError = 7,
+};
+
+/// \brief A lightweight success-or-error value.
+///
+/// `Status::OK()` is the singleton success value. Error statuses carry a
+/// code and a human-readable message. The class is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Returns the success status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Returns the canonical name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+}  // namespace vsd
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// `Status` or `Result<T>` (both are constructible from `Status`).
+#define VSD_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::vsd::Status _vsd_status = (expr);          \
+    if (!_vsd_status.ok()) return _vsd_status;   \
+  } while (0)
+
+#endif  // VSD_COMMON_STATUS_H_

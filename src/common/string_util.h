@@ -1,0 +1,38 @@
+#ifndef VSD_COMMON_STRING_UTIL_H_
+#define VSD_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vsd {
+
+/// Splits `s` on `delim`, dropping empty pieces when `keep_empty` is false.
+std::vector<std::string> Split(std::string_view s, char delim,
+                               bool keep_empty = false);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Strips leading/trailing whitespace.
+std::string Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive substring search.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Formats a double as a percentage with two decimals, e.g. "95.81%".
+std::string FormatPercent(double fraction);
+
+/// Formats a double with `decimals` digits after the point.
+std::string FormatDouble(double value, int decimals);
+
+}  // namespace vsd
+
+#endif  // VSD_COMMON_STRING_UTIL_H_

@@ -1,0 +1,82 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace vsd {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  VSD_CHECK(row.size() == header_.size())
+      << "row width " << row.size() << " != header width " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddSeparator() { rows_.emplace_back(); }
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  auto rule = [&]() {
+    std::string line = "+";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      line += std::string(widths[c] + 2, '-') + "+";
+    }
+    return line + "\n";
+  };
+  std::string out = rule() + render_row(header_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : render_row(row);
+  }
+  out += rule();
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  auto render = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += ",";
+      // Quote cells containing commas.
+      if (row[c].find(',') != std::string::npos) {
+        line += "\"" + row[c] + "\"";
+      } else {
+        line += row[c];
+      }
+    }
+    return line + "\n";
+  };
+  std::string out = render(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) out += render(row);
+  }
+  return out;
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  file << ToCsv();
+  return file.good() ? Status::OK()
+                     : Status::IoError("write failed for " + path);
+}
+
+}  // namespace vsd

@@ -1,0 +1,41 @@
+#ifndef VSD_COMMON_TABLE_H_
+#define VSD_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vsd {
+
+/// \brief Aligned-column text table used by the benchmark harnesses to print
+/// paper-style tables (and to dump CSV for downstream plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Renders the table as CSV (separators are skipped).
+  std::string ToCsv() const;
+
+  /// Writes the CSV rendering to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace vsd
+
+#endif  // VSD_COMMON_TABLE_H_

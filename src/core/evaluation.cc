@@ -1,0 +1,46 @@
+#include "core/evaluation.h"
+
+#include <cstdlib>
+
+namespace vsd::core {
+
+Metrics EvaluatePredictor(
+    const std::function<int(const data::VideoSample&)>& predict,
+    const data::Dataset& test) {
+  std::vector<int> y_true;
+  std::vector<int> y_pred;
+  y_true.reserve(test.size());
+  y_pred.reserve(test.size());
+  for (const auto& sample : test.samples) {
+    y_true.push_back(sample.stress_label);
+    y_pred.push_back(predict(sample));
+  }
+  return ComputeMetrics(y_true, y_pred);
+}
+
+Metrics EvaluateClassifier(const baselines::StressClassifier& classifier,
+                           const data::Dataset& test) {
+  return EvaluatePredictor(
+      [&classifier](const data::VideoSample& sample) {
+        return classifier.Predict(sample);
+      },
+      test);
+}
+
+Metrics EvaluatePipeline(const cot::ChainPipeline& pipeline,
+                         const data::Dataset& test) {
+  return EvaluatePredictor(
+      [&pipeline](const data::VideoSample& sample) {
+        return pipeline.PredictLabel(sample);
+      },
+      test);
+}
+
+int NumFoldsFromEnv(int fallback) {
+  const char* env = std::getenv("VSD_FOLDS");
+  if (env == nullptr) return fallback;
+  const int folds = std::atoi(env);
+  return folds >= 2 ? folds : fallback;
+}
+
+}  // namespace vsd::core

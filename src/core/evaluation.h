@@ -1,0 +1,34 @@
+#ifndef VSD_CORE_EVALUATION_H_
+#define VSD_CORE_EVALUATION_H_
+
+#include <functional>
+
+#include "baselines/baseline.h"
+#include "core/metrics.h"
+#include "cot/pipeline.h"
+#include "data/folds.h"
+#include "data/sample.h"
+
+namespace vsd::core {
+
+/// Evaluates any label predictor over a test set.
+Metrics EvaluatePredictor(
+    const std::function<int(const data::VideoSample&)>& predict,
+    const data::Dataset& test);
+
+/// Evaluates a Table-I style classifier.
+Metrics EvaluateClassifier(const baselines::StressClassifier& classifier,
+                           const data::Dataset& test);
+
+/// Evaluates a trained chain pipeline.
+Metrics EvaluatePipeline(const cot::ChainPipeline& pipeline,
+                         const data::Dataset& test);
+
+/// Number of evaluation folds: reads the VSD_FOLDS environment variable
+/// (default `fallback`, the value used by the benches; the paper protocol
+/// is 10).
+int NumFoldsFromEnv(int fallback);
+
+}  // namespace vsd::core
+
+#endif  // VSD_CORE_EVALUATION_H_

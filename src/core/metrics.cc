@@ -1,0 +1,74 @@
+#include "core/metrics.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace vsd::core {
+
+std::vector<std::string> Metrics::ToRow() const {
+  return {vsd::FormatPercent(accuracy), vsd::FormatPercent(precision),
+          vsd::FormatPercent(recall), vsd::FormatPercent(f1)};
+}
+
+Metrics ComputeMetrics(const std::vector<int>& y_true,
+                       const std::vector<int>& y_pred) {
+  VSD_CHECK(y_true.size() == y_pred.size()) << "metric vector mismatch";
+  Metrics m;
+  m.n = static_cast<int>(y_true.size());
+  if (m.n == 0) return m;
+
+  // Confusion counts per class.
+  int correct = 0;
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  double f1_sum = 0.0;
+  for (int positive = 0; positive <= 1; ++positive) {
+    int tp = 0;
+    int fp = 0;
+    int fn = 0;
+    for (size_t i = 0; i < y_true.size(); ++i) {
+      const bool is_positive = y_true[i] == positive;
+      const bool predicted_positive = y_pred[i] == positive;
+      if (is_positive && predicted_positive) ++tp;
+      if (!is_positive && predicted_positive) ++fp;
+      if (is_positive && !predicted_positive) ++fn;
+    }
+    const double precision =
+        (tp + fp) > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+    const double recall =
+        (tp + fn) > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+    const double f1 = (precision + recall) > 0
+                          ? 2.0 * precision * recall / (precision + recall)
+                          : 0.0;
+    precision_sum += precision;
+    recall_sum += recall;
+    f1_sum += f1;
+  }
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    correct += (y_true[i] == y_pred[i]);
+  }
+  m.accuracy = static_cast<double>(correct) / m.n;
+  m.precision = precision_sum / 2.0;
+  m.recall = recall_sum / 2.0;
+  m.f1 = f1_sum / 2.0;
+  return m;
+}
+
+Metrics AverageMetrics(const std::vector<Metrics>& folds) {
+  Metrics avg;
+  if (folds.empty()) return avg;
+  double total = 0.0;
+  for (const auto& fold : folds) total += fold.n;
+  if (total == 0.0) return avg;
+  for (const auto& fold : folds) {
+    const double w = fold.n / total;
+    avg.accuracy += w * fold.accuracy;
+    avg.precision += w * fold.precision;
+    avg.recall += w * fold.recall;
+    avg.f1 += w * fold.f1;
+    avg.n += fold.n;
+  }
+  return avg;
+}
+
+}  // namespace vsd::core

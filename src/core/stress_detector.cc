@@ -1,0 +1,79 @@
+#include "core/stress_detector.h"
+
+#include "nn/serialize.h"
+
+namespace vsd::core {
+
+StressDetector::StressDetector() : StressDetector(Options()) {}
+
+StressDetector::StressDetector(const Options& options)
+    : chain_config_(options.chain),
+      pretrain_generalist_(options.pretrain_generalist),
+      seed_(options.seed),
+      inference_rng_(options.seed ^ 0x5EEDDEED) {
+  vlm::FoundationModelConfig config = options.model;
+  config.seed ^= options.seed;
+  model_ = std::make_unique<vlm::FoundationModel>(config);
+  pipeline_ =
+      std::make_unique<cot::ChainPipeline>(model_.get(), chain_config_);
+}
+
+StressDetector::StressDetector(const vlm::FoundationModel& pretrained_base,
+                               const cot::ChainConfig& chain)
+    : chain_config_(chain),
+      pretrain_generalist_(false),
+      inference_rng_(chain.seed ^ 0x5EEDDEED) {
+  model_ = pretrained_base.Clone();
+  model_->ClearFeatureCache();
+  pipeline_ =
+      std::make_unique<cot::ChainPipeline>(model_.get(), chain_config_);
+}
+
+cot::TrainReport StressDetector::Train(const data::Dataset& au_data,
+                                       const data::Dataset& stress_train,
+                                       Rng* rng) {
+  if (pretrain_generalist_) {
+    // Qwen-VL-initialization stand-in: generic emotion pretraining.
+    vlm::ApiModelSpec spec = vlm::BackboneInitSpec();
+    spec.config = model_->config();
+    vlm::PretrainGeneralist(model_.get(), spec, seed_ * 31 + 7);
+    pretrain_generalist_ = false;  // one-time
+  }
+  cot::ChainTrainer trainer(chain_config_);
+  return trainer.Train(model_.get(), au_data, stress_train, rng);
+}
+
+cot::ChainOutput StressDetector::Analyze(
+    const data::VideoSample& sample) const {
+  return pipeline_->Run(sample, &inference_rng_);
+}
+
+int StressDetector::Predict(const data::VideoSample& sample) const {
+  return pipeline_->PredictLabel(sample);
+}
+
+double StressDetector::PredictProbStressed(
+    const data::VideoSample& sample) const {
+  return pipeline_->PredictProbStressed(sample);
+}
+
+std::string StressDetector::Explain(const data::VideoSample& sample) const {
+  return Analyze(sample).Transcript();
+}
+
+void StressDetector::PrecomputeFeatures(const data::Dataset& dataset) {
+  model_->PrecomputeFeatures(dataset);
+}
+
+Status StressDetector::SaveModel(const std::string& path) const {
+  return nn::SaveModule(*model_, path);
+}
+
+Status StressDetector::LoadModel(const std::string& path) {
+  VSD_RETURN_IF_ERROR(nn::LoadModule(model_.get(), path));
+  model_->ClearFeatureCache();
+  pretrain_generalist_ = false;  // loaded weights supersede pretraining
+  return Status::OK();
+}
+
+}  // namespace vsd::core

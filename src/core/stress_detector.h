@@ -1,0 +1,88 @@
+#ifndef VSD_CORE_STRESS_DETECTOR_H_
+#define VSD_CORE_STRESS_DETECTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "cot/chain_config.h"
+#include "cot/pipeline.h"
+#include "cot/trainer.h"
+#include "data/sample.h"
+#include "vlm/api_models.h"
+#include "vlm/foundation_model.h"
+
+namespace vsd::core {
+
+/// \brief The library's public facade: an interpretable video-based
+/// stress detector with "Describe -> Assess -> Highlight" chain reasoning
+/// and self-refine DPO training.
+///
+/// Typical use:
+///
+///   vsd::core::StressDetector detector(options);
+///   detector.Train(disfa_sim, uvsd_train, &rng);
+///   auto output = detector.Analyze(sample);
+///   // output.assess.label, output.describe.text, output.highlight.text
+class StressDetector {
+ public:
+  struct Options {
+    vlm::FoundationModelConfig model;
+    cot::ChainConfig chain;
+    /// When true, Train() first pretrains the backbone on the generic
+    /// emotion corpus (the Qwen-VL-initialization stand-in).
+    bool pretrain_generalist = true;
+    uint64_t seed = 7;
+  };
+
+  StressDetector();  // default Options
+  explicit StressDetector(const Options& options);
+
+  /// Starts from a copy of an already-pretrained backbone (shared across
+  /// folds to avoid re-pretraining).
+  StressDetector(const vlm::FoundationModel& pretrained_base,
+                 const cot::ChainConfig& chain);
+
+  /// Runs the full learning process (Algorithm 1). `au_data` is the
+  /// facial-expression dataset D' (Describe step); `stress_train` is D.
+  cot::TrainReport Train(const data::Dataset& au_data,
+                         const data::Dataset& stress_train, Rng* rng);
+
+  /// Full chain output for one video.
+  cot::ChainOutput Analyze(const data::VideoSample& sample) const;
+
+  /// Hard stress decision.
+  int Predict(const data::VideoSample& sample) const;
+  double PredictProbStressed(const data::VideoSample& sample) const;
+
+  /// Human-readable transcript (description, assessment, rationale).
+  std::string Explain(const data::VideoSample& sample) const;
+
+  /// Caches vision features for a dataset (e.g. the test fold).
+  void PrecomputeFeatures(const data::Dataset& dataset);
+
+  /// Persists the trained weights (binary checkpoint, see nn/serialize.h).
+  Status SaveModel(const std::string& path) const;
+
+  /// Restores weights saved by SaveModel into a detector constructed with
+  /// the same model configuration. Clears the feature cache.
+  Status LoadModel(const std::string& path);
+
+  const vlm::FoundationModel& model() const { return *model_; }
+  vlm::FoundationModel* mutable_model() { return model_.get(); }
+  const cot::ChainConfig& chain_config() const { return chain_config_; }
+  const cot::ChainPipeline& pipeline() const { return *pipeline_; }
+
+ private:
+  cot::ChainConfig chain_config_;
+  bool pretrain_generalist_ = false;
+  uint64_t seed_ = 7;
+  std::unique_ptr<vlm::FoundationModel> model_;
+  std::unique_ptr<cot::ChainPipeline> pipeline_;
+  mutable Rng inference_rng_;
+};
+
+}  // namespace vsd::core
+
+#endif  // VSD_CORE_STRESS_DETECTOR_H_

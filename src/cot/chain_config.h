@@ -1,0 +1,62 @@
+#ifndef VSD_COT_CHAIN_CONFIG_H_
+#define VSD_COT_CHAIN_CONFIG_H_
+
+#include <cstdint>
+
+namespace vsd::cot {
+
+/// \brief Hyper-parameters and ablation switches of the chain-reasoning
+/// stress detector (Sec. III, Algorithm 1).
+///
+/// The three ablation flags map to the paper's variants:
+///  * `use_chain = false`      -> "w/o Chain"      (Table III/IV)
+///  * `learn_describe = false` -> "w/o learn des." (Table III/IV)
+///  * `use_refinement = false` -> "w/o Refine"     (Table V/VI)
+///  * `use_reflection = false` -> "w/o Reflection" (plain re-sampling)
+struct ChainConfig {
+  // ---- Ablations ----
+  bool use_chain = true;
+  bool learn_describe = true;
+  bool use_refinement = true;
+  bool use_reflection = true;
+
+  // ---- Self-refinement (Sec. III-C/III-D) ----
+  int k_repeats = 3;            ///< K repeated scorings for h and f.
+  int n_rationales = 3;         ///< n reflected rationale candidates.
+  int max_refine_rounds = 2;    ///< Cap on the description do-while loop.
+  int num_verification_choices = 4;  ///< 1 true + 3 negatives (Fig. 4).
+
+  // ---- Generation temperatures ----
+  double describe_temperature = 0.35;
+  double assess_sample_temperature = 1.0;
+  double verify_temperature = 0.5;
+  double highlight_temperature = 0.7;
+
+  // ---- Optimization (Sec. IV-H: lr 1e-4..., epochs 10, beta 0.1 in the
+  // paper; scaled to this model's size) ----
+  int describe_epochs = 12;
+  float describe_lr = 1.5e-3f;
+  /// Extra re-rendered frames per AU-dataset video during describe tuning
+  /// (real AU datasets provide many annotated frames per clip).
+  int describe_augment_copies = 3;
+  int assess_epochs = 25;
+  float assess_lr = 2e-3f;
+  int highlight_warmup_epochs = 3;
+  float highlight_lr = 2e-3f;
+  int dpo_epochs = 2;
+  float dpo_lr = 5e-4f;
+  float dpo_beta = 0.1f;  ///< The paper's beta.
+  int batch_size = 32;
+
+  // ---- Cost caps ----
+  /// Max training samples mined for rationale DPO pairs (Eq. 5).
+  int rationale_dpo_samples = 300;
+  /// Max rationale length (top-m highlighted cues).
+  int rationale_length = 3;
+
+  uint64_t seed = 2025;
+};
+
+}  // namespace vsd::cot
+
+#endif  // VSD_COT_CHAIN_CONFIG_H_

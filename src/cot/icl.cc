@@ -1,0 +1,160 @@
+#include "cot/icl.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "text/templates.h"
+
+namespace vsd::cot {
+
+const char* RetrievalMethodName(RetrievalMethod method) {
+  switch (method) {
+    case RetrievalMethod::kNone:
+      return "w/o Example";
+    case RetrievalMethod::kRandom:
+      return "Random";
+    case RetrievalMethod::kByVision:
+      return "Retrieve-by-vision";
+    case RetrievalMethod::kByDescription:
+      return "Retrieve-by-description";
+  }
+  return "unknown";
+}
+
+ExampleStore::ExampleStore(const data::Dataset& train,
+                           const vlm::VisionTower* generic_encoder,
+                           const vlm::FoundationModel* model, Rng* rng)
+    : generic_encoder_(generic_encoder), text_encoder_(64) {
+  VSD_CHECK(generic_encoder_ != nullptr) << "null vision encoder";
+  VSD_CHECK(model != nullptr) << "null model";
+  const int n = train.size();
+  labels_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const auto& sample = train.samples[i];
+    labels_.push_back(sample.stress_label);
+    sample_ids_.push_back(sample.id);
+    vision_embeddings_.push_back(EmbedVision(sample));
+    // Greedy model description of the training example.
+    const auto probs = model->DescribeProbs(sample);
+    face::AuMask mask{};
+    for (int j = 0; j < face::kNumAus; ++j) mask[j] = probs[j] > 0.5;
+    description_embeddings_.push_back(
+        text_encoder_.Encode(text::RenderDescription(mask)));
+  }
+  // Estimate mean pairwise similarities on a subsample (baseline for
+  // normalization).
+  const int probes = std::min(n, 200);
+  double vision_sum = 0.0;
+  double description_sum = 0.0;
+  int count = 0;
+  for (int p = 0; p < probes; ++p) {
+    const int a = rng->UniformInt(n);
+    const int b = rng->UniformInt(n);
+    if (a == b) continue;
+    vision_sum += vsd::CosineSimilarity(vision_embeddings_[a],
+                                        vision_embeddings_[b]);
+    description_sum += vsd::CosineSimilarity(description_embeddings_[a],
+                                             description_embeddings_[b]);
+    ++count;
+  }
+  if (count > 0) {
+    vision_baseline_ = vision_sum / count;
+    description_baseline_ = description_sum / count;
+  }
+}
+
+std::vector<float> ExampleStore::EmbedVision(
+    const data::VideoSample& sample) const {
+  return generic_encoder_
+      ->EmbedPair(sample.expressive_frame, sample.neutral_frame)
+      .ToVector();
+}
+
+double ExampleStore::Normalize(double similarity, double baseline) const {
+  if (baseline >= 1.0) return 0.0;
+  return vsd::Clamp((similarity - baseline) / (1.0 - baseline), 0.0, 1.0);
+}
+
+double ExampleStore::VisionSimilarity(const data::VideoSample& query,
+                                      int i) const {
+  return vsd::CosineSimilarity(EmbedVision(query), vision_embeddings_[i]);
+}
+
+double ExampleStore::DescriptionSimilarity(
+    const face::AuMask& query_description, int i) const {
+  const auto query_embedding =
+      text_encoder_.Encode(text::RenderDescription(query_description));
+  return vsd::CosineSimilarity(query_embedding, description_embeddings_[i]);
+}
+
+ExampleStore::Retrieved ExampleStore::Retrieve(
+    RetrievalMethod method, const data::VideoSample& query,
+    const face::AuMask& query_description, Rng* rng) const {
+  Retrieved out;
+  const int n = size();
+  if (n == 0 || method == RetrievalMethod::kNone) return out;
+
+  if (method == RetrievalMethod::kRandom) {
+    out.store_index = rng->UniformInt(n);
+    out.label = labels_[out.store_index];
+    out.raw_similarity =
+        VisionSimilarity(query, out.store_index);
+    out.normalized_similarity =
+        Normalize(out.raw_similarity, vision_baseline_);
+    return out;
+  }
+
+  double best = -2.0;
+  int best_index = -1;
+  if (method == RetrievalMethod::kByVision) {
+    const auto query_embedding = EmbedVision(query);
+    for (int i = 0; i < n; ++i) {
+      const double sim =
+          vsd::CosineSimilarity(query_embedding, vision_embeddings_[i]);
+      if (sim > best) {
+        best = sim;
+        best_index = i;
+      }
+    }
+    out.normalized_similarity = Normalize(best, vision_baseline_);
+  } else {  // kByDescription
+    const auto query_embedding =
+        text_encoder_.Encode(text::RenderDescription(query_description));
+    for (int i = 0; i < n; ++i) {
+      const double sim = vsd::CosineSimilarity(query_embedding,
+                                               description_embeddings_[i]);
+      if (sim > best) {
+        best = sim;
+        best_index = i;
+      }
+    }
+    out.normalized_similarity = Normalize(best, description_baseline_);
+  }
+  out.store_index = best_index;
+  out.raw_similarity = best;
+  out.label = best_index >= 0 ? labels_[best_index] : 0;
+  return out;
+}
+
+void ExampleStore::SubsampleTo(double fraction, Rng* rng) {
+  fraction = vsd::Clamp(fraction, 0.0, 1.0);
+  const int keep = std::max(1, static_cast<int>(size() * fraction));
+  const auto chosen = rng->SampleWithoutReplacement(size(), keep);
+  std::vector<int> labels;
+  std::vector<int> ids;
+  std::vector<std::vector<float>> vision;
+  std::vector<std::vector<float>> description;
+  for (int i : chosen) {
+    labels.push_back(labels_[i]);
+    ids.push_back(sample_ids_[i]);
+    vision.push_back(std::move(vision_embeddings_[i]));
+    description.push_back(std::move(description_embeddings_[i]));
+  }
+  labels_ = std::move(labels);
+  sample_ids_ = std::move(ids);
+  vision_embeddings_ = std::move(vision);
+  description_embeddings_ = std::move(description);
+}
+
+}  // namespace vsd::cot

@@ -1,0 +1,81 @@
+#ifndef VSD_COT_ICL_H_
+#define VSD_COT_ICL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/sample.h"
+#include "face/au.h"
+#include "text/encoder.h"
+#include "vlm/foundation_model.h"
+#include "vlm/vision.h"
+
+namespace vsd::cot {
+
+/// Retrieval strategies for in-context examples (Sec. IV-F).
+enum class RetrievalMethod { kNone, kRandom, kByVision, kByDescription };
+
+const char* RetrievalMethodName(RetrievalMethod method);
+
+/// \brief Store of training examples supporting similarity retrieval.
+///
+/// "Retrieve-by-vision" embeds frame pairs with a *generic* vision encoder
+/// (the Videoformer stand-in); "Retrieve-by-description" embeds the
+/// model's own facial-action descriptions with the hashing text encoder
+/// (the BERT stand-in). Similarities returned by `Retrieve` are normalized
+/// against the store's mean pairwise similarity so that a *random*
+/// example carries ~zero influence while a genuinely close one carries a
+/// strong gate (see FoundationModel::AssessWithExample).
+class ExampleStore {
+ public:
+  /// Builds the store over `train`. `generic_encoder` supplies vision
+  /// embeddings; `model` generates the descriptions embedded for
+  /// retrieve-by-description.
+  ExampleStore(const data::Dataset& train,
+               const vlm::VisionTower* generic_encoder,
+               const vlm::FoundationModel* model, Rng* rng);
+
+  struct Retrieved {
+    int store_index = -1;
+    int label = 0;
+    double raw_similarity = 0.0;
+    double normalized_similarity = 0.0;  ///< In [0,1]; gate for ICL.
+  };
+
+  /// Retrieves one example for the query. For kByDescription the caller
+  /// passes the query's own generated description mask.
+  Retrieved Retrieve(RetrievalMethod method,
+                     const data::VideoSample& query,
+                     const face::AuMask& query_description, Rng* rng) const;
+
+  /// Restricts the store to a random fraction of its examples (Fig. 8).
+  void SubsampleTo(double fraction, Rng* rng);
+
+  int size() const { return static_cast<int>(labels_.size()); }
+  int label(int i) const { return labels_[i]; }
+  int sample_id(int i) const { return sample_ids_[i]; }
+
+  /// Raw similarity of a query to stored example `i` under each embedding
+  /// (exposed for the Fig. 7 similarity-separation analysis).
+  double VisionSimilarity(const data::VideoSample& query, int i) const;
+  double DescriptionSimilarity(const face::AuMask& query_description,
+                               int i) const;
+
+ private:
+  std::vector<float> EmbedVision(const data::VideoSample& sample) const;
+  double Normalize(double similarity, double baseline) const;
+
+  const vlm::VisionTower* generic_encoder_;
+  text::TextEncoder text_encoder_;
+  std::vector<int> labels_;
+  std::vector<int> sample_ids_;
+  std::vector<std::vector<float>> vision_embeddings_;
+  std::vector<std::vector<float>> description_embeddings_;
+  double vision_baseline_ = 0.0;  ///< Mean pairwise vision similarity.
+  double description_baseline_ = 0.0;
+};
+
+}  // namespace vsd::cot
+
+#endif  // VSD_COT_ICL_H_

@@ -1,0 +1,100 @@
+#include "cot/pipeline.h"
+
+#include "common/logging.h"
+#include "cot/refinement.h"
+#include "text/templates.h"
+
+namespace vsd::cot {
+
+using face::AuMask;
+
+std::string ChainOutput::Transcript() const {
+  return describe.text + "\n" + assess.text + "\n" + highlight.text;
+}
+
+ChainPipeline::ChainPipeline(const vlm::FoundationModel* model,
+                             const ChainConfig& config)
+    : model_(model), config_(config) {
+  VSD_CHECK(model_ != nullptr) << "null model";
+}
+
+AuMask ChainPipeline::GreedyDescription(
+    const data::VideoSample& sample) const {
+  AuMask mask{};
+  if (!config_.use_chain) return mask;
+  const auto probs = model_->DescribeProbs(sample);
+  for (int j = 0; j < face::kNumAus; ++j) mask[j] = probs[j] > 0.5;
+  return mask;
+}
+
+ChainOutput ChainPipeline::Run(const data::VideoSample& sample,
+                               Rng* rng) const {
+  ChainOutput out;
+  const AuMask description = GreedyDescription(sample);
+  out.describe.mask = description;
+  out.describe.text = text::RenderDescription(description);
+  out.describe.log_prob = model_->DescriptionLogProb(sample, description);
+  out.assess = model_->Assess(sample, description, /*temperature=*/0.0,
+                              nullptr);
+  out.highlight = model_->Highlight(sample, description, out.assess.label,
+                                    config_.rationale_length,
+                                    rng != nullptr
+                                        ? config_.highlight_temperature
+                                        : 0.0,
+                                    rng);
+  return out;
+}
+
+int ChainPipeline::PredictLabel(const data::VideoSample& sample) const {
+  const AuMask description = GreedyDescription(sample);
+  return model_->Assess(sample, description, 0.0, nullptr).label;
+}
+
+double ChainPipeline::PredictProbStressed(
+    const data::VideoSample& sample) const {
+  const AuMask description = GreedyDescription(sample);
+  return model_->AssessProbStressed(sample, description);
+}
+
+ChainOutput ChainPipeline::RunWithExample(const data::VideoSample& sample,
+                                          int example_label,
+                                          double similarity,
+                                          Rng* rng) const {
+  ChainOutput out;
+  const AuMask description = GreedyDescription(sample);
+  out.describe.mask = description;
+  out.describe.text = text::RenderDescription(description);
+  out.assess = model_->AssessWithExample(sample, description, example_label,
+                                         similarity, /*temperature=*/0.0,
+                                         nullptr);
+  out.highlight = model_->Highlight(sample, description, out.assess.label,
+                                    config_.rationale_length,
+                                    rng != nullptr
+                                        ? config_.highlight_temperature
+                                        : 0.0,
+                                    rng);
+  return out;
+}
+
+ChainOutput ChainPipeline::RunWithTestTimeRefinement(
+    const data::VideoSample& sample, const data::Dataset& pool,
+    Rng* rng) const {
+  SelfRefinement refinement(model_, config_, &pool);
+  AuMask description = GreedyDescription(sample);
+  // No ground truth at test time: only the faithfulness gate applies.
+  const auto outcome =
+      refinement.RefineDescription(sample, description, /*true_label=*/-1,
+                                   rng);
+  description = outcome.final_mask;
+
+  ChainOutput out;
+  out.describe.mask = description;
+  out.describe.text = text::RenderDescription(description);
+  out.assess = model_->Assess(sample, description, 0.0, nullptr);
+  out.highlight = model_->Highlight(sample, description, out.assess.label,
+                                    config_.rationale_length,
+                                    config_.highlight_temperature, rng);
+  return out;
+}
+
+}  // namespace vsd::cot

@@ -1,0 +1,66 @@
+#ifndef VSD_COT_PIPELINE_H_
+#define VSD_COT_PIPELINE_H_
+
+#include <string>
+
+#include "cot/chain_config.h"
+#include "data/sample.h"
+#include "vlm/foundation_model.h"
+
+namespace vsd::cot {
+
+/// Full output of one chain run (Eq. 1).
+struct ChainOutput {
+  vlm::DescribeResult describe;   ///< E
+  vlm::AssessResult assess;       ///< A
+  vlm::HighlightResult highlight; ///< R
+
+  /// The three generations concatenated, as a transcript.
+  std::string Transcript() const;
+};
+
+/// \brief Inference-time "Describe -> Assess -> Highlight" pipeline.
+///
+/// Runs the trained model through the reasoning chain of Sec. III-A. With
+/// `use_chain` off it degenerates to the "w/o Chain" variant: a direct
+/// assessment from the video, followed by a highlight over all AUs.
+class ChainPipeline {
+ public:
+  ChainPipeline(const vlm::FoundationModel* model, const ChainConfig& config);
+
+  /// Deterministic chain run (greedy describe/assess; rng only used for
+  /// highlight tie-breaking and may be null for fully greedy output).
+  ChainOutput Run(const data::VideoSample& sample, Rng* rng) const;
+
+  /// Convenience: the assessed label only.
+  int PredictLabel(const data::VideoSample& sample) const;
+  double PredictProbStressed(const data::VideoSample& sample) const;
+
+  /// Chain run with an in-context example (Sec. IV-F): the example's label
+  /// and (normalized) similarity shift the assessment.
+  ChainOutput RunWithExample(const data::VideoSample& sample,
+                             int example_label, double similarity,
+                             Rng* rng) const;
+
+  /// Test-time self-refinement for frozen (off-the-shelf) models
+  /// (Sec. IV-G): reflect on the description without ground truth, keep the
+  /// new description only when self-verification finds it more faithful,
+  /// then reassess. `pool` supplies verification negatives.
+  ChainOutput RunWithTestTimeRefinement(const data::VideoSample& sample,
+                                        const data::Dataset& pool,
+                                        Rng* rng) const;
+
+  const ChainConfig& config() const { return config_; }
+  const vlm::FoundationModel& model() const { return *model_; }
+
+ private:
+  /// Greedy description: AUs with p > 0.5 (empty when chain is off).
+  face::AuMask GreedyDescription(const data::VideoSample& sample) const;
+
+  const vlm::FoundationModel* model_;
+  ChainConfig config_;
+};
+
+}  // namespace vsd::cot
+
+#endif  // VSD_COT_PIPELINE_H_

@@ -1,0 +1,73 @@
+#ifndef VSD_COT_REFINEMENT_H_
+#define VSD_COT_REFINEMENT_H_
+
+#include <vector>
+
+#include "cot/chain_config.h"
+#include "data/sample.h"
+#include "face/au.h"
+#include "vlm/foundation_model.h"
+
+namespace vsd::cot {
+
+/// \brief Implements the self-refinement machinery of Sec. III-C/III-D:
+/// helpfulness scoring, self-verification faithfulness scoring, the
+/// description refinement loop, and the rationale flip score.
+class SelfRefinement {
+ public:
+  /// `pool` supplies the negative videos for self-verification (3 random
+  /// samples from *other subjects*, per the paper). Not owned.
+  SelfRefinement(const vlm::FoundationModel* model, const ChainConfig& config,
+                 const data::Dataset* pool);
+
+  /// Helpfulness h of a description: fraction of K stochastic assessments
+  /// (different seeds, per the paper) that recover the true label.
+  double Helpfulness(const data::VideoSample& sample,
+                     const face::AuMask& description, int true_label,
+                     Rng* rng) const;
+
+  /// Faithfulness f of a description via self-verification (Fig. 4):
+  /// fraction of K four-way video-selection trials (fresh dialogue; no
+  /// history) that pick the described video.
+  double Faithfulness(const data::VideoSample& sample,
+                      const face::AuMask& description, Rng* rng) const;
+
+  /// Outcome of the description refinement do-while loop (Algorithm 1,
+  /// lines 4-9).
+  struct RefineOutcome {
+    face::AuMask final_mask{};
+    face::AuMask original_mask{};
+    bool replaced = false;  ///< True when at least one E' was accepted.
+    int rounds = 0;
+  };
+
+  /// Runs the refinement loop: propose E' (by reflection, or by plain
+  /// re-sampling when `use_reflection` is off), accept when h' >= h and
+  /// f' >= f, repeat until rejection or the round cap.
+  /// `true_label` may be -1 (test time): helpfulness is then skipped and
+  /// only the faithfulness gate applies, as in Sec. IV-G.
+  RefineOutcome RefineDescription(const data::VideoSample& sample,
+                                  const face::AuMask& initial,
+                                  int true_label, Rng* rng) const;
+
+  /// Rationale flip score (Sec. III-D): mosaics the facial region of each
+  /// rationale cue in order until the model's decision flips; returns the
+  /// number of removals needed (lower = more faithful), or
+  /// `rationale.size() + 1` when the decision never flips.
+  int RationaleFlipScore(const data::VideoSample& sample,
+                         const face::AuMask& description, int assessment,
+                         const std::vector<int>& rationale) const;
+
+ private:
+  /// 3 distractor videos from subjects other than the sample's.
+  std::vector<const data::VideoSample*> DrawNegatives(
+      const data::VideoSample& sample, Rng* rng) const;
+
+  const vlm::FoundationModel* model_;
+  ChainConfig config_;
+  const data::Dataset* pool_;
+};
+
+}  // namespace vsd::cot
+
+#endif  // VSD_COT_REFINEMENT_H_

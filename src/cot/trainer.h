@@ -1,0 +1,69 @@
+#ifndef VSD_COT_TRAINER_H_
+#define VSD_COT_TRAINER_H_
+
+#include "common/rng.h"
+#include "cot/chain_config.h"
+#include "data/sample.h"
+#include "vlm/foundation_model.h"
+
+namespace vsd::cot {
+
+/// What happened during training (for logging / tests).
+struct TrainReport {
+  int describe_dpo_pairs = 0;   ///< Accepted (E, E_o) preference pairs.
+  int rationale_dpo_pairs = 0;  ///< Mined (R_b, R_w) preference pairs.
+  int refined_descriptions = 0; ///< Samples whose E was replaced.
+  double final_assess_loss = 0.0;
+};
+
+/// \brief Implements the learning process of Algorithm 1.
+///
+/// The paper's per-sample loop is staged here for efficiency (the math is
+/// unchanged; batching commutes across samples):
+///
+///  1. Describe instruction tuning on the AU dataset D' (Eq. 2), vision
+///     tower unfrozen. Skipped by "w/o learn des.".
+///  2. Vision tower frozen; features precomputed.
+///  3. Initial assess training on self-generated descriptions (Eq. 4).
+///  4. Description self-refinement loop per training sample (reflection +
+///     helpfulness/faithfulness gates), collecting DPO pairs; DPO update of
+///     the describe policy against a frozen reference (Eq. 3).
+///  5. Assess re-training on the refined descriptions (Eq. 4).
+///  6. Highlight warmup (self-explanation targets from the assess head's
+///     own AU sensitivities), then rationale self-refinement: n reflected
+///     rationales per sample scored by the flip test, best/worst forming
+///     DPO pairs (Eq. 5).
+///
+/// The model passed in should be generalist-pretrained (the stand-in for
+/// the Qwen-VL initialization, see vlm/api_models.h).
+class ChainTrainer {
+ public:
+  explicit ChainTrainer(const ChainConfig& config) : config_(config) {}
+
+  /// Trains `model` on `stress_train` using the AU dataset `au_data` for
+  /// the Describe step. Afterwards the model's feature cache covers
+  /// `stress_train` only.
+  TrainReport Train(vlm::FoundationModel* model,
+                    const data::Dataset& au_data,
+                    const data::Dataset& stress_train, Rng* rng) const;
+
+  const ChainConfig& config() const { return config_; }
+
+ private:
+  void TuneDescribe(vlm::FoundationModel* model,
+                    const data::Dataset& au_data, Rng* rng) const;
+  double TrainAssess(vlm::FoundationModel* model,
+                     const data::Dataset& train,
+                     const std::vector<face::AuMask>& descriptions,
+                     Rng* rng) const;
+  void WarmupHighlight(vlm::FoundationModel* model,
+                       const data::Dataset& train,
+                       const std::vector<face::AuMask>& descriptions,
+                       Rng* rng) const;
+
+  ChainConfig config_;
+};
+
+}  // namespace vsd::cot
+
+#endif  // VSD_COT_TRAINER_H_

@@ -1,0 +1,102 @@
+#include "data/clip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "face/landmarks.h"
+
+namespace vsd::data {
+
+double ExpressivenessScore(const face::FaceParams& params,
+                           float landmark_noise, Rng* rng) {
+  // Distance of the (possibly jittered) landmarks from the same identity's
+  // neutral landmarks.
+  face::FaceParams neutral = params;
+  neutral.au_intensity = {};
+  const auto active = face::ExtractLandmarks(params, landmark_noise, rng);
+  const auto rest = face::ExtractLandmarks(neutral, 0.0f, nullptr);
+  double total = 0.0;
+  for (size_t i = 0; i < active.size(); ++i) {
+    const double dx = active[i].x - rest[i].x;
+    const double dy = active[i].y - rest[i].y;
+    total += std::sqrt(dx * dx + dy * dy);
+  }
+  return total;
+}
+
+VideoSample SelectFramePair(const VideoClip& clip, float landmark_noise,
+                            Rng* rng) {
+  VSD_CHECK(clip.frames.size() >= 2) << "clip needs at least 2 frames";
+  VSD_CHECK(clip.frames.size() == clip.frame_params.size())
+      << "clip frames/params mismatch";
+  int most = 0;
+  int least = 0;
+  double best = -1.0;
+  double worst = 1e300;
+  for (size_t f = 0; f < clip.frames.size(); ++f) {
+    const double score =
+        ExpressivenessScore(clip.frame_params[f], landmark_noise, rng);
+    if (score > best) {
+      best = score;
+      most = static_cast<int>(f);
+    }
+    if (score < worst) {
+      worst = score;
+      least = static_cast<int>(f);
+    }
+  }
+  VideoSample sample;
+  sample.id = clip.id;
+  sample.subject_id = clip.subject_id;
+  sample.stress_label = clip.stress_label;
+  sample.expressive_frame = clip.frames[most];
+  sample.render_params = clip.frame_params[most];
+  sample.neutral_frame = clip.frames[least];
+  sample.neutral_params = clip.frame_params[least];
+  sample.au_intensity = clip.frame_params[most].au_intensity;
+  for (int j = 0; j < face::kNumAus; ++j) {
+    sample.au_label[j] = sample.au_intensity[j] >= 0.3f;
+  }
+  return sample;
+}
+
+VideoClip MakeStressClip(int id, int subject_id,
+                         const face::Identity& identity,
+                         const std::array<float, face::kNumAus>&
+                             peak_intensity,
+                         int stress_label, int num_frames, Rng* rng) {
+  VSD_CHECK(num_frames >= 2) << "clip needs at least 2 frames";
+  VideoClip clip;
+  clip.id = id;
+  clip.subject_id = subject_id;
+  clip.stress_label = stress_label;
+  clip.frames.reserve(num_frames);
+  clip.frame_params.reserve(num_frames);
+  // Expression envelope: onset -> peak (at ~2/3) -> partial decay, with
+  // per-frame jitter.
+  const double peak_at = 0.66 * (num_frames - 1);
+  for (int f = 0; f < num_frames; ++f) {
+    double envelope;
+    if (f <= peak_at) {
+      envelope = 0.15 + 0.85 * (f / std::max(peak_at, 1.0));
+    } else {
+      envelope = 1.0 - 0.5 * ((f - peak_at) / std::max(1.0, num_frames - 1 -
+                                                                peak_at));
+    }
+    envelope = std::clamp(envelope + rng->Normal(0.0, 0.05), 0.0, 1.0);
+    face::FaceParams params;
+    params.identity = identity;
+    params.lighting = static_cast<float>(rng->Uniform(0.9, 1.1));
+    params.noise_stddev = 0.035f;
+    for (int j = 0; j < face::kNumAus; ++j) {
+      params.au_intensity[j] =
+          static_cast<float>(peak_intensity[j] * envelope);
+    }
+    clip.frame_params.push_back(params);
+    clip.frames.push_back(face::RenderFace(params, rng));
+  }
+  return clip;
+}
+
+}  // namespace vsd::data

@@ -1,0 +1,50 @@
+#ifndef VSD_DATA_CLIP_H_
+#define VSD_DATA_CLIP_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/sample.h"
+#include "face/renderer.h"
+#include "img/image.h"
+
+namespace vsd::data {
+
+/// \brief A multi-frame video clip before frame selection.
+///
+/// The paper (Sec. IV-H, following Zhang et al.) does not feed whole
+/// videos to the model: it extracts the most expressive frame f_e and the
+/// least expressive frame f_l. The main generators bake that reduction in;
+/// this type exposes the *full* pipeline — clip in, frame pair out — for
+/// users bringing their own frame sequences.
+struct VideoClip {
+  int id = 0;
+  int subject_id = 0;
+  std::vector<img::Image> frames;
+  std::vector<face::FaceParams> frame_params;  ///< Generative ground truth.
+  int stress_label = kNoStressLabel;
+};
+
+/// Expressiveness score of a frame: total geometric displacement of the
+/// detected landmarks from the subject's neutral configuration (no model
+/// needed; mirrors the facial-emotion-recognition scoring TSDNet uses to
+/// pick its frames).
+double ExpressivenessScore(const face::FaceParams& params,
+                           float landmark_noise, Rng* rng);
+
+/// Reduces a clip to a `VideoSample` by picking the most expressive frame
+/// as f_e and the least expressive as f_l. Requires >= 2 frames.
+VideoSample SelectFramePair(const VideoClip& clip, float landmark_noise,
+                            Rng* rng);
+
+/// Generates a synthetic stress clip: the subject's AU intensities ramp
+/// up to a peak and decay over `num_frames`, rendered per frame.
+VideoClip MakeStressClip(int id, int subject_id,
+                         const face::Identity& identity,
+                         const std::array<float, face::kNumAus>&
+                             peak_intensity,
+                         int stress_label, int num_frames, Rng* rng);
+
+}  // namespace vsd::data
+
+#endif  // VSD_DATA_CLIP_H_

@@ -1,0 +1,69 @@
+#include "data/folds.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace vsd::data {
+
+namespace {
+
+/// Indices grouped by stress label, each group shuffled.
+std::map<int, std::vector<int>> GroupByLabel(const Dataset& dataset,
+                                             Rng* rng) {
+  std::map<int, std::vector<int>> groups;
+  for (int i = 0; i < dataset.size(); ++i) {
+    groups[dataset.samples[i].stress_label].push_back(i);
+  }
+  for (auto& [label, indices] : groups) rng->Shuffle(&indices);
+  return groups;
+}
+
+}  // namespace
+
+std::vector<Split> StratifiedKFold(const Dataset& dataset, int k, Rng* rng) {
+  VSD_CHECK(k >= 2) << "k-fold needs k >= 2";
+  VSD_CHECK(dataset.size() >= k) << "fewer samples than folds";
+  auto groups = GroupByLabel(dataset, rng);
+
+  std::vector<std::vector<int>> folds(k);
+  for (auto& [label, indices] : groups) {
+    for (size_t i = 0; i < indices.size(); ++i) {
+      folds[i % k].push_back(indices[i]);
+    }
+  }
+  std::vector<Split> splits(k);
+  for (int f = 0; f < k; ++f) {
+    splits[f].test = folds[f];
+    for (int other = 0; other < k; ++other) {
+      if (other == f) continue;
+      splits[f].train.insert(splits[f].train.end(), folds[other].begin(),
+                             folds[other].end());
+    }
+    rng->Shuffle(&splits[f].train);
+  }
+  return splits;
+}
+
+Split StratifiedHoldout(const Dataset& dataset, double test_fraction,
+                        Rng* rng) {
+  VSD_CHECK(test_fraction > 0.0 && test_fraction < 1.0)
+      << "test_fraction must be in (0,1)";
+  auto groups = GroupByLabel(dataset, rng);
+  Split split;
+  for (auto& [label, indices] : groups) {
+    const int n_test =
+        std::max(1, static_cast<int>(indices.size() * test_fraction));
+    for (size_t i = 0; i < indices.size(); ++i) {
+      if (static_cast<int>(i) < n_test) {
+        split.test.push_back(indices[i]);
+      } else {
+        split.train.push_back(indices[i]);
+      }
+    }
+  }
+  rng->Shuffle(&split.train);
+  return split;
+}
+
+}  // namespace vsd::data

@@ -1,0 +1,30 @@
+#ifndef VSD_DATA_FOLDS_H_
+#define VSD_DATA_FOLDS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/sample.h"
+
+namespace vsd::data {
+
+/// One train/test split by sample index.
+struct Split {
+  std::vector<int> train;
+  std::vector<int> test;
+};
+
+/// \brief Stratified k-fold cross-validation splits.
+///
+/// Samples of each stress label are shuffled and dealt round-robin into `k`
+/// folds so every fold preserves the class balance (the paper reports
+/// 10-fold CV averages). Unlabeled samples are distributed round-robin.
+std::vector<Split> StratifiedKFold(const Dataset& dataset, int k, Rng* rng);
+
+/// Random stratified train/test split with the given test fraction.
+Split StratifiedHoldout(const Dataset& dataset, double test_fraction,
+                        Rng* rng);
+
+}  // namespace vsd::data
+
+#endif  // VSD_DATA_FOLDS_H_

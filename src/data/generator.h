@@ -1,0 +1,85 @@
+#ifndef VSD_DATA_GENERATOR_H_
+#define VSD_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/sample.h"
+
+namespace vsd::data {
+
+/// \brief Configuration for the synthetic stress-dataset generator.
+///
+/// The generative process follows the stress-AU literature the paper builds
+/// on ([14,15] and the UVSD construction in Zhang et al.): a latent stress
+/// state drives class-conditional facial action unit activations (tension
+/// AUs under stress, enjoyment AUs otherwise); faces are rendered from
+/// those activations; the recorded label equals the latent state except for
+/// a small annotation-noise fraction. `au_gap` scales how separable the
+/// class-conditional AU distributions are, which (with `label_noise`) sets
+/// the achievable ceiling — tuned so UVSD-sim is easier than RSL-sim, as in
+/// the paper.
+struct StressGenConfig {
+  std::string name = "stress-sim";
+  int num_samples = 500;
+  int num_subjects = 40;
+  int num_stressed = 220;
+  /// 1.0 = full class separation of AU activation probabilities; smaller
+  /// values interpolate toward the unstressed profile.
+  double au_gap = 1.0;
+  /// Stddev of per-subject logit offsets on AU activation probabilities.
+  double subject_sigma = 0.6;
+  /// Fraction of recorded labels flipped relative to the latent state.
+  double label_noise = 0.015;
+  /// Pixel noise of the renderer.
+  float render_noise = 0.035f;
+  /// Probability that each non-profile AU fires spuriously.
+  double distractor_rate = 0.06;
+  /// Expressiveness of the least expressive frame (f_l).
+  float neutral_scale = 0.15f;
+  /// Probability that a *stressed* subject socially masks with a smile
+  /// (AU6+AU12 activated on top of the tension pattern). High in
+  /// deception footage (RSL): liars smile, which fools generic
+  /// negative-emotion detectors but not AU-pattern models.
+  double masking_rate = 0.0;
+  uint64_t seed = 1234;
+};
+
+/// Generates a stress dataset per `config`.
+Dataset GenerateStressDataset(const StressGenConfig& config);
+
+/// UVSD simulation: 2092 samples, 112 subjects, 920 stressed (Sec. IV-A).
+Dataset MakeUvsdSim(uint64_t seed = 20250601);
+
+/// RSL simulation: 706 samples, 60 subjects, 209 stressed, harder regime.
+Dataset MakeRslSim(uint64_t seed = 20250602);
+
+/// Smaller variants for unit tests / quick examples (same distributions).
+Dataset MakeUvsdSimSmall(int num_samples, uint64_t seed = 7);
+Dataset MakeRslSimSmall(int num_samples, uint64_t seed = 8);
+
+/// DISFA+ simulation: 645 AU-annotated videos over 12 AUs drawn from
+/// prototypical expression combinations (no stress labels).
+Dataset MakeDisfaSim(uint64_t seed = 20250603, int num_samples = 645);
+
+/// Web-scale emotion corpus used for generalist (API-model) pretraining:
+/// the same AU prototype distribution as DISFA-sim but with the domain
+/// shift of in-the-wild imagery — stronger sensor noise and wider
+/// lighting variation than lab-recorded video.
+Dataset MakeWebEmotionCorpus(uint64_t seed, int num_samples);
+
+/// Class-conditional AU activation probability for one AU given the latent
+/// stress state (before subject offsets); exposed for tests and analysis.
+double AuActivationProbability(int au_index, bool stressed, double au_gap);
+
+
+/// \brief Frame augmentation for describe tuning: each video sample in a
+/// real AU dataset contributes many annotated frames, not just one. This
+/// re-renders each sample `copies` extra times (same AU activations and
+/// identity, fresh lighting/noise), mimicking sampling additional frames
+/// from the same clip.
+Dataset AugmentFrames(const Dataset& dataset, int copies, uint64_t seed);
+
+}  // namespace vsd::data
+
+#endif  // VSD_DATA_GENERATOR_H_

@@ -1,0 +1,27 @@
+#include "data/sample.h"
+
+#include <set>
+
+namespace vsd::data {
+
+int Dataset::CountLabel(int label) const {
+  int n = 0;
+  for (const auto& s : samples) n += (s.stress_label == label);
+  return n;
+}
+
+int Dataset::CountSubjects() const {
+  std::set<int> subjects;
+  for (const auto& s : samples) subjects.insert(s.subject_id);
+  return static_cast<int>(subjects.size());
+}
+
+Dataset Dataset::Subset(const std::vector<int>& indices) const {
+  Dataset out;
+  out.name = name;
+  out.samples.reserve(indices.size());
+  for (int i : indices) out.samples.push_back(samples[i]);
+  return out;
+}
+
+}  // namespace vsd::data

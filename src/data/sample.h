@@ -1,0 +1,66 @@
+#ifndef VSD_DATA_SAMPLE_H_
+#define VSD_DATA_SAMPLE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "face/au.h"
+#include "face/renderer.h"
+#include "img/image.h"
+
+namespace vsd::data {
+
+/// Stress labels. DISFA-style AU datasets have no stress annotation.
+inline constexpr int kUnstressed = 0;
+inline constexpr int kStressed = 1;
+inline constexpr int kNoStressLabel = -1;
+
+/// \brief One video sample, reduced (as in the paper, following Zhang et
+/// al.) to its most expressive frame `f_e` and least expressive frame
+/// `f_l`.
+///
+/// `render_params` / `neutral_params` are the generative parameters. Models
+/// must not read them directly; they exist so the *simulated landmark
+/// detector* (face/landmarks.h) can produce realistic detector output, and
+/// so tests can assert against ground truth.
+struct VideoSample {
+  int id = 0;
+  int subject_id = 0;
+
+  img::Image expressive_frame;  ///< f_e, 96x96.
+  img::Image neutral_frame;     ///< f_l, 96x96.
+
+  face::FaceParams render_params;   ///< Parameters behind f_e.
+  face::FaceParams neutral_params;  ///< Parameters behind f_l.
+
+  /// Ground-truth AU annotation (presence at intensity >= 0.3), as a human
+  /// FACS coder would label the expressive frame.
+  face::AuMask au_label{};
+  /// Latent AU intensities that generated the sample.
+  std::array<float, face::kNumAus> au_intensity{};
+
+  /// kStressed / kUnstressed, or kNoStressLabel for AU-only datasets.
+  int stress_label = kNoStressLabel;
+};
+
+/// A named collection of samples.
+struct Dataset {
+  std::string name;
+  std::vector<VideoSample> samples;
+
+  int size() const { return static_cast<int>(samples.size()); }
+
+  /// Counts samples with the given stress label.
+  int CountLabel(int label) const;
+
+  /// Number of distinct subjects.
+  int CountSubjects() const;
+
+  /// Returns the subset of samples whose index is in `indices`.
+  Dataset Subset(const std::vector<int>& indices) const;
+};
+
+}  // namespace vsd::data
+
+#endif  // VSD_DATA_SAMPLE_H_

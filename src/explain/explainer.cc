@@ -1,0 +1,38 @@
+#include "explain/explainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vsd::explain {
+
+std::vector<int> Attribution::RankedSegments() const {
+  std::vector<int> order(segment_scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    return segment_scores[a] > segment_scores[b];
+  });
+  return order;
+}
+
+img::Image ApplySegmentMask(const img::Image& image,
+                            const img::Segmentation& segmentation,
+                            const std::vector<float>& keep) {
+  VSD_CHECK(static_cast<int>(keep.size()) == segmentation.num_segments)
+      << "keep vector size";
+  img::Image out = image;
+  const float mean = image.MeanValue();
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const int segment = segmentation.LabelAt(y, x);
+      const float k = keep[segment];
+      if (k < 1.0f) {
+        out.at(y, x) = k * image.at(y, x) + (1.0f - k) * mean;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vsd::explain

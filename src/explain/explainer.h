@@ -1,0 +1,54 @@
+#ifndef VSD_EXPLAIN_EXPLAINER_H_
+#define VSD_EXPLAIN_EXPLAINER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "img/image.h"
+#include "img/slic.h"
+
+namespace vsd::explain {
+
+/// A black-box image classifier: returns p(stressed) for a (possibly
+/// perturbed) expressive frame. The non-perturbed inputs (neutral frame,
+/// description, ...) are closed over by the caller.
+using ClassifierFn = std::function<double(const img::Image&)>;
+
+/// Attribution over superpixel segments, higher = more important.
+struct Attribution {
+  std::vector<double> segment_scores;  ///< One score per segment.
+  int64_t model_evaluations = 0;       ///< Black-box calls consumed.
+
+  /// Segments sorted by descending score.
+  std::vector<int> RankedSegments() const;
+};
+
+/// \brief Interface of a post-hoc segment-attribution explainer.
+///
+/// All three baselines (LIME, KernelSHAP, SOBOL) perturb the image over a
+/// SLIC segmentation and fit attribution scores from the classifier's
+/// responses; they differ in the sampling scheme and estimator.
+class Explainer {
+ public:
+  virtual ~Explainer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Explains `classifier` at `image` over the given segmentation.
+  virtual Attribution Explain(const ClassifierFn& classifier,
+                              const img::Image& image,
+                              const img::Segmentation& segmentation,
+                              Rng* rng) const = 0;
+};
+
+/// Replaces every masked-out segment (mask bit 0) by the image mean; the
+/// shared perturbation operator of LIME/SHAP/SOBOL.
+img::Image ApplySegmentMask(const img::Image& image,
+                            const img::Segmentation& segmentation,
+                            const std::vector<float>& keep);
+
+}  // namespace vsd::explain
+
+#endif  // VSD_EXPLAIN_EXPLAINER_H_

@@ -1,0 +1,51 @@
+#include "explain/faithfulness.h"
+
+#include "common/logging.h"
+
+namespace vsd::explain {
+
+namespace {
+
+int Classify(const ClassifierFn& classifier, const img::Image& image) {
+  return classifier(image) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace
+
+double CleanAccuracy(const std::vector<ExplainedSample>& samples) {
+  if (samples.empty()) return 0.0;
+  int correct = 0;
+  for (const auto& sample : samples) {
+    correct += (Classify(sample.classifier, *sample.image) ==
+                sample.true_label);
+  }
+  return static_cast<double>(correct) / samples.size();
+}
+
+std::vector<double> TopKAccuracyDrop(
+    const std::vector<ExplainedSample>& samples, const std::vector<int>& ks,
+    float noise_stddev, Rng* rng) {
+  VSD_CHECK(!samples.empty()) << "no samples to evaluate";
+  const double clean = CleanAccuracy(samples);
+  std::vector<double> drops;
+  drops.reserve(ks.size());
+  for (int k : ks) {
+    int correct = 0;
+    for (const auto& sample : samples) {
+      img::Image perturbed = *sample.image;
+      const int take =
+          std::min<int>(k, static_cast<int>(sample.ranked_segments.size()));
+      for (int i = 0; i < take; ++i) {
+        const auto mask =
+            sample.segmentation->SegmentMask(sample.ranked_segments[i]);
+        img::RandomizeMaskedRegion(&perturbed, mask, noise_stddev, rng);
+      }
+      correct += (Classify(sample.classifier, perturbed) ==
+                  sample.true_label);
+    }
+    drops.push_back(clean - static_cast<double>(correct) / samples.size());
+  }
+  return drops;
+}
+
+}  // namespace vsd::explain

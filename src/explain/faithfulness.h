@@ -1,0 +1,33 @@
+#ifndef VSD_EXPLAIN_FAITHFULNESS_H_
+#define VSD_EXPLAIN_FAITHFULNESS_H_
+
+#include <vector>
+
+#include "explain/explainer.h"
+
+namespace vsd::explain {
+
+/// Everything needed to score one explained test sample.
+struct ExplainedSample {
+  const img::Image* image = nullptr;       ///< Clean expressive frame.
+  const img::Segmentation* segmentation = nullptr;
+  std::vector<int> ranked_segments;        ///< Explainer's ranking.
+  ClassifierFn classifier;                 ///< p(stressed | frame).
+  int true_label = 0;
+};
+
+/// Accuracy-drop curve (Tsigos et al. 2024, the paper's Sec. IV-C metric):
+/// for each k in `ks`, destroy the top-k ranked segments of every sample
+/// with mid-gray Gaussian noise (signal replacement), re-classify, and
+/// report `clean_accuracy - perturbed_accuracy`. Returns one drop
+/// (fraction, e.g. 0.1196 for 11.96%) per k.
+std::vector<double> TopKAccuracyDrop(
+    const std::vector<ExplainedSample>& samples, const std::vector<int>& ks,
+    float noise_stddev, Rng* rng);
+
+/// Clean accuracy of the classifiers over the samples (threshold 0.5).
+double CleanAccuracy(const std::vector<ExplainedSample>& samples);
+
+}  // namespace vsd::explain
+
+#endif  // VSD_EXPLAIN_FAITHFULNESS_H_

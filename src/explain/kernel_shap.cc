@@ -1,0 +1,82 @@
+#include "explain/kernel_shap.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace vsd::explain {
+
+Attribution KernelShapExplainer::Explain(
+    const ClassifierFn& classifier, const img::Image& image,
+    const img::Segmentation& segmentation, Rng* rng) const {
+  const int d = segmentation.num_segments;
+  Attribution result;
+  result.segment_scores.assign(d, 0.0);
+  if (d < 2) return result;
+
+  // Base values: empty and full coalitions.
+  const double f_empty = classifier(
+      ApplySegmentMask(image, segmentation, std::vector<float>(d, 0.0f)));
+  const double f_full = classifier(image);
+  result.model_evaluations += 2;
+
+  // Shapley-kernel weights by coalition size s in [1, d-1]:
+  // w(s) = (d-1) / (C(d,s) * s * (d-s)); sampling sizes proportional to
+  // s*(d-s) inverse is equivalent to weighting; we sample sizes from the
+  // normalized kernel over sizes (the C(d,s) cancels when sampling
+  // uniformly within a size class).
+  std::vector<double> size_weights(d - 1);
+  for (int s = 1; s <= d - 1; ++s) {
+    size_weights[s - 1] = static_cast<double>(d - 1) /
+                          (static_cast<double>(s) * (d - s));
+  }
+
+  std::vector<std::vector<float>> masks;
+  std::vector<double> responses;
+  masks.reserve(num_samples_);
+  for (int i = 0; i < num_samples_ - 2 && i >= 0; ++i) {
+    const int size = 1 + rng->SampleIndex(size_weights);
+    std::vector<int> chosen = rng->SampleWithoutReplacement(d, size);
+    std::vector<float> keep(d, 0.0f);
+    for (int j : chosen) keep[j] = 1.0f;
+    const img::Image perturbed = ApplySegmentMask(image, segmentation, keep);
+    responses.push_back(classifier(perturbed));
+    ++result.model_evaluations;
+    masks.push_back(std::move(keep));
+  }
+
+  // Weighted least squares for phi with intercept phi0 tied to f_empty:
+  // model y - f_empty = sum_j z_j * phi_j. Sampling already followed the
+  // kernel over sizes, so each sampled row gets unit weight.
+  std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+  std::vector<double> xty(d, 0.0);
+  for (size_t s = 0; s < masks.size(); ++s) {
+    const auto& z = masks[s];
+    const double y = responses[s] - f_empty;
+    for (int j = 0; j < d; ++j) {
+      if (z[j] == 0.0f) continue;
+      xty[j] += y;
+      for (int k = j; k < d; ++k) {
+        if (z[k] == 0.0f) continue;
+        xtx[j][k] += 1.0;
+        if (k != j) xtx[k][j] += 1.0;
+      }
+    }
+  }
+  // Soft efficiency constraint: sum(phi) ~= f_full - f_empty with a large
+  // weight, implemented as an extra all-ones row.
+  const double kConstraintWeight = 64.0;
+  const double y_full = f_full - f_empty;
+  for (int j = 0; j < d; ++j) {
+    xty[j] += kConstraintWeight * y_full;
+    for (int k = 0; k < d; ++k) xtx[j][k] += kConstraintWeight;
+  }
+  for (int j = 0; j < d; ++j) xtx[j][j] += ridge_lambda_;
+  std::vector<double> phi = xty;
+  if (SolveLinearSystem(&xtx, &phi)) {
+    result.segment_scores = phi;
+  }
+  return result;
+}
+
+}  // namespace vsd::explain

@@ -1,0 +1,36 @@
+#ifndef VSD_EXPLAIN_KERNEL_SHAP_H_
+#define VSD_EXPLAIN_KERNEL_SHAP_H_
+
+#include <string>
+
+#include "explain/explainer.h"
+
+namespace vsd::explain {
+
+/// \brief KernelSHAP (Lundberg & Lee 2017) over SLIC segments.
+///
+/// Samples coalitions with coalition sizes drawn according to the Shapley
+/// kernel, queries the black box, and solves the kernel-weighted least
+/// squares for the Shapley values (with the empty and full coalitions
+/// anchoring the intercept and the efficiency constraint softly).
+class KernelShapExplainer : public Explainer {
+ public:
+  explicit KernelShapExplainer(int num_samples = 1000,
+                               double ridge_lambda = 1e-3)
+      : num_samples_(num_samples), ridge_lambda_(ridge_lambda) {}
+
+  std::string name() const override { return "SHAP"; }
+
+  Attribution Explain(const ClassifierFn& classifier,
+                      const img::Image& image,
+                      const img::Segmentation& segmentation,
+                      Rng* rng) const override;
+
+ private:
+  int num_samples_;
+  double ridge_lambda_;
+};
+
+}  // namespace vsd::explain
+
+#endif  // VSD_EXPLAIN_KERNEL_SHAP_H_

@@ -1,0 +1,74 @@
+#include "explain/lime.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace vsd::explain {
+
+Attribution LimeExplainer::Explain(const ClassifierFn& classifier,
+                                   const img::Image& image,
+                                   const img::Segmentation& segmentation,
+                                   Rng* rng) const {
+  const int d = segmentation.num_segments;
+  Attribution result;
+  result.segment_scores.assign(d, 0.0);
+
+  std::vector<std::vector<float>> masks;
+  std::vector<double> responses;
+  std::vector<double> weights;
+  masks.reserve(num_samples_);
+
+  for (int s = 0; s < num_samples_; ++s) {
+    std::vector<float> keep(d);
+    int kept = 0;
+    for (int j = 0; j < d; ++j) {
+      keep[j] = rng->Bernoulli(0.5) ? 1.0f : 0.0f;
+      kept += keep[j] > 0.0f;
+    }
+    const img::Image perturbed = ApplySegmentMask(image, segmentation, keep);
+    const double y = classifier(perturbed);
+    ++result.model_evaluations;
+    // Exponential kernel on cosine distance to the all-ones mask:
+    // cos(z, 1) = |z| / sqrt(|z| * d) = sqrt(|z| / d).
+    const double cos_sim =
+        kept > 0 ? std::sqrt(static_cast<double>(kept) / d) : 0.0;
+    const double dist = 1.0 - cos_sim;
+    const double w =
+        std::exp(-(dist * dist) / (kernel_width_ * kernel_width_));
+    masks.push_back(std::move(keep));
+    responses.push_back(y);
+    weights.push_back(w);
+  }
+
+  // Weighted ridge with intercept: features are [1, z_1..z_d].
+  const int p = d + 1;
+  std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
+  std::vector<double> xty(p, 0.0);
+  for (size_t s = 0; s < masks.size(); ++s) {
+    const double w = weights[s];
+    const auto& z = masks[s];
+    // Row vector x = (1, z); accumulate w * x^T x and w * x^T y.
+    xtx[0][0] += w;
+    xty[0] += w * responses[s];
+    for (int j = 0; j < d; ++j) {
+      if (z[j] == 0.0f) continue;
+      xtx[0][j + 1] += w;
+      xtx[j + 1][0] += w;
+      xty[j + 1] += w * responses[s];
+      for (int k = j; k < d; ++k) {
+        if (z[k] == 0.0f) continue;
+        xtx[j + 1][k + 1] += w;
+        if (k != j) xtx[k + 1][j + 1] += w;
+      }
+    }
+  }
+  for (int j = 1; j < p; ++j) xtx[j][j] += ridge_lambda_;
+  std::vector<double> beta = xty;
+  if (SolveLinearSystem(&xtx, &beta)) {
+    for (int j = 0; j < d; ++j) result.segment_scores[j] = beta[j + 1];
+  }
+  return result;
+}
+
+}  // namespace vsd::explain

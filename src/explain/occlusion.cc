@@ -1,0 +1,25 @@
+#include "explain/occlusion.h"
+
+#include <cmath>
+
+namespace vsd::explain {
+
+Attribution OcclusionExplainer::Explain(
+    const ClassifierFn& classifier, const img::Image& image,
+    const img::Segmentation& segmentation, Rng* rng) const {
+  const int d = segmentation.num_segments;
+  Attribution result;
+  result.segment_scores.assign(d, 0.0);
+  const double f_full = classifier(image);
+  ++result.model_evaluations;
+  for (int j = 0; j < d; ++j) {
+    std::vector<float> keep(d, 1.0f);
+    keep[j] = 0.0f;
+    const double f = classifier(ApplySegmentMask(image, segmentation, keep));
+    ++result.model_evaluations;
+    result.segment_scores[j] = std::abs(f_full - f);
+  }
+  return result;
+}
+
+}  // namespace vsd::explain

@@ -1,0 +1,24 @@
+#ifndef VSD_EXPLAIN_OCCLUSION_H_
+#define VSD_EXPLAIN_OCCLUSION_H_
+
+#include <string>
+
+#include "explain/explainer.h"
+
+namespace vsd::explain {
+
+/// \brief Single-segment occlusion attribution (a cheap sanity baseline,
+/// d+1 evaluations): score_j = f(x) - f(x with segment j removed).
+class OcclusionExplainer : public Explainer {
+ public:
+  std::string name() const override { return "Occlusion"; }
+
+  Attribution Explain(const ClassifierFn& classifier,
+                      const img::Image& image,
+                      const img::Segmentation& segmentation,
+                      Rng* rng) const override;
+};
+
+}  // namespace vsd::explain
+
+#endif  // VSD_EXPLAIN_OCCLUSION_H_

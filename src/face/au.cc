@@ -1,0 +1,90 @@
+#include "face/au.h"
+
+#include "common/logging.h"
+
+namespace vsd::face {
+
+const std::array<AuInfo, kNumAus>& AuCatalog() {
+  static const std::array<AuInfo, kNumAus> kCatalog = {{
+      {1, "inner brow raiser", "inner portions of the eyebrows raising",
+       "eyebrow", FaceRegion::kEyebrow},
+      {2, "outer brow raiser", "outer portions of the eyebrows raising",
+       "eyebrow", FaceRegion::kEyebrow},
+      {4, "brow lowerer", "eyebrows lowering and drawing together",
+       "eyebrow", FaceRegion::kEyebrow},
+      {5, "upper lid raiser", "upper lid raising", "lid",
+       FaceRegion::kEyelid},
+      {6, "cheek raiser", "raised", "cheek", FaceRegion::kCheek},
+      {9, "nose wrinkler", "nose wrinkling", "nose", FaceRegion::kNose},
+      {12, "lip corner puller", "lip corners pulling upward", "lip",
+       FaceRegion::kMouth},
+      {15, "lip corner depressor", "lip corners pulling downward", "lip",
+       FaceRegion::kMouth},
+      {17, "chin raiser", "chin boss pushing upward", "chin",
+       FaceRegion::kChin},
+      {20, "lip stretcher", "lips stretching horizontally", "lip",
+       FaceRegion::kMouth},
+      {25, "lips part", "lips parting", "lip", FaceRegion::kMouth},
+      {26, "jaw drop", "jaw dropping open", "jaw", FaceRegion::kJaw},
+  }};
+  return kCatalog;
+}
+
+const AuInfo& GetAu(int index) {
+  VSD_CHECK(index >= 0 && index < kNumAus) << "AU index " << index;
+  return AuCatalog()[index];
+}
+
+int AuIndexFromFacs(int facs_number) {
+  const auto& catalog = AuCatalog();
+  for (int i = 0; i < kNumAus; ++i) {
+    if (catalog[i].facs_number == facs_number) return i;
+  }
+  return -1;
+}
+
+int AuMaskCount(const AuMask& mask) {
+  int n = 0;
+  for (bool b : mask) n += b;
+  return n;
+}
+
+std::vector<int> AuMaskToIndices(const AuMask& mask) {
+  std::vector<int> indices;
+  for (int i = 0; i < kNumAus; ++i) {
+    if (mask[i]) indices.push_back(i);
+  }
+  return indices;
+}
+
+AuMask AuMaskFromIndices(const std::vector<int>& indices) {
+  AuMask mask{};
+  for (int i : indices) {
+    if (i >= 0 && i < kNumAus) mask[i] = true;
+  }
+  return mask;
+}
+
+double AuMaskJaccard(const AuMask& a, const AuMask& b) {
+  int inter = 0;
+  int uni = 0;
+  for (int i = 0; i < kNumAus; ++i) {
+    inter += (a[i] && b[i]);
+    uni += (a[i] || b[i]);
+  }
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / uni;
+}
+
+std::string AuMaskToString(const AuMask& mask) {
+  std::string out;
+  for (int i = 0; i < kNumAus; ++i) {
+    if (!mask[i]) continue;
+    if (!out.empty()) out += "+";
+    out += "AU" + std::to_string(GetAu(i).facs_number);
+  }
+  if (out.empty()) out = "none";
+  return out;
+}
+
+}  // namespace vsd::face

@@ -1,0 +1,187 @@
+#include "face/landmarks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vsd::face {
+
+namespace {
+
+/// Linear interpolation helper for filling landmark chains.
+Landmark Lerp(const Landmark& a, const Landmark& b, float t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+}  // namespace
+
+std::vector<Landmark> ExtractLandmarks(const FaceParams& params, float noise,
+                                       Rng* rng) {
+  const Identity& id = params.identity;
+  const auto& au = params.au_intensity;
+  const float cx = 48.0f;
+  const float eye_dx = 14.0f * id.eye_spacing;
+
+  // Mirror the renderer's geometry (see renderer.cc).
+  const float inner_raise = 4.5f * au[0];
+  const float outer_raise = 4.0f * au[1];
+  const float lower = 3.5f * au[2];
+  const float pull_in = 2.5f * au[2];
+  const float eye_open = std::max(0.8f, 3.0f + 2.4f * au[3] - 1.2f * au[4]);
+  const float half_w = (9.0f + 3.0f * au[9]) * id.mouth_width;
+  const float corner_dy = -5.0f * au[6] + 4.5f * au[7];
+  const float mouth_y = 70.0f + 1.5f * au[11];
+  const float gap = 0.8f + 2.6f * au[10] + 4.0f * au[11];
+
+  std::vector<Landmark> points;
+  points.reserve(kNumLandmarks);
+
+  // Brows: 5 points each (inner -> outer).
+  for (int side = -1; side <= 1; side += 2) {
+    const float ex = cx + side * eye_dx;
+    const Landmark inner = {ex - side * (7.0f - pull_in),
+                            34.0f - inner_raise + lower};
+    const Landmark outer = {ex + side * 8.0f,
+                            34.0f - outer_raise + lower * 0.6f};
+    const Landmark mid = {ex, 32.5f - 0.5f * (inner_raise + outer_raise) +
+                                  lower};
+    points.push_back(inner);
+    points.push_back(Lerp(inner, mid, 0.5f));
+    points.push_back(mid);
+    points.push_back(Lerp(mid, outer, 0.5f));
+    points.push_back(outer);
+  }
+
+  // Eyes: 6 points each (corners, top/bottom lid pairs).
+  for (int side = -1; side <= 1; side += 2) {
+    const float ex = cx + side * eye_dx;
+    const float ey = 42.0f;
+    points.push_back({ex - 7.0f, ey});
+    points.push_back({ex - 3.0f, ey - eye_open});
+    points.push_back({ex + 3.0f, ey - eye_open});
+    points.push_back({ex + 7.0f, ey});
+    points.push_back({ex + 3.0f, ey + eye_open});
+    points.push_back({ex - 3.0f, ey + eye_open});
+  }
+
+  // Cheeks: 2 points; AU6 raises them.
+  for (int side = -1; side <= 1; side += 2) {
+    points.push_back({cx + side * (eye_dx + 2.0f), 52.0f - 2.0f * au[4]});
+  }
+
+  // Nose: 9 points (bridge chain + nostril line). AU9 shortens the bridge.
+  const float bridge_top = 46.0f + 1.5f * au[5];
+  for (int i = 0; i < 5; ++i) {
+    const float t = static_cast<float>(i) / 4.0f;
+    points.push_back({cx, bridge_top + t * (58.0f - bridge_top)});
+  }
+  points.push_back({cx - 3.0f, 58.5f});
+  points.push_back({cx - 1.5f, 59.3f});
+  points.push_back({cx + 1.5f, 59.3f});
+  points.push_back({cx + 3.0f, 58.5f});
+
+  // Mouth: 12 points (corners, upper lip chain, lower lip chain).
+  const Landmark lcorner = {cx - half_w, mouth_y + corner_dy};
+  const Landmark rcorner = {cx + half_w, mouth_y + corner_dy};
+  const Landmark utop = {cx, mouth_y - corner_dy * 0.9f - gap * 0.5f};
+  const Landmark lbot = {cx, mouth_y - corner_dy * 0.9f + gap * 0.5f};
+  points.push_back(lcorner);
+  points.push_back(Lerp(lcorner, utop, 0.5f));
+  points.push_back(utop);
+  points.push_back(Lerp(utop, rcorner, 0.5f));
+  points.push_back(rcorner);
+  points.push_back(Lerp(rcorner, lbot, 0.5f));
+  points.push_back(lbot);
+  points.push_back(Lerp(lbot, lcorner, 0.5f));
+  // Chin chain (4 points); AU17 raises the chin boss.
+  const float chin_y = 80.0f - 2.5f * au[8] + 2.0f * au[11];
+  points.push_back({cx - 6.0f, chin_y});
+  points.push_back({cx - 2.0f, chin_y + 1.5f});
+  points.push_back({cx + 2.0f, chin_y + 1.5f});
+  points.push_back({cx + 6.0f, chin_y});
+
+  // Jaw outline: 4 points on the head ellipse; AU26 lengthens the face.
+  const float jaw_rx = 33.0f * id.face_width;
+  const float jaw_ry = 40.0f * id.face_height + 2.0f * au[11];
+  for (float angle : {2.0f, 2.5f, 0.64f, 1.14f}) {
+    points.push_back({cx + jaw_rx * std::cos(angle),
+                      52.0f + jaw_ry * std::sin(angle)});
+  }
+
+  VSD_CHECK(static_cast<int>(points.size()) == kNumLandmarks)
+      << "landmark count " << points.size();
+
+  if (noise > 0.0f && rng != nullptr) {
+    for (auto& p : points) {
+      p.x += static_cast<float>(rng->Normal(0.0, noise));
+      p.y += static_cast<float>(rng->Normal(0.0, noise));
+    }
+  }
+  return points;
+}
+
+std::vector<float> LandmarksToFeatures(const std::vector<Landmark>& points) {
+  std::vector<float> features;
+  features.reserve(points.size() * 2);
+  for (const auto& p : points) {
+    features.push_back((p.x - 48.0f) / 48.0f);
+    features.push_back((p.y - 52.0f) / 48.0f);
+  }
+  return features;
+}
+
+std::array<float, kNumAus> EstimateAuIntensities(
+    const std::vector<Landmark>& points) {
+  VSD_CHECK(static_cast<int>(points.size()) == kNumLandmarks)
+      << "expected " << kNumLandmarks << " landmarks";
+  auto unit = [](float v) { return std::clamp(v, 0.0f, 1.0f); };
+
+  // Landmark layout indices (see ExtractLandmarks).
+  const Landmark& brow_l_inner = points[0];
+  const Landmark& brow_l_outer = points[4];
+  const Landmark& brow_r_inner = points[5];
+  const Landmark& brow_r_outer = points[9];
+  const Landmark& eye_l_top = points[11];
+  const Landmark& eye_l_bottom = points[15];
+  const Landmark& cheek_left = points[22];
+  const Landmark& nose_top = points[24];
+  const Landmark& mouth_lcorner = points[33];
+  const Landmark& mouth_utop = points[35];
+  const Landmark& mouth_rcorner = points[37];
+  const Landmark& mouth_lbot = points[39];
+  const Landmark& chin_left = points[41];
+
+  std::array<float, kNumAus> est{};
+  // AU1: inner brows above neutral 34.
+  est[0] = unit((34.0f - 0.5f * (brow_l_inner.y + brow_r_inner.y)) / 4.5f);
+  // AU2: outer brows above neutral.
+  est[1] = unit((34.0f - 0.5f * (brow_l_outer.y + brow_r_outer.y)) / 4.0f);
+  // AU4: brows below neutral (lowering dominates when positive).
+  est[2] = unit((0.5f * (brow_l_inner.y + brow_r_inner.y) - 34.0f) / 3.5f);
+  // AU5: eye opening above neutral 3.0 px.
+  const float opening = 0.5f * (eye_l_bottom.y - eye_l_top.y);
+  est[3] = unit((opening - 3.0f) / 2.4f);
+  // AU6: cheek raised above neutral 52, corroborated by eye narrowing.
+  est[4] = unit(0.7f * (52.0f - cheek_left.y) / 2.0f +
+                0.3f * (3.0f - opening) / 1.2f);
+  // AU9: nose bridge shortening.
+  est[5] = unit((nose_top.y - 46.0f) / 1.5f);
+  // AU12 / AU15: mouth corner displacement vs. lip mid.
+  const float corner_y = 0.5f * (mouth_lcorner.y + mouth_rcorner.y);
+  const float lip_mid_y = 0.5f * (mouth_utop.y + mouth_lbot.y);
+  est[6] = unit((lip_mid_y - corner_y) / 5.0f);
+  est[7] = unit((corner_y - lip_mid_y) / 4.5f);
+  // AU17: chin raised above neutral 80.
+  est[8] = unit((80.0f - chin_left.y) / 2.5f);
+  // AU20: mouth wider than neutral (9 * mouth_width ~ [7.6, 10.4]).
+  const float mouth_half = 0.5f * (mouth_rcorner.x - mouth_lcorner.x);
+  est[9] = unit((mouth_half - 10.4f) / 3.0f);
+  // AU25 / AU26: lip gap.
+  const float lip_gap = mouth_lbot.y - mouth_utop.y;
+  est[10] = unit((lip_gap - 0.8f) / 2.6f);
+  est[11] = unit((lip_gap - 3.4f) / 4.0f);
+  return est;
+}
+
+}  // namespace vsd::face

@@ -1,0 +1,47 @@
+#ifndef VSD_FACE_LANDMARKS_H_
+#define VSD_FACE_LANDMARKS_H_
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "face/au.h"
+#include "face/renderer.h"
+
+namespace vsd::face {
+
+/// A 2-D facial landmark in image coordinates.
+struct Landmark {
+  float x = 0.0f;
+  float y = 0.0f;
+};
+
+/// Number of landmarks produced (the 49-point scheme used by Gao et al.).
+inline constexpr int kNumLandmarks = 49;
+
+/// \brief Simulated facial landmark detector.
+///
+/// A real system would run a landmark model on the frame; here the true
+/// geometry is known from `params`, so the detector returns the analytic
+/// landmark positions perturbed by `noise` pixels of Gaussian jitter —
+/// matching the fidelity gap of a real detector.
+std::vector<Landmark> ExtractLandmarks(const FaceParams& params, float noise,
+                                       Rng* rng);
+
+/// Flattens landmarks into a feature vector (x0,y0,x1,y1,...), centered on
+/// the face center so identity translation cancels.
+std::vector<float> LandmarksToFeatures(const std::vector<Landmark>& points);
+
+/// \brief Hand-crafted AU intensity estimator (the "Active Appearance
+/// Model" stage of FDASSNN).
+///
+/// Derives 12 AU intensity estimates in [0,1] from landmark geometry
+/// (brow heights, eye opening, mouth corner displacement, mouth gap, ...).
+/// Estimates are imperfect in exactly the way a geometric AAM is: AUs with
+/// weak geometric signatures (AU6, AU9, AU17) are noisier.
+std::array<float, kNumAus> EstimateAuIntensities(
+    const std::vector<Landmark>& points);
+
+}  // namespace vsd::face
+
+#endif  // VSD_FACE_LANDMARKS_H_

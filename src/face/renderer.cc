@@ -1,0 +1,186 @@
+#include "face/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vsd::face {
+
+using img::DrawLine;
+using img::DrawQuadCurve;
+using img::FillEllipse;
+using img::Image;
+
+Identity Identity::Sample(Rng* rng) {
+  Identity id;
+  id.face_width = static_cast<float>(rng->Uniform(0.85, 1.15));
+  id.face_height = static_cast<float>(rng->Uniform(0.88, 1.12));
+  id.eye_spacing = static_cast<float>(rng->Uniform(0.85, 1.15));
+  id.mouth_width = static_cast<float>(rng->Uniform(0.85, 1.15));
+  id.brow_thickness = static_cast<float>(rng->Uniform(1.2, 2.2));
+  id.skin_tone = static_cast<float>(rng->Uniform(0.62, 0.82));
+  return id;
+}
+
+FaceParams FaceParams::WithExpressiveness(float scale) const {
+  FaceParams scaled = *this;
+  for (auto& a : scaled.au_intensity) {
+    a = std::clamp(a * scale, 0.0f, 1.0f);
+  }
+  return scaled;
+}
+
+img::Image RenderFace(const FaceParams& params, Rng* rng) {
+  const Identity& id = params.identity;
+  const auto& au = params.au_intensity;
+  Image image(kFaceSize, kFaceSize, 0.08f);  // dark background
+
+  const float cx = 48.0f;
+  const float cy = 52.0f;
+  const float skin = id.skin_tone;
+
+  // Head. AU26 (jaw drop) lengthens the lower face slightly.
+  const float head_ry = 40.0f * id.face_height + 2.0f * au[11];
+  FillEllipse(&image, cx, cy, 33.0f * id.face_width, head_ry, skin);
+
+  // --- Eyes (y ~ 42). ---
+  const float eye_dx = 14.0f * id.eye_spacing;
+  // AU5 opens the eyes; AU6 (cheek raiser) narrows them.
+  const float eye_open = 3.0f + 2.4f * au[3] - 1.2f * au[4];
+  for (int side = -1; side <= 1; side += 2) {
+    const float ex = cx + side * eye_dx;
+    const float ey = 42.0f;
+    FillEllipse(&image, ex, ey, 7.0f, std::max(0.8f, eye_open), 0.95f);
+    FillEllipse(&image, ex, ey, 2.4f,
+                std::min(std::max(0.8f, eye_open), 2.4f), 0.12f);
+  }
+
+  // --- Eyebrows (y ~ 34). ---
+  // AU1 raises inner ends, AU2 raises outer ends, AU4 lowers the whole brow
+  // and pulls the inner ends together.
+  const float brow_y = 34.0f;
+  const float inner_raise = 4.5f * au[0];
+  const float outer_raise = 4.0f * au[1];
+  const float lower = 3.5f * au[2];
+  const float pull_in = 2.5f * au[2];
+  for (int side = -1; side <= 1; side += 2) {
+    const float ex = cx + side * eye_dx;
+    const float x_in = ex - side * (7.0f - pull_in);
+    const float x_out = ex + side * 8.0f;
+    const float y_in = brow_y - inner_raise + lower;
+    const float y_out = brow_y - outer_raise + lower * 0.6f;
+    const float y_mid = brow_y - 1.5f - 0.5f * (inner_raise + outer_raise) +
+                        lower;
+    DrawQuadCurve(&image, x_in, y_in, ex, y_mid, x_out, y_out,
+                  id.brow_thickness, 0.2f);
+  }
+
+  // --- Cheeks (AU6): raised bright blobs under the eyes. ---
+  if (au[4] > 0.05f) {
+    for (int side = -1; side <= 1; side += 2) {
+      const float chx = cx + side * (eye_dx + 2.0f);
+      FillEllipse(&image, chx, 52.0f - 2.0f * au[4], 6.5f,
+                  3.5f + 1.5f * au[4],
+                  std::min(1.0f, skin + 0.13f * au[4] + 0.04f));
+    }
+  }
+
+  // --- Nose. ---
+  DrawLine(&image, cx, 46.0f, cx, 58.0f, 1.4f, skin - 0.18f);
+  FillEllipse(&image, cx, 58.5f, 3.0f, 1.6f, skin - 0.22f);
+  // AU9: wrinkle lines across the nose bridge.
+  if (au[5] > 0.05f) {
+    const float depth = 0.35f * au[5];
+    for (int i = 0; i < 3; ++i) {
+      const float wy = 44.0f + 3.0f * i;
+      DrawLine(&image, cx - 4.0f, wy, cx + 4.0f, wy - 1.0f, 1.0f,
+               skin - depth);
+    }
+  }
+
+  // --- Mouth (y ~ 70). ---
+  const float half_w =
+      (9.0f + 3.0f * au[9]) * id.mouth_width;  // AU20 stretches
+  const float corner_dy = -5.0f * au[6] + 4.5f * au[7];  // AU12 up, AU15 down
+  const float mouth_y = 70.0f + 1.5f * au[11];           // AU26 lowers mouth
+  const float gap = 0.8f + 2.6f * au[10] + 4.0f * au[11];  // AU25/AU26 open
+  const float lx = cx - half_w;
+  const float rx = cx + half_w;
+  const float ly = mouth_y + corner_dy;
+  const float ry = mouth_y + corner_dy;
+  // Mouth interior (dark) when parted.
+  if (au[10] > 0.05f || au[11] > 0.05f) {
+    FillEllipse(&image, cx, mouth_y, half_w * 0.85f, gap * 0.5f + 0.6f,
+                0.15f);
+  }
+  // Upper and lower lip curves; a closed mouth collapses to one line.
+  DrawQuadCurve(&image, lx, ly, cx, mouth_y - corner_dy * 0.9f - gap * 0.5f,
+                rx, ry, 1.6f, skin - 0.32f);
+  DrawQuadCurve(&image, lx, ly, cx, mouth_y - corner_dy * 0.9f + gap * 0.5f,
+                rx, ry, 1.6f, skin - 0.32f);
+
+  // --- Chin (AU17): bright boss pushed up under the mouth. ---
+  if (au[8] > 0.05f) {
+    FillEllipse(&image, cx, 80.0f - 2.5f * au[8], 6.0f, 3.0f,
+                std::min(1.0f, skin + 0.1f * au[8]));
+    DrawLine(&image, cx - 5.0f, 77.0f - 2.5f * au[8], cx + 5.0f,
+             77.0f - 2.5f * au[8], 1.0f, skin - 0.2f);
+  }
+
+  // Lighting and sensor noise.
+  if (params.lighting != 1.0f) {
+    for (auto& p : image.mutable_pixels()) p *= params.lighting;
+  }
+  if (params.noise_stddev > 0.0f && rng != nullptr) {
+    img::AddGaussianNoise(&image, params.noise_stddev, rng);
+  } else {
+    image.ClampValues();
+  }
+  return image;
+}
+
+namespace {
+
+std::vector<uint8_t> BoxMask(int y0, int y1, int x0, int x1) {
+  std::vector<uint8_t> mask(kFaceSize * kFaceSize, 0);
+  for (int y = std::max(0, y0); y < std::min(kFaceSize, y1); ++y) {
+    for (int x = std::max(0, x0); x < std::min(kFaceSize, x1); ++x) {
+      mask[y * kFaceSize + x] = 1;
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::vector<uint8_t> RegionMask(FaceRegion region) {
+  // Canonical bounding boxes matched to the renderer geometry above.
+  switch (region) {
+    case FaceRegion::kEyebrow:
+      return BoxMask(24, 40, 18, 78);
+    case FaceRegion::kEyelid:
+      return BoxMask(36, 50, 22, 74);
+    case FaceRegion::kCheek:
+      return BoxMask(46, 60, 16, 80);
+    case FaceRegion::kNose:
+      return BoxMask(42, 62, 38, 58);
+    case FaceRegion::kMouth:
+      return BoxMask(62, 78, 26, 70);
+    case FaceRegion::kChin:
+      return BoxMask(74, 90, 34, 62);
+    case FaceRegion::kJaw:
+      return BoxMask(66, 96, 16, 80);
+  }
+  return std::vector<uint8_t>(kFaceSize * kFaceSize, 0);
+}
+
+std::vector<uint8_t> AuRegionsMask(const AuMask& mask) {
+  std::vector<uint8_t> out(kFaceSize * kFaceSize, 0);
+  for (int i = 0; i < kNumAus; ++i) {
+    if (!mask[i]) continue;
+    const auto region = RegionMask(GetAu(i).region);
+    for (size_t p = 0; p < out.size(); ++p) out[p] |= region[p];
+  }
+  return out;
+}
+
+}  // namespace vsd::face

@@ -1,0 +1,60 @@
+#ifndef VSD_FACE_RENDERER_H_
+#define VSD_FACE_RENDERER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "face/au.h"
+#include "img/image.h"
+
+namespace vsd::face {
+
+/// Canonical rendered face size (the paper resizes frames to 96x96).
+inline constexpr int kFaceSize = 96;
+
+/// Per-subject identity parameters; fixed across a subject's videos.
+struct Identity {
+  float face_width = 1.0f;    ///< Head ellipse width factor (~0.85..1.15).
+  float face_height = 1.0f;   ///< Head ellipse height factor.
+  float eye_spacing = 1.0f;   ///< Horizontal eye offset factor.
+  float mouth_width = 1.0f;   ///< Mouth width factor.
+  float brow_thickness = 1.6f;
+  float skin_tone = 0.72f;    ///< Base head intensity.
+
+  /// Samples a plausible identity.
+  static Identity Sample(Rng* rng);
+};
+
+/// Full parameter set for rendering one frame.
+struct FaceParams {
+  Identity identity;
+  /// AU intensities in [0, 1]; 0 = absent.
+  std::array<float, kNumAus> au_intensity{};
+  float lighting = 1.0f;      ///< Multiplicative brightness (~0.85..1.15).
+  float noise_stddev = 0.03f; ///< Pixel Gaussian noise.
+
+  /// Scales every AU intensity (used to derive the least-expressive frame).
+  FaceParams WithExpressiveness(float scale) const;
+};
+
+/// \brief Deterministic parametric face renderer.
+///
+/// Draws a 96x96 grayscale face whose geometry responds to the 12 AU
+/// intensities: brows raise/lower (AU1/2/4), lids open (AU5), cheeks raise
+/// and narrow the eyes (AU6), the nose wrinkles (AU9), lip corners pull
+/// up/down (AU12/15), the chin boss rises (AU17), lips stretch (AU20) and
+/// part (AU25), and the jaw drops (AU26). Pixel noise is drawn from `rng`.
+img::Image RenderFace(const FaceParams& params, Rng* rng);
+
+/// Canonical binary mask (96x96) of the image area a region occupies;
+/// used to mosaic/noise the region named by a rationale.
+std::vector<uint8_t> RegionMask(FaceRegion region);
+
+/// Mask of the union of the regions of all active AUs in `mask`.
+std::vector<uint8_t> AuRegionsMask(const AuMask& mask);
+
+}  // namespace vsd::face
+
+#endif  // VSD_FACE_RENDERER_H_

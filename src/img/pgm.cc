@@ -1,0 +1,98 @@
+#include "img/pgm.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace vsd::img {
+
+Status WritePgm(const Image& image, const std::string& path) {
+  if (image.empty()) {
+    return Status::InvalidArgument("cannot write empty image");
+  }
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  file << "P5\n" << image.width() << " " << image.height() << "\n255\n";
+  std::string bytes;
+  bytes.reserve(image.size());
+  for (float p : image.pixels()) {
+    const int v = static_cast<int>(std::clamp(p, 0.0f, 1.0f) * 255.0f +
+                                   0.5f);
+    bytes.push_back(static_cast<char>(v));
+  }
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return file.good() ? Status::OK()
+                     : Status::IoError("write failed for " + path);
+}
+
+namespace {
+
+/// Reads the next whitespace/comment-delimited PGM header token.
+bool NextToken(std::istream& in, std::string* token) {
+  token->clear();
+  char c;
+  while (in.get(c)) {
+    if (c == '#') {  // comment to end of line
+      while (in.get(c) && c != '\n') {
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!token->empty()) return true;
+      continue;
+    }
+    token->push_back(c);
+  }
+  return !token->empty();
+}
+
+}  // namespace
+
+Result<Image> ReadPgm(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return Status::NotFound("cannot open " + path);
+  std::string magic, ws, hs, maxs;
+  if (!NextToken(file, &magic) || (magic != "P5" && magic != "P2")) {
+    return Status::InvalidArgument(path + " is not a PGM file");
+  }
+  if (!NextToken(file, &ws) || !NextToken(file, &hs) ||
+      !NextToken(file, &maxs)) {
+    return Status::InvalidArgument("truncated PGM header in " + path);
+  }
+  const int width = std::atoi(ws.c_str());
+  const int height = std::atoi(hs.c_str());
+  const int max_value = std::atoi(maxs.c_str());
+  if (width <= 0 || height <= 0 || max_value <= 0 || max_value > 255) {
+    return Status::InvalidArgument("bad PGM dimensions in " + path);
+  }
+  Image image(width, height);
+  if (magic == "P5") {
+    std::vector<char> bytes(static_cast<size_t>(width) * height);
+    file.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!file.good() && !file.eof()) {
+      return Status::IoError("truncated PGM payload in " + path);
+    }
+    if (file.gcount() != static_cast<std::streamsize>(bytes.size())) {
+      return Status::IoError("truncated PGM payload in " + path);
+    }
+    for (int i = 0; i < image.size(); ++i) {
+      image.mutable_pixels()[i] =
+          static_cast<float>(static_cast<unsigned char>(bytes[i])) /
+          max_value;
+    }
+  } else {  // P2 ASCII
+    std::string token;
+    for (int i = 0; i < image.size(); ++i) {
+      if (!NextToken(file, &token)) {
+        return Status::IoError("truncated ASCII PGM in " + path);
+      }
+      image.mutable_pixels()[i] =
+          static_cast<float>(std::atoi(token.c_str())) / max_value;
+    }
+  }
+  return image;
+}
+
+}  // namespace vsd::img

@@ -1,0 +1,21 @@
+#ifndef VSD_IMG_PGM_H_
+#define VSD_IMG_PGM_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "img/image.h"
+
+namespace vsd::img {
+
+/// Writes an image as binary PGM (P5, 8-bit); intensities are clamped to
+/// [0,1] and quantized to 0..255. The standard way to eyeball rendered
+/// faces and saliency overlays outside the terminal.
+Status WritePgm(const Image& image, const std::string& path);
+
+/// Reads a binary (P5) or ASCII (P2) 8-bit PGM back into a float image.
+Result<Image> ReadPgm(const std::string& path);
+
+}  // namespace vsd::img
+
+#endif  // VSD_IMG_PGM_H_

@@ -1,0 +1,234 @@
+#include "img/slic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace vsd::img {
+
+std::vector<uint8_t> Segmentation::SegmentMask(int segment) const {
+  std::vector<uint8_t> mask(labels.size(), 0);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == segment) mask[i] = 1;
+  }
+  return mask;
+}
+
+std::vector<int> Segmentation::SegmentSizes() const {
+  std::vector<int> sizes(num_segments, 0);
+  for (int label : labels) {
+    if (label >= 0 && label < num_segments) ++sizes[label];
+  }
+  return sizes;
+}
+
+std::pair<float, float> Segmentation::SegmentCentroid(int segment) const {
+  double sy = 0.0;
+  double sx = 0.0;
+  int count = 0;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (LabelAt(y, x) == segment) {
+        sy += y;
+        sx += x;
+        ++count;
+      }
+    }
+  }
+  if (count == 0) return {0.0f, 0.0f};
+  return {static_cast<float>(sy / count), static_cast<float>(sx / count)};
+}
+
+namespace {
+
+struct Center {
+  float intensity;
+  float y;
+  float x;
+};
+
+float GradientMagnitude(const Image& image, int y, int x) {
+  const float gx = image.AtClamped(y, x + 1) - image.AtClamped(y, x - 1);
+  const float gy = image.AtClamped(y + 1, x) - image.AtClamped(y - 1, x);
+  return gx * gx + gy * gy;
+}
+
+/// Relabels connected components; components smaller than `min_size` are
+/// merged into the previously visited neighboring component.
+void EnforceConnectivity(int width, int height, int min_size,
+                         std::vector<int>* labels) {
+  const int n = width * height;
+  std::vector<int> new_labels(n, -1);
+  std::vector<int> component;
+  component.reserve(n);
+  int next_label = 0;
+  const int dy[4] = {-1, 1, 0, 0};
+  const int dx[4] = {0, 0, -1, 1};
+  for (int i = 0; i < n; ++i) {
+    if (new_labels[i] >= 0) continue;
+    component.clear();
+    component.push_back(i);
+    new_labels[i] = next_label;
+    // Neighbor label adjacent to this component (for absorbing).
+    int adjacent = -1;
+    for (size_t head = 0; head < component.size(); ++head) {
+      const int cur = component[head];
+      const int cy = cur / width;
+      const int cx = cur % width;
+      for (int d = 0; d < 4; ++d) {
+        const int ny = cy + dy[d];
+        const int nx = cx + dx[d];
+        if (ny < 0 || ny >= height || nx < 0 || nx >= width) continue;
+        const int ni = ny * width + nx;
+        if (new_labels[ni] >= 0 && new_labels[ni] != next_label) {
+          adjacent = new_labels[ni];
+        } else if (new_labels[ni] < 0 && (*labels)[ni] == (*labels)[i]) {
+          new_labels[ni] = next_label;
+          component.push_back(ni);
+        }
+      }
+    }
+    if (static_cast<int>(component.size()) < min_size && adjacent >= 0) {
+      for (int pixel : component) new_labels[pixel] = adjacent;
+    } else {
+      ++next_label;
+    }
+  }
+  *labels = std::move(new_labels);
+}
+
+}  // namespace
+
+Segmentation Slic(const Image& image, int num_segments, float compactness,
+                  int iterations) {
+  VSD_CHECK(num_segments > 0) << "num_segments must be positive";
+  VSD_CHECK(!image.empty()) << "Slic on empty image";
+  const int width = image.width();
+  const int height = image.height();
+  const int n = width * height;
+  num_segments = std::min(num_segments, n);
+
+  const float step = std::sqrt(static_cast<float>(n) / num_segments);
+  const int grid_w =
+      std::max(1, static_cast<int>(std::round(width / step)));
+  const int grid_h = std::max(
+      1, static_cast<int>(std::ceil(static_cast<float>(num_segments) /
+                                    grid_w)));
+
+  std::vector<Center> centers;
+  for (int gy = 0; gy < grid_h && static_cast<int>(centers.size()) <
+                                      num_segments; ++gy) {
+    for (int gx = 0; gx < grid_w && static_cast<int>(centers.size()) <
+                                        num_segments; ++gx) {
+      int cy = static_cast<int>((gy + 0.5f) * height / grid_h);
+      int cx = static_cast<int>((gx + 0.5f) * width / grid_w);
+      // Move to the lowest-gradient position in a 3x3 neighborhood.
+      float best_grad = std::numeric_limits<float>::max();
+      int best_y = cy;
+      int best_x = cx;
+      for (int oy = -1; oy <= 1; ++oy) {
+        for (int ox = -1; ox <= 1; ++ox) {
+          const int yy = std::clamp(cy + oy, 0, height - 1);
+          const int xx = std::clamp(cx + ox, 0, width - 1);
+          const float g = GradientMagnitude(image, yy, xx);
+          if (g < best_grad) {
+            best_grad = g;
+            best_y = yy;
+            best_x = xx;
+          }
+        }
+      }
+      centers.push_back({image.at(best_y, best_x),
+                         static_cast<float>(best_y),
+                         static_cast<float>(best_x)});
+    }
+  }
+
+  const int k = static_cast<int>(centers.size());
+  const float spatial_scale = compactness / step;
+  std::vector<int> labels(n, -1);
+  std::vector<float> distances(n);
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(distances.begin(), distances.end(),
+              std::numeric_limits<float>::max());
+    const int window = static_cast<int>(std::ceil(step));
+    for (int c = 0; c < k; ++c) {
+      const Center& center = centers[c];
+      const int y0 = std::max(0, static_cast<int>(center.y) - 2 * window);
+      const int y1 =
+          std::min(height - 1, static_cast<int>(center.y) + 2 * window);
+      const int x0 = std::max(0, static_cast<int>(center.x) - 2 * window);
+      const int x1 =
+          std::min(width - 1, static_cast<int>(center.x) + 2 * window);
+      for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+          const float dc = image.at(y, x) - center.intensity;
+          const float dy = (y - center.y) * spatial_scale;
+          const float dx = (x - center.x) * spatial_scale;
+          const float dist = dc * dc + dy * dy + dx * dx;
+          const int idx = y * width + x;
+          if (dist < distances[idx]) {
+            distances[idx] = dist;
+            labels[idx] = c;
+          }
+        }
+      }
+    }
+    // Update centers.
+    std::vector<double> sum_i(k, 0.0);
+    std::vector<double> sum_y(k, 0.0);
+    std::vector<double> sum_x(k, 0.0);
+    std::vector<int> counts(k, 0);
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        const int c = labels[y * width + x];
+        if (c < 0) continue;
+        sum_i[c] += image.at(y, x);
+        sum_y[c] += y;
+        sum_x[c] += x;
+        ++counts[c];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      centers[c].intensity = static_cast<float>(sum_i[c] / counts[c]);
+      centers[c].y = static_cast<float>(sum_y[c] / counts[c]);
+      centers[c].x = static_cast<float>(sum_x[c] / counts[c]);
+    }
+  }
+
+  // Any pixel never covered by a window falls back to the nearest center
+  // spatially.
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (labels[y * width + x] >= 0) continue;
+      float best = std::numeric_limits<float>::max();
+      for (int c = 0; c < k; ++c) {
+        const float dy = y - centers[c].y;
+        const float dx = x - centers[c].x;
+        const float d = dy * dy + dx * dx;
+        if (d < best) {
+          best = d;
+          labels[y * width + x] = c;
+        }
+      }
+    }
+  }
+
+  const int min_size = std::max(1, n / (num_segments * 4));
+  EnforceConnectivity(width, height, min_size, &labels);
+
+  Segmentation seg;
+  seg.width = width;
+  seg.height = height;
+  seg.labels = std::move(labels);
+  seg.num_segments =
+      *std::max_element(seg.labels.begin(), seg.labels.end()) + 1;
+  return seg;
+}
+
+}  // namespace vsd::img

@@ -1,0 +1,106 @@
+#ifndef VSD_NN_LAYERS_H_
+#define VSD_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace vsd::nn {
+
+/// Fully connected layer: y = x W + b, with x [N,in] -> y [N,out].
+/// Weights use He initialization.
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng* rng);
+
+  Var Forward(const Var& x) const;
+
+  std::vector<Var> Parameters() const override { return {weight_, bias_}; }
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Var weight_;  // [in, out]
+  Var bias_;    // [out]
+};
+
+/// 2-D convolution over NHWC input ([N,H,W,C] -> [N,OH,OW,F]) implemented
+/// as im2col + matmul.
+class Conv2d : public Module {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int stride, int pad,
+         Rng* rng);
+
+  Var Forward(const Var& x) const;
+
+  std::vector<Var> Parameters() const override { return {weight_, bias_}; }
+
+  int out_channels() const { return out_channels_; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int stride_;
+  int pad_;
+  Var weight_;  // [k*k*in, out]
+  Var bias_;    // [out]
+};
+
+/// Layer normalization over the last axis of [N,D].
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int dim);
+
+  Var Forward(const Var& x) const;
+
+  std::vector<Var> Parameters() const override { return {gamma_, beta_}; }
+
+ private:
+  Var gamma_;
+  Var beta_;
+};
+
+/// Inverted dropout. Identity when `train` is false or rate == 0.
+class Dropout {
+ public:
+  explicit Dropout(float rate) : rate_(rate) {}
+
+  Var Forward(const Var& x, bool train, Rng* rng) const;
+
+ private:
+  float rate_;
+};
+
+/// Activation selector for Mlp.
+enum class Activation { kRelu, kGelu, kTanh };
+
+/// A stack of Linear layers with a fixed activation between them (none
+/// after the last layer).
+class Mlp : public Module {
+ public:
+  /// `dims` = {in, hidden..., out}; requires at least 2 entries.
+  Mlp(const std::vector<int>& dims, Activation act, Rng* rng);
+
+  Var Forward(const Var& x) const;
+
+  std::vector<Var> Parameters() const override;
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+ private:
+  std::vector<std::shared_ptr<Linear>> layers_;
+  Activation act_;
+};
+
+/// Applies the chosen activation.
+Var Activate(const Var& x, Activation act);
+
+}  // namespace vsd::nn
+
+#endif  // VSD_NN_LAYERS_H_

@@ -1,0 +1,35 @@
+#include "nn/module.h"
+
+namespace vsd::nn {
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.ZeroGrad();
+}
+
+int Module::NumParameters() const {
+  int n = 0;
+  for (const auto& p : Parameters()) n += p.value().size();
+  return n;
+}
+
+std::vector<float> Module::StateVector() const {
+  std::vector<float> state;
+  state.reserve(NumParameters());
+  for (const auto& p : Parameters()) {
+    const auto& v = p.value();
+    for (int i = 0; i < v.size(); ++i) state.push_back(v.at(i));
+  }
+  return state;
+}
+
+bool Module::LoadStateVector(const std::vector<float>& state) {
+  if (static_cast<int>(state.size()) != NumParameters()) return false;
+  size_t offset = 0;
+  for (auto& p : Parameters()) {
+    auto& v = p.mutable_value();
+    for (int i = 0; i < v.size(); ++i) v.at(i) = state[offset++];
+  }
+  return true;
+}
+
+}  // namespace vsd::nn

@@ -1,0 +1,40 @@
+#ifndef VSD_NN_MODULE_H_
+#define VSD_NN_MODULE_H_
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace vsd::nn {
+
+using ::vsd::autograd::Var;
+
+/// \brief Base class for trainable components.
+///
+/// A module owns parameter `Var`s (leaf nodes with `requires_grad`). The
+/// optimizer mutates `param.mutable_value()` in place; because `Var` shares
+/// its node, forward passes built after a step see the updated weights.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Handles to every trainable parameter (shared nodes, cheap copies).
+  virtual std::vector<Var> Parameters() const = 0;
+
+  /// Zeroes the gradient of every parameter.
+  void ZeroGrad();
+
+  /// Total number of scalar parameters.
+  int NumParameters() const;
+
+  /// Flattens all parameter values into one vector (optimizer-state free).
+  std::vector<float> StateVector() const;
+
+  /// Restores parameter values from `state` (must match NumParameters()).
+  /// Returns false on size mismatch.
+  bool LoadStateVector(const std::vector<float>& state);
+};
+
+}  // namespace vsd::nn
+
+#endif  // VSD_NN_MODULE_H_

@@ -1,0 +1,77 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace vsd::nn {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  velocity_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    velocity_[i].assign(params_[i].value().size(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& value = params_[i].mutable_value();
+    const auto& grad = params_[i].grad();
+    if (grad.size() != value.size()) continue;  // never touched by backward
+    for (int j = 0; j < value.size(); ++j) {
+      float g = grad.at(j);
+      if (weight_decay_ > 0.0f) g += weight_decay_ * value.at(j);
+      if (momentum_ > 0.0f) {
+        velocity_[i][j] = momentum_ * velocity_[i][j] + g;
+        g = velocity_[i][j];
+      }
+      value.at(j) -= lr_ * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].value().size(), 0.0f);
+    v_[i].assign(params_[i].value().size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& value = params_[i].mutable_value();
+    const auto& grad = params_[i].grad();
+    if (grad.size() != value.size()) continue;
+    for (int j = 0; j < value.size(); ++j) {
+      const float g = grad.at(j);
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
+      const float mhat = m_[i][j] / bc1;
+      const float vhat = v_[i][j] / bc2;
+      float update = mhat / (std::sqrt(vhat) + eps_);
+      if (weight_decay_ > 0.0f) update += weight_decay_ * value.at(j);
+      value.at(j) -= lr_ * update;
+    }
+  }
+}
+
+}  // namespace vsd::nn

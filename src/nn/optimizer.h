@@ -1,0 +1,65 @@
+#ifndef VSD_NN_OPTIMIZER_H_
+#define VSD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace vsd::nn {
+
+/// Interface for first-order optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored on the params.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Adjusts the learning rate (e.g. for decay schedules).
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+ protected:
+  std::vector<Var> params_;
+  float lr_ = 1e-3f;
+};
+
+/// SGD with optional momentum and decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with decoupled weight decay (AdamW-style).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int step_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace vsd::nn
+
+#endif  // VSD_NN_OPTIMIZER_H_

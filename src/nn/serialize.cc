@@ -1,0 +1,68 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace vsd::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'S', 'D', 'M'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status SaveModule(const Module& module, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const std::vector<float> state = module.StateVector();
+  const uint64_t count = state.size();
+  file.write(kMagic, sizeof(kMagic));
+  file.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  file.write(reinterpret_cast<const char*>(state.data()),
+             static_cast<std::streamsize>(count * sizeof(float)));
+  if (!file.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status LoadModule(Module* module, const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  file.read(magic, sizeof(magic));
+  file.read(reinterpret_cast<char*>(&version), sizeof(version));
+  file.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!file.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + " is not a VSDM checkpoint");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  if (count != static_cast<uint64_t>(module->NumParameters())) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: checkpoint has " + std::to_string(count) +
+        ", module has " + std::to_string(module->NumParameters()));
+  }
+  std::vector<float> state(count);
+  file.read(reinterpret_cast<char*>(state.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+  if (!file.good()) {
+    return Status::IoError("truncated checkpoint " + path);
+  }
+  if (!module->LoadStateVector(state)) {
+    return Status::Internal("LoadStateVector rejected checkpoint state");
+  }
+  return Status::OK();
+}
+
+}  // namespace vsd::nn

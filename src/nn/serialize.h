@@ -1,0 +1,26 @@
+#ifndef VSD_NN_SERIALIZE_H_
+#define VSD_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace vsd::nn {
+
+/// \brief Binary checkpoint format for module parameters.
+///
+/// Layout: magic "VSDM", format version (u32), parameter count (u64),
+/// raw little-endian float32 payload. The checkpoint stores values only
+/// (no optimizer state, no architecture) — loading requires a module with
+/// the identical parameter layout, which is checked by count.
+Status SaveModule(const Module& module, const std::string& path);
+
+/// Restores parameters saved by SaveModule. Fails (without modifying the
+/// module) on bad magic, version mismatch, truncated payload, or a
+/// parameter-count mismatch.
+Status LoadModule(Module* module, const std::string& path);
+
+}  // namespace vsd::nn
+
+#endif  // VSD_NN_SERIALIZE_H_

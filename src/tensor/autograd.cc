@@ -1,0 +1,745 @@
+#include "tensor/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace vsd::autograd {
+
+namespace t = ::vsd::tensor;
+
+Tensor& Node::EnsureGrad() {
+  if (grad.size() != value.size()) grad = Tensor(value.shape());
+  return grad;
+}
+
+Var::Var(Tensor value, bool requires_grad)
+    : node_(std::make_shared<Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+void Var::ZeroGrad() { node_->EnsureGrad().Fill(0.0f); }
+
+namespace {
+
+bool AnyRequiresGrad(const std::vector<std::shared_ptr<Node>>& parents) {
+  for (const auto& p : parents) {
+    if (p->requires_grad) return true;
+  }
+  return false;
+}
+
+Var MakeOp(Tensor value, std::vector<std::shared_ptr<Node>> parents,
+           std::function<void(Node*)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = AnyRequiresGrad(parents);
+  node->parents = std::move(parents);
+  if (node->requires_grad) node->backward = std::move(backward);
+  return Var(node);
+}
+
+/// Sums `g` down to `shape` (for broadcasted operands).
+Tensor ReduceGradToShape(const Tensor& g, const std::vector<int>& shape) {
+  if (g.shape() == shape) return g.Clone();
+  Tensor out(shape);
+  if (out.size() == 1) {
+    out.at(0) = t::Sum(g);
+    return out;
+  }
+  // Row broadcast: g is [N,D], target is [D] or [1,D].
+  VSD_CHECK(g.ndim() == 2) << "unsupported broadcast reduce";
+  const int n = g.dim(0);
+  const int d = g.dim(1);
+  VSD_CHECK(out.size() == d) << "unsupported broadcast reduce shape";
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) out.at(j) += g.at(i, j);
+  }
+  return out;
+}
+
+void Accumulate(Node* target, const Tensor& g) {
+  if (!target->requires_grad) return;
+  Tensor reduced = ReduceGradToShape(g, target->value.shape());
+  target->EnsureGrad().AddInPlace(reduced);
+}
+
+}  // namespace
+
+void Backward(const Var& root) {
+  VSD_CHECK(root.defined()) << "Backward on undefined Var";
+  VSD_CHECK(root.value().size() == 1) << "Backward root must be scalar";
+  // Iterative DFS topological order.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.node().get(), 0});
+  visited.insert(root.node().get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      Node* parent = frame.node->parents[frame.next_parent++].get();
+      if (visited.insert(parent).second) stack.push_back({parent, 0});
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  root.node()->EnsureGrad().Fill(1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->requires_grad && node->backward &&
+        node->grad.size() == node->value.size()) {
+      node->backward(node);
+    }
+  }
+}
+
+Var Add(const Var& a, const Var& b) {
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp(t::Add(a.value(), b.value()), {an, bn},
+                [an, bn](Node* self) {
+                  Accumulate(an.get(), self->grad);
+                  Accumulate(bn.get(), self->grad);
+                });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp(t::Sub(a.value(), b.value()), {an, bn},
+                [an, bn](Node* self) {
+                  Accumulate(an.get(), self->grad);
+                  Accumulate(bn.get(), t::Scale(self->grad, -1.0f));
+                });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp(
+      t::Mul(a.value(), b.value()), {an, bn}, [an, bn](Node* self) {
+        // d/da = g * b ; d/db = g * a (with broadcast handled by Mul +
+        // ReduceGradToShape).
+        if (an->requires_grad) {
+          Tensor ga(self->grad.shape());
+          if (bn->value.size() == 1) {
+            ga = t::Scale(self->grad, bn->value.at(0));
+          } else {
+            ga = t::Mul(self->grad, bn->value);
+          }
+          Accumulate(an.get(), ga);
+        }
+        if (bn->requires_grad) {
+          Tensor gb(self->grad.shape());
+          if (bn->value.size() == 1 ||
+              bn->value.size() != an->value.size()) {
+            gb = t::Mul(self->grad, an->value);
+          } else {
+            gb = t::Mul(self->grad, an->value);
+          }
+          Accumulate(bn.get(), gb);
+        }
+      });
+}
+
+Var Scale(const Var& a, float s) {
+  auto an = a.node();
+  return MakeOp(t::Scale(a.value(), s), {an}, [an, s](Node* self) {
+    Accumulate(an.get(), t::Scale(self->grad, s));
+  });
+}
+
+Var Neg(const Var& a) { return Scale(a, -1.0f); }
+
+Var MatMul(const Var& a, const Var& b) {
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp(t::MatMul(a.value(), b.value()), {an, bn},
+                [an, bn](Node* self) {
+                  if (an->requires_grad) {
+                    Accumulate(an.get(),
+                               t::MatMul(self->grad,
+                                         t::Transpose(bn->value)));
+                  }
+                  if (bn->requires_grad) {
+                    Accumulate(bn.get(),
+                               t::MatMul(t::Transpose(an->value),
+                                         self->grad));
+                  }
+                });
+}
+
+Var Relu(const Var& a) {
+  auto an = a.node();
+  return MakeOp(t::Relu(a.value()), {an}, [an](Node* self) {
+    Tensor g(self->grad.shape());
+    for (int i = 0; i < g.size(); ++i) {
+      g.at(i) = an->value.at(i) > 0.0f ? self->grad.at(i) : 0.0f;
+    }
+    Accumulate(an.get(), g);
+  });
+}
+
+Var TanhV(const Var& a) {
+  auto an = a.node();
+  Tensor y = t::Tanh(a.value());
+  return MakeOp(y, {an}, [an](Node* self) {
+    Tensor g(self->grad.shape());
+    for (int i = 0; i < g.size(); ++i) {
+      const float yi = self->value.at(i);
+      g.at(i) = self->grad.at(i) * (1.0f - yi * yi);
+    }
+    Accumulate(an.get(), g);
+  });
+}
+
+Var SigmoidV(const Var& a) {
+  auto an = a.node();
+  Tensor y = t::Sigmoid(a.value());
+  return MakeOp(y, {an}, [an](Node* self) {
+    Tensor g(self->grad.shape());
+    for (int i = 0; i < g.size(); ++i) {
+      const float yi = self->value.at(i);
+      g.at(i) = self->grad.at(i) * yi * (1.0f - yi);
+    }
+    Accumulate(an.get(), g);
+  });
+}
+
+Var ExpV(const Var& a) {
+  auto an = a.node();
+  Tensor y = t::Exp(a.value());
+  return MakeOp(y, {an}, [an](Node* self) {
+    Tensor g(self->grad.shape());
+    for (int i = 0; i < g.size(); ++i) {
+      g.at(i) = self->grad.at(i) * self->value.at(i);
+    }
+    Accumulate(an.get(), g);
+  });
+}
+
+Var LogV(const Var& a) {
+  auto an = a.node();
+  Tensor y(a.value().shape());
+  for (int i = 0; i < y.size(); ++i) {
+    y.at(i) = std::log(std::max(a.value().at(i), 1e-12f));
+  }
+  return MakeOp(y, {an}, [an](Node* self) {
+    Tensor g(self->grad.shape());
+    for (int i = 0; i < g.size(); ++i) {
+      g.at(i) = self->grad.at(i) / std::max(an->value.at(i), 1e-12f);
+    }
+    Accumulate(an.get(), g);
+  });
+}
+
+Var Gelu(const Var& a) {
+  auto an = a.node();
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  Tensor y(a.value().shape());
+  for (int i = 0; i < y.size(); ++i) {
+    const float x = a.value().at(i);
+    const float inner = kC * (x + 0.044715f * x * x * x);
+    y.at(i) = 0.5f * x * (1.0f + std::tanh(inner));
+  }
+  return MakeOp(y, {an}, [an](Node* self) {
+    Tensor g(self->grad.shape());
+    for (int i = 0; i < g.size(); ++i) {
+      const float x = an->value.at(i);
+      const float inner = kC * (x + 0.044715f * x * x * x);
+      const float th = std::tanh(inner);
+      const float sech2 = 1.0f - th * th;
+      const float dinner = kC * (1.0f + 3.0f * 0.044715f * x * x);
+      const float dy = 0.5f * (1.0f + th) + 0.5f * x * sech2 * dinner;
+      g.at(i) = self->grad.at(i) * dy;
+    }
+    Accumulate(an.get(), g);
+  });
+}
+
+Var Concat(const Var& a, const Var& b) {
+  VSD_CHECK(a.value().ndim() == 2 && b.value().ndim() == 2)
+      << "Concat requires 2-D";
+  VSD_CHECK(a.value().dim(0) == b.value().dim(0)) << "Concat row mismatch";
+  const int n = a.value().dim(0);
+  const int da = a.value().dim(1);
+  const int db = b.value().dim(1);
+  Tensor y({n, da + db});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < da; ++j) y.at(i, j) = a.value().at(i, j);
+    for (int j = 0; j < db; ++j) y.at(i, da + j) = b.value().at(i, j);
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp(y, {an, bn}, [an, bn, n, da, db](Node* self) {
+    if (an->requires_grad) {
+      Tensor ga({n, da});
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < da; ++j) ga.at(i, j) = self->grad.at(i, j);
+      }
+      Accumulate(an.get(), ga);
+    }
+    if (bn->requires_grad) {
+      Tensor gb({n, db});
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < db; ++j) gb.at(i, j) = self->grad.at(i, da + j);
+      }
+      Accumulate(bn.get(), gb);
+    }
+  });
+}
+
+Var Reshape(const Var& a, std::vector<int> shape) {
+  auto an = a.node();
+  Tensor y = a.value().Reshape(shape);
+  // Clone to keep node values independent (Reshape shares storage, which is
+  // fine for the forward value but the backward must not alias grads).
+  return MakeOp(y.Clone(), {an}, [an](Node* self) {
+    Accumulate(an.get(), self->grad.Reshape(an->value.shape()));
+  });
+}
+
+Var SumAll(const Var& a) {
+  auto an = a.node();
+  Tensor y({1});
+  y.at(0) = t::Sum(a.value());
+  return MakeOp(y, {an}, [an](Node* self) {
+    Tensor g(an->value.shape());
+    g.Fill(self->grad.at(0));
+    Accumulate(an.get(), g);
+  });
+}
+
+Var MeanAll(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().size());
+  return Scale(SumAll(a), inv);
+}
+
+Var SoftmaxCrossEntropy(const Var& logits, const std::vector<int>& labels) {
+  VSD_CHECK(logits.value().ndim() == 2) << "SCE requires 2-D logits";
+  const int n = logits.value().dim(0);
+  const int c = logits.value().dim(1);
+  VSD_CHECK(static_cast<int>(labels.size()) == n) << "SCE label count";
+  Tensor probs = t::SoftmaxRows(logits.value());
+  Tensor y({1});
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    VSD_CHECK(labels[i] >= 0 && labels[i] < c) << "SCE label range";
+    loss -= std::log(std::max(probs.at(i, labels[i]), 1e-12f));
+  }
+  y.at(0) = static_cast<float>(loss / n);
+  auto ln = logits.node();
+  return MakeOp(y, {ln}, [ln, probs, labels, n, c](Node* self) {
+    Tensor g({n, c});
+    const float scale = self->grad.at(0) / static_cast<float>(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < c; ++j) {
+        const float onehot = (labels[i] == j) ? 1.0f : 0.0f;
+        g.at(i, j) = scale * (probs.at(i, j) - onehot);
+      }
+    }
+    Accumulate(ln.get(), g);
+  });
+}
+
+Var BceWithLogits(const Var& logits, const std::vector<float>& targets) {
+  const int n = logits.value().size();
+  VSD_CHECK(static_cast<int>(targets.size()) == n) << "BCE target count";
+  Tensor y({1});
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float x = logits.value().at(i);
+    // log(1 + exp(-|x|)) + max(x, 0) - x*t, the stable form.
+    loss += std::log1p(std::exp(-std::abs(x))) + std::max(x, 0.0f) -
+            x * targets[i];
+  }
+  y.at(0) = static_cast<float>(loss / n);
+  auto ln = logits.node();
+  return MakeOp(y, {ln}, [ln, targets, n](Node* self) {
+    Tensor g(ln->value.shape());
+    const float scale = self->grad.at(0) / static_cast<float>(n);
+    for (int i = 0; i < n; ++i) {
+      const float p = static_cast<float>(
+          1.0 / (1.0 + std::exp(-static_cast<double>(ln->value.at(i)))));
+      g.at(i) = scale * (p - targets[i]);
+    }
+    Accumulate(ln.get(), g);
+  });
+}
+
+Var LogSoftmaxRows(const Var& logits) {
+  VSD_CHECK(logits.value().ndim() == 2) << "LogSoftmax requires 2-D";
+  const int n = logits.value().dim(0);
+  const int c = logits.value().dim(1);
+  Tensor probs = t::SoftmaxRows(logits.value());
+  Tensor y({n, c});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < c; ++j) {
+      y.at(i, j) = std::log(std::max(probs.at(i, j), 1e-12f));
+    }
+  }
+  auto ln = logits.node();
+  return MakeOp(y, {ln}, [ln, probs, n, c](Node* self) {
+    Tensor g({n, c});
+    for (int i = 0; i < n; ++i) {
+      float grow = 0.0f;
+      for (int j = 0; j < c; ++j) grow += self->grad.at(i, j);
+      for (int j = 0; j < c; ++j) {
+        g.at(i, j) = self->grad.at(i, j) - probs.at(i, j) * grow;
+      }
+    }
+    Accumulate(ln.get(), g);
+  });
+}
+
+Var Div(const Var& a, const Var& b) {
+  auto an = a.node();
+  auto bn = b.node();
+  const bool scalar_b = b.value().size() == 1;
+  Tensor y(a.value().shape());
+  if (scalar_b) {
+    const float inv = 1.0f / bn->value.at(0);
+    for (int i = 0; i < y.size(); ++i) y.at(i) = an->value.at(i) * inv;
+  } else {
+    VSD_CHECK(SameShape(a.value(), b.value())) << "Div shape mismatch";
+    for (int i = 0; i < y.size(); ++i) {
+      y.at(i) = an->value.at(i) / bn->value.at(i);
+    }
+  }
+  return MakeOp(y, {an, bn}, [an, bn, scalar_b](Node* self) {
+    if (an->requires_grad) {
+      Tensor ga(self->grad.shape());
+      if (scalar_b) {
+        ga = t::Scale(self->grad, 1.0f / bn->value.at(0));
+      } else {
+        for (int i = 0; i < ga.size(); ++i) {
+          ga.at(i) = self->grad.at(i) / bn->value.at(i);
+        }
+      }
+      Accumulate(an.get(), ga);
+    }
+    if (bn->requires_grad) {
+      // d/db (a/b) = -a / b^2.
+      Tensor gb(self->grad.shape());
+      for (int i = 0; i < gb.size(); ++i) {
+        const float bv = scalar_b ? bn->value.at(0) : bn->value.at(i);
+        gb.at(i) = -self->grad.at(i) * an->value.at(i) / (bv * bv);
+      }
+      Accumulate(bn.get(), gb);
+    }
+  });
+}
+
+Var SqrtV(const Var& a) {
+  auto an = a.node();
+  Tensor y(a.value().shape());
+  for (int i = 0; i < y.size(); ++i) {
+    y.at(i) = std::sqrt(std::max(a.value().at(i), 1e-12f));
+  }
+  return MakeOp(y, {an}, [an](Node* self) {
+    Tensor g(self->grad.shape());
+    for (int i = 0; i < g.size(); ++i) {
+      g.at(i) = self->grad.at(i) * 0.5f / std::max(self->value.at(i),
+                                                   1e-6f);
+    }
+    Accumulate(an.get(), g);
+  });
+}
+
+Var AbsV(const Var& a) {
+  auto an = a.node();
+  Tensor y(a.value().shape());
+  for (int i = 0; i < y.size(); ++i) y.at(i) = std::abs(a.value().at(i));
+  return MakeOp(y, {an}, [an](Node* self) {
+    Tensor g(self->grad.shape());
+    for (int i = 0; i < g.size(); ++i) {
+      const float x = an->value.at(i);
+      g.at(i) = x > 0.0f ? self->grad.at(i)
+                         : (x < 0.0f ? -self->grad.at(i) : 0.0f);
+    }
+    Accumulate(an.get(), g);
+  });
+}
+
+Var ClampV(const Var& a, float lo, float hi) {
+  VSD_CHECK(lo <= hi) << "ClampV bounds";
+  auto an = a.node();
+  Tensor y(a.value().shape());
+  for (int i = 0; i < y.size(); ++i) {
+    y.at(i) = std::clamp(a.value().at(i), lo, hi);
+  }
+  return MakeOp(y, {an}, [an, lo, hi](Node* self) {
+    Tensor g(self->grad.shape());
+    for (int i = 0; i < g.size(); ++i) {
+      const float x = an->value.at(i);
+      g.at(i) = (x > lo && x < hi) ? self->grad.at(i) : 0.0f;
+    }
+    Accumulate(an.get(), g);
+  });
+}
+
+int ConvOutDim(int in, int k, int stride, int pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+Var Im2Col(const Var& x, int kh, int kw, int stride, int pad) {
+  VSD_CHECK(x.value().ndim() == 4) << "Im2Col requires [N,H,W,C]";
+  const int n = x.value().dim(0);
+  const int h = x.value().dim(1);
+  const int w = x.value().dim(2);
+  const int c = x.value().dim(3);
+  const int oh = ConvOutDim(h, kh, stride, pad);
+  const int ow = ConvOutDim(w, kw, stride, pad);
+  VSD_CHECK(oh > 0 && ow > 0) << "Im2Col degenerate output";
+  Tensor cols({n * oh * ow, kh * kw * c});
+  const Tensor& xv = x.value();
+  for (int b = 0; b < n; ++b) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        const int row = (b * oh + oy) * ow + ox;
+        int col = 0;
+        for (int ky = 0; ky < kh; ++ky) {
+          const int iy = oy * stride + ky - pad;
+          for (int kx = 0; kx < kw; ++kx) {
+            const int ix = ox * stride + kx - pad;
+            for (int ch = 0; ch < c; ++ch, ++col) {
+              if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                cols.at(row, col) = xv.at4(b, iy, ix, ch);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  auto xn = x.node();
+  return MakeOp(cols, {xn},
+                [xn, n, c, h, w, oh, ow, kh, kw, stride, pad](Node* self) {
+                  if (!xn->requires_grad) return;
+                  Tensor g({n, h, w, c});
+                  for (int b = 0; b < n; ++b) {
+                    for (int oy = 0; oy < oh; ++oy) {
+                      for (int ox = 0; ox < ow; ++ox) {
+                        const int row = (b * oh + oy) * ow + ox;
+                        int col = 0;
+                        for (int ky = 0; ky < kh; ++ky) {
+                          const int iy = oy * stride + ky - pad;
+                          for (int kx = 0; kx < kw; ++kx) {
+                            const int ix = ox * stride + kx - pad;
+                            for (int ch = 0; ch < c; ++ch, ++col) {
+                              if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                                g.at4(b, iy, ix, ch) +=
+                                    self->grad.at(row, col);
+                              }
+                            }
+                          }
+                        }
+                      }
+                    }
+                  }
+                  Accumulate(xn.get(), g);
+                });
+}
+
+Var SoftmaxRowsV(const Var& logits) {
+  VSD_CHECK(logits.value().ndim() == 2) << "SoftmaxRowsV requires 2-D";
+  Tensor probs = t::SoftmaxRows(logits.value());
+  const int n = probs.dim(0);
+  const int c = probs.dim(1);
+  auto ln = logits.node();
+  return MakeOp(probs, {ln}, [ln, n, c](Node* self) {
+    Tensor g({n, c});
+    for (int i = 0; i < n; ++i) {
+      float dot = 0.0f;
+      for (int j = 0; j < c; ++j) {
+        dot += self->grad.at(i, j) * self->value.at(i, j);
+      }
+      for (int j = 0; j < c; ++j) {
+        g.at(i, j) = self->value.at(i, j) * (self->grad.at(i, j) - dot);
+      }
+    }
+    Accumulate(ln.get(), g);
+  });
+}
+
+Var LayerNormRows(const Var& x, const Var& gamma, const Var& beta,
+                  float eps) {
+  VSD_CHECK(x.value().ndim() == 2) << "LayerNormRows requires 2-D";
+  const int n = x.value().dim(0);
+  const int d = x.value().dim(1);
+  VSD_CHECK(gamma.value().size() == d && beta.value().size() == d)
+      << "LayerNorm parameter size";
+  Tensor y({n, d});
+  Tensor xhat({n, d});
+  std::vector<float> inv_std(n);
+  for (int i = 0; i < n; ++i) {
+    float mu = 0.0f;
+    for (int j = 0; j < d; ++j) mu += x.value().at(i, j);
+    mu /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int j = 0; j < d; ++j) {
+      const float diff = x.value().at(i, j) - mu;
+      var += diff * diff;
+    }
+    var /= static_cast<float>(d);
+    inv_std[i] = 1.0f / std::sqrt(var + eps);
+    for (int j = 0; j < d; ++j) {
+      xhat.at(i, j) = (x.value().at(i, j) - mu) * inv_std[i];
+      y.at(i, j) = xhat.at(i, j) * gamma.value().at(j) + beta.value().at(j);
+    }
+  }
+  auto xn = x.node();
+  auto gn = gamma.node();
+  auto bn = beta.node();
+  return MakeOp(y, {xn, gn, bn},
+                [xn, gn, bn, xhat, inv_std, n, d](Node* self) {
+    if (gn->requires_grad) {
+      Tensor gg({d});
+      for (int j = 0; j < d; ++j) {
+        float s = 0.0f;
+        for (int i = 0; i < n; ++i) s += self->grad.at(i, j) * xhat.at(i, j);
+        gg.at(j) = s;
+      }
+      Accumulate(gn.get(), gg);
+    }
+    if (bn->requires_grad) {
+      Tensor gb({d});
+      for (int j = 0; j < d; ++j) {
+        float s = 0.0f;
+        for (int i = 0; i < n; ++i) s += self->grad.at(i, j);
+        gb.at(j) = s;
+      }
+      Accumulate(bn.get(), gb);
+    }
+    if (xn->requires_grad) {
+      Tensor gx({n, d});
+      for (int i = 0; i < n; ++i) {
+        // dL/dxhat = g * gamma; standard layernorm backward.
+        float sum_dxhat = 0.0f;
+        float sum_dxhat_xhat = 0.0f;
+        for (int j = 0; j < d; ++j) {
+          const float dxhat = self->grad.at(i, j) * gn->value.at(j);
+          sum_dxhat += dxhat;
+          sum_dxhat_xhat += dxhat * xhat.at(i, j);
+        }
+        for (int j = 0; j < d; ++j) {
+          const float dxhat = self->grad.at(i, j) * gn->value.at(j);
+          gx.at(i, j) = inv_std[i] *
+                        (dxhat - (sum_dxhat +
+                                  xhat.at(i, j) * sum_dxhat_xhat) /
+                                     static_cast<float>(d));
+        }
+      }
+      Accumulate(xn.get(), gx);
+    }
+  });
+}
+
+Var Softplus(const Var& a) {
+  auto an = a.node();
+  Tensor y(a.value().shape());
+  for (int i = 0; i < y.size(); ++i) {
+    const float x = a.value().at(i);
+    y.at(i) = std::log1p(std::exp(-std::abs(x))) + std::max(x, 0.0f);
+  }
+  return MakeOp(y, {an}, [an](Node* self) {
+    Tensor g(self->grad.shape());
+    for (int i = 0; i < g.size(); ++i) {
+      const float x = an->value.at(i);
+      const float sig = static_cast<float>(
+          1.0 / (1.0 + std::exp(-static_cast<double>(x))));
+      g.at(i) = self->grad.at(i) * sig;
+    }
+    Accumulate(an.get(), g);
+  });
+}
+
+Var MulColumn(const Var& x, const Var& col) {
+  VSD_CHECK(x.value().ndim() == 2 && col.value().ndim() == 2)
+      << "MulColumn requires 2-D";
+  const int n = x.value().dim(0);
+  const int d = x.value().dim(1);
+  VSD_CHECK(col.value().dim(0) == n && col.value().dim(1) == 1)
+      << "MulColumn column shape";
+  Tensor y({n, d});
+  for (int i = 0; i < n; ++i) {
+    const float c = col.value().at(i, 0);
+    for (int j = 0; j < d; ++j) y.at(i, j) = x.value().at(i, j) * c;
+  }
+  auto xn = x.node();
+  auto cn = col.node();
+  return MakeOp(y, {xn, cn}, [xn, cn, n, d](Node* self) {
+    if (xn->requires_grad) {
+      Tensor gx({n, d});
+      for (int i = 0; i < n; ++i) {
+        const float c = cn->value.at(i, 0);
+        for (int j = 0; j < d; ++j) gx.at(i, j) = self->grad.at(i, j) * c;
+      }
+      Accumulate(xn.get(), gx);
+    }
+    if (cn->requires_grad) {
+      Tensor gc({n, 1});
+      for (int i = 0; i < n; ++i) {
+        float s = 0.0f;
+        for (int j = 0; j < d; ++j) {
+          s += self->grad.at(i, j) * xn->value.at(i, j);
+        }
+        gc.at(i, 0) = s;
+      }
+      Accumulate(cn.get(), gc);
+    }
+  });
+}
+
+Var RowSum(const Var& x) {
+  VSD_CHECK(x.value().ndim() == 2) << "RowSum requires 2-D";
+  const int n = x.value().dim(0);
+  const int d = x.value().dim(1);
+  Tensor y({n, 1});
+  for (int i = 0; i < n; ++i) {
+    float s = 0.0f;
+    for (int j = 0; j < d; ++j) s += x.value().at(i, j);
+    y.at(i, 0) = s;
+  }
+  auto xn = x.node();
+  return MakeOp(y, {xn}, [xn, n, d](Node* self) {
+    Tensor g({n, d});
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < d; ++j) g.at(i, j) = self->grad.at(i, 0);
+    }
+    Accumulate(xn.get(), g);
+  });
+}
+
+Var MeanRows(const Var& x) {
+  VSD_CHECK(x.value().ndim() == 2) << "MeanRows requires 2-D";
+  const int n = x.value().dim(0);
+  const int d = x.value().dim(1);
+  Tensor y({1, d});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) {
+      y.at(0, j) += x.value().at(i, j) / static_cast<float>(n);
+    }
+  }
+  auto xn = x.node();
+  return MakeOp(y, {xn}, [xn, n, d](Node* self) {
+    Tensor g({n, d});
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < d; ++j) {
+        g.at(i, j) = self->grad.at(0, j) / static_cast<float>(n);
+      }
+    }
+    Accumulate(xn.get(), g);
+  });
+}
+
+}  // namespace vsd::autograd

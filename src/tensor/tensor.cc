@@ -1,0 +1,336 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace vsd::tensor {
+namespace {
+
+int ShapeProduct(const std::vector<int>& shape) {
+  int n = 1;
+  for (int d : shape) {
+    VSD_CHECK(d >= 0) << "negative dimension " << d;
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor() : data_(std::make_shared<std::vector<float>>()) {}
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)),
+      size_(ShapeProduct(shape_)),
+      data_(std::make_shared<std::vector<float>>(size_, 0.0f)) {}
+
+Tensor Tensor::Zeros(std::vector<int> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int> shape,
+                          std::vector<float> values) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.size_ = ShapeProduct(t.shape_);
+  VSD_CHECK(static_cast<int>(values.size()) == t.size_)
+      << "FromVector: " << values.size() << " values for size " << t.size_;
+  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int> shape, Rng* rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (int i = 0; i < t.size_; ++i) {
+    t.data()[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::Uniform(std::vector<int> shape, Rng* rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (int i = 0; i < t.size_; ++i) {
+    t.data()[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+int Tensor::dim(int i) const {
+  VSD_CHECK(i >= 0 && i < ndim()) << "dim index " << i;
+  return shape_[i];
+}
+
+float& Tensor::at(int i) { return (*data_)[i]; }
+float Tensor::at(int i) const { return (*data_)[i]; }
+
+float& Tensor::at(int i, int j) { return (*data_)[i * shape_[1] + j]; }
+float Tensor::at(int i, int j) const { return (*data_)[i * shape_[1] + j]; }
+
+float& Tensor::at4(int n, int c, int h, int w) {
+  return (*data_)[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+float Tensor::at4(int n, int c, int h, int w) const {
+  return (*data_)[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.size_ = size_;
+  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  return t;
+}
+
+Tensor Tensor::Reshape(std::vector<int> shape) const {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.size_ = ShapeProduct(t.shape_);
+  VSD_CHECK(t.size_ == size_) << "Reshape size mismatch";
+  t.data_ = data_;
+  return t;
+}
+
+Tensor Tensor::Row(int row) const {
+  VSD_CHECK(ndim() == 2) << "Row requires 2-D";
+  VSD_CHECK(row >= 0 && row < shape_[0]) << "row " << row;
+  const int d = shape_[1];
+  Tensor out({d});
+  for (int j = 0; j < d; ++j) out.at(j) = at(row, j);
+  return out;
+}
+
+void Tensor::Fill(float value) {
+  for (auto& x : *data_) x = value;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  VSD_CHECK(SameShape(*this, other)) << "AddInPlace shape mismatch";
+  for (int i = 0; i < size_; ++i) (*data_)[i] += other.at(i);
+}
+
+void Tensor::ScaleInPlace(float s) {
+  for (auto& x : *data_) x *= s;
+}
+
+std::vector<float> Tensor::ToVector() const { return *data_; }
+
+std::string Tensor::ToString() const {
+  std::string out = "Tensor[";
+  for (int i = 0; i < ndim(); ++i) {
+    if (i > 0) out += "x";
+    out += std::to_string(shape_[i]);
+  }
+  out += "]{";
+  const int show = std::min(size_, 8);
+  char buf[32];
+  for (int i = 0; i < show; ++i) {
+    if (i > 0) out += ", ";
+    std::snprintf(buf, sizeof(buf), "%.4g", at(i));
+    out += buf;
+  }
+  if (size_ > show) out += ", ...";
+  out += "}";
+  return out;
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+namespace {
+
+enum class BroadcastKind { kSame, kScalarB, kRowB, kInvalid };
+
+BroadcastKind ClassifyBroadcast(const Tensor& a, const Tensor& b) {
+  if (SameShape(a, b)) return BroadcastKind::kSame;
+  if (b.size() == 1) return BroadcastKind::kScalarB;
+  if (a.ndim() == 2 && b.ndim() == 1 && b.dim(0) == a.dim(1)) {
+    return BroadcastKind::kRowB;
+  }
+  if (a.ndim() == 2 && b.ndim() == 2 && b.dim(0) == 1 &&
+      b.dim(1) == a.dim(1)) {
+    return BroadcastKind::kRowB;
+  }
+  return BroadcastKind::kInvalid;
+}
+
+template <typename Op>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Op op, const char* name) {
+  const BroadcastKind kind = ClassifyBroadcast(a, b);
+  VSD_CHECK(kind != BroadcastKind::kInvalid) << name << " shape mismatch";
+  Tensor out(a.shape());
+  switch (kind) {
+    case BroadcastKind::kSame:
+      for (int i = 0; i < a.size(); ++i) out.at(i) = op(a.at(i), b.at(i));
+      break;
+    case BroadcastKind::kScalarB: {
+      const float s = b.at(0);
+      for (int i = 0; i < a.size(); ++i) out.at(i) = op(a.at(i), s);
+      break;
+    }
+    case BroadcastKind::kRowB: {
+      const int n = a.dim(0);
+      const int d = a.dim(1);
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < d; ++j) {
+          out.at(i * d + j) = op(a.at(i * d + j), b.at(j));
+        }
+      }
+      break;
+    }
+    case BroadcastKind::kInvalid:
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x + y; }, "Add");
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x - y; }, "Sub");
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x * y; }, "Mul");
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = a.Clone();
+  out.ScaleInPlace(s);
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  VSD_CHECK(a.ndim() == 2 && b.ndim() == 2) << "MatMul requires 2-D";
+  VSD_CHECK(a.dim(1) == b.dim(0)) << "MatMul inner dim mismatch";
+  const int m = a.dim(0);
+  const int k = a.dim(1);
+  const int n = b.dim(1);
+  Tensor out({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float av = ap[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = bp + p * n;
+      float* orow = op + i * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  VSD_CHECK(a.ndim() == 2) << "Transpose requires 2-D";
+  const int m = a.dim(0);
+  const int n = a.dim(1);
+  Tensor out({n, m});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+float Sum(const Tensor& a) {
+  double s = 0.0;
+  for (int i = 0; i < a.size(); ++i) s += a.at(i);
+  return static_cast<float>(s);
+}
+
+float Mean(const Tensor& a) {
+  if (a.size() == 0) return 0.0f;
+  return Sum(a) / static_cast<float>(a.size());
+}
+
+namespace {
+template <typename Op>
+Tensor UnaryOp(const Tensor& a, Op op) {
+  Tensor out(a.shape());
+  for (int i = 0; i < a.size(); ++i) out.at(i) = op(a.at(i));
+  return out;
+}
+}  // namespace
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](float x) {
+    return static_cast<float>(vsd::Sigmoid(static_cast<double>(x)));
+  });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); });
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  VSD_CHECK(a.ndim() == 2) << "SoftmaxRows requires 2-D";
+  const int n = a.dim(0);
+  const int d = a.dim(1);
+  Tensor out(a.shape());
+  for (int i = 0; i < n; ++i) {
+    float m = a.at(i, 0);
+    for (int j = 1; j < d; ++j) m = std::max(m, a.at(i, j));
+    float sum = 0.0f;
+    for (int j = 0; j < d; ++j) {
+      const float e = std::exp(a.at(i, j) - m);
+      out.at(i, j) = e;
+      sum += e;
+    }
+    for (int j = 0; j < d; ++j) out.at(i, j) /= sum;
+  }
+  return out;
+}
+
+std::vector<int> ArgMaxRows(const Tensor& a) {
+  VSD_CHECK(a.ndim() == 2) << "ArgMaxRows requires 2-D";
+  const int n = a.dim(0);
+  const int d = a.dim(1);
+  std::vector<int> out(n, 0);
+  for (int i = 0; i < n; ++i) {
+    float best = a.at(i, 0);
+    for (int j = 1; j < d; ++j) {
+      if (a.at(i, j) > best) {
+        best = a.at(i, j);
+        out[i] = j;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor StackRows(const std::vector<Tensor>& rows) {
+  VSD_CHECK(!rows.empty()) << "StackRows: empty input";
+  const int d = rows[0].size();
+  Tensor out({static_cast<int>(rows.size()), d});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    VSD_CHECK(rows[i].size() == d) << "StackRows: ragged rows";
+    for (int j = 0; j < d; ++j) {
+      out.at(static_cast<int>(i), j) = rows[i].at(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace vsd::tensor

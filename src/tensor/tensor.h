@@ -1,0 +1,130 @@
+#ifndef VSD_TENSOR_TENSOR_H_
+#define VSD_TENSOR_TENSOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vsd::tensor {
+
+/// \brief A dense row-major float32 N-dimensional array.
+///
+/// Copies are shallow (shared storage); use `Clone()` for a deep copy.
+/// All shape errors are programming errors and abort via VSD_CHECK — tensors
+/// sit on the hot path and returning `Status` from every op would be
+/// prohibitive; callers validate shapes at API boundaries instead.
+class Tensor {
+ public:
+  /// An empty (rank-0, size-0) tensor.
+  Tensor();
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  static Tensor Zeros(std::vector<int> shape);
+  static Tensor Full(std::vector<int> shape, float value);
+  /// Takes ownership of `values`; size must equal the shape product.
+  static Tensor FromVector(std::vector<int> shape, std::vector<float> values);
+  /// I.i.d. normal(0, stddev) entries.
+  static Tensor Randn(std::vector<int> shape, Rng* rng, float stddev = 1.0f);
+  /// I.i.d. uniform [lo, hi) entries.
+  static Tensor Uniform(std::vector<int> shape, Rng* rng, float lo,
+                        float hi);
+
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const;
+  /// Total element count.
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  float* data() { return data_->data(); }
+  const float* data() const { return data_->data(); }
+
+  /// Flat accessor.
+  float& at(int i);
+  float at(int i) const;
+  /// 2-D accessor; requires ndim() == 2.
+  float& at(int i, int j);
+  float at(int i, int j) const;
+  /// 4-D accessor (n, c, h, w); requires ndim() == 4.
+  float& at4(int n, int c, int h, int w);
+  float at4(int n, int c, int h, int w) const;
+
+  /// Deep copy.
+  Tensor Clone() const;
+
+  /// Returns a tensor sharing this storage with a new shape (same size).
+  Tensor Reshape(std::vector<int> shape) const;
+
+  /// Copies the `row`-th row of a 2-D tensor into a new [D] tensor.
+  Tensor Row(int row) const;
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Element-wise `this += other` (same shape).
+  void AddInPlace(const Tensor& other);
+  /// Element-wise `this *= s`.
+  void ScaleInPlace(float s);
+
+  /// Flat std::vector copy of the contents.
+  std::vector<float> ToVector() const;
+
+  /// "Tensor[2x3]{...}" debugging aid (truncated for large tensors).
+  std::string ToString() const;
+
+ private:
+  std::vector<int> shape_;
+  int size_ = 0;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+/// True when shapes are identical.
+bool SameShape(const Tensor& a, const Tensor& b);
+
+// ---- Value-level math (no autograd). Results are freshly allocated. ----
+
+/// Element-wise sum with limited broadcasting: shapes equal, `b` scalar
+/// (size 1), or `a`=[N,D] with `b`=[D].
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Scale(const Tensor& a, float s);
+
+/// 2-D matrix product [M,K]x[K,N] -> [M,N].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// 2-D transpose.
+Tensor Transpose(const Tensor& a);
+
+/// Sum of all elements.
+float Sum(const Tensor& a);
+/// Mean of all elements.
+float Mean(const Tensor& a);
+
+/// Element-wise maps.
+Tensor Relu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Exp(const Tensor& a);
+
+/// Row-wise softmax of a 2-D tensor.
+Tensor SoftmaxRows(const Tensor& a);
+
+/// Row-wise argmax of a 2-D tensor.
+std::vector<int> ArgMaxRows(const Tensor& a);
+
+/// Stacks equal-length [D] tensors into [N,D].
+Tensor StackRows(const std::vector<Tensor>& rows);
+
+}  // namespace vsd::tensor
+
+#endif  // VSD_TENSOR_TENSOR_H_

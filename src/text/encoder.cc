@@ -1,0 +1,48 @@
+#include "text/encoder.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "text/tokenizer.h"
+
+namespace vsd::text {
+
+namespace {
+
+/// FNV-1a 64-bit hash.
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+TextEncoder::TextEncoder(int dim) : dim_(dim) {}
+
+std::vector<float> TextEncoder::Encode(const std::string& text) const {
+  std::vector<float> v(dim_, 0.0f);
+  for (const auto& token : Tokenize(text)) {
+    const uint64_t h = Fnv1a(token);
+    const int bucket = static_cast<int>(h % static_cast<uint64_t>(dim_));
+    const float sign = ((h >> 32) & 1) ? 1.0f : -1.0f;
+    v[bucket] += sign;
+  }
+  double norm = 0.0;
+  for (float x : v) norm += x * x;
+  if (norm > 0.0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm));
+    for (auto& x : v) x *= inv;
+  }
+  return v;
+}
+
+double EmbeddingCosine(const std::vector<float>& a,
+                       const std::vector<float>& b) {
+  return vsd::CosineSimilarity(a, b);
+}
+
+}  // namespace vsd::text

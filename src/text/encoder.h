@@ -1,0 +1,36 @@
+#ifndef VSD_TEXT_ENCODER_H_
+#define VSD_TEXT_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+namespace vsd::text {
+
+/// \brief Fixed-dimensional text embedding by feature hashing
+/// (the repo's stand-in for the BERT encoder of Sec. IV-F's
+/// "Retrieve-by-description").
+///
+/// Tokens are hashed into `dim` buckets with a signed hash (the classic
+/// hashing trick), then the vector is L2-normalized, so cosine similarity
+/// approximates token-overlap similarity. Deterministic across runs.
+class TextEncoder {
+ public:
+  explicit TextEncoder(int dim = 64);
+
+  /// Embeds a text; returns an L2-normalized vector of `dim` floats
+  /// (all-zero for empty text).
+  std::vector<float> Encode(const std::string& text) const;
+
+  int dim() const { return dim_; }
+
+ private:
+  int dim_;
+};
+
+/// Cosine similarity convenience overload for encoder outputs.
+double EmbeddingCosine(const std::vector<float>& a,
+                       const std::vector<float>& b);
+
+}  // namespace vsd::text
+
+#endif  // VSD_TEXT_ENCODER_H_

@@ -1,0 +1,97 @@
+#include "text/instructions.h"
+
+#include "common/string_util.h"
+#include "text/templates.h"
+
+namespace vsd::text {
+
+std::string DescribeInstruction() {
+  return "Please describe the facial expressions of the subject in the "
+         "video, listing each facial movement you observe.";
+}
+
+std::string AssessInstruction() {
+  return "Based on the video and the facial expression description, assess "
+         "whether the subject is under stress. Answer Stressed or "
+         "Unstressed.";
+}
+
+std::string HighlightInstruction() {
+  return "Highlight the facial cues from your description that were most "
+         "critical to your stress assessment, most important first.";
+}
+
+std::string ReflectDescribeInstruction(const std::string& description,
+                                       int ground_truth_stress) {
+  std::string out =
+      "You previously described the facial expressions as follows:\n";
+  out += description;
+  out += "\nThe subject was actually ";
+  out += (ground_truth_stress == 1 ? "stressed" : "not stressed");
+  out +=
+      ". Could you refine your descriptions to support a better stress "
+      "assessment? Reflect on what you may have missed or over-reported, "
+      "then provide a new description.";
+  return out;
+}
+
+std::string ReflectRationaleInstruction(const std::string& rationale) {
+  std::string out = "You previously highlighted the following rationale:\n";
+  out += rationale;
+  out +=
+      "\nDo the highlighted cues really matter to your decision? Reflect "
+      "and provide a new rationale listing the cues that truly drive your "
+      "assessment.";
+  return out;
+}
+
+std::string VerifyDescribeInstruction(const std::string& description,
+                                      int num_choices) {
+  std::string out =
+      "Here is a description of a person's facial expressions:\n";
+  out += description;
+  out += "\nSelect which one of the following " +
+         std::to_string(num_choices) +
+         " videos this description refers to. Answer with the video "
+         "number.";
+  return out;
+}
+
+std::string DirectAssessInstruction() {
+  return "Is the subject in this video stressed? Yes or No?";
+}
+
+vsd::Result<InstructionKind> ClassifyInstruction(const std::string& text) {
+  // Order matters: reflection/verification texts embed descriptions or
+  // rationales, so the distinctive reflective phrases are checked first.
+  if (vsd::ContainsIgnoreCase(text, "select which") ||
+      vsd::ContainsIgnoreCase(text, "which one of the following")) {
+    return InstructionKind::kVerifyDescribe;
+  }
+  if (vsd::ContainsIgnoreCase(text, "refine your descriptions") ||
+      vsd::ContainsIgnoreCase(text, "provide a new description")) {
+    return InstructionKind::kReflectDescribe;
+  }
+  if (vsd::ContainsIgnoreCase(text, "new rationale") ||
+      vsd::ContainsIgnoreCase(text, "really matter")) {
+    return InstructionKind::kReflectRationale;
+  }
+  if (vsd::ContainsIgnoreCase(text, "yes or no")) {
+    return InstructionKind::kDirectAssess;
+  }
+  if (vsd::ContainsIgnoreCase(text, "highlight") ||
+      vsd::ContainsIgnoreCase(text, "most critical")) {
+    return InstructionKind::kHighlight;
+  }
+  if (vsd::ContainsIgnoreCase(text, "assess") ||
+      vsd::ContainsIgnoreCase(text, "under stress")) {
+    return InstructionKind::kAssess;
+  }
+  if (vsd::ContainsIgnoreCase(text, "describe") ||
+      vsd::ContainsIgnoreCase(text, "facial expressions")) {
+    return InstructionKind::kDescribe;
+  }
+  return vsd::Status::InvalidArgument("unrecognized instruction: " + text);
+}
+
+}  // namespace vsd::text

@@ -1,0 +1,41 @@
+#ifndef VSD_TEXT_INSTRUCTIONS_H_
+#define VSD_TEXT_INSTRUCTIONS_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace vsd::text {
+
+/// The instruction kinds the foundation model understands. I1/I2/I3 are the
+/// paper's chain instructions; the last three drive self-refinement and
+/// the direct (chain-free) ablation.
+enum class InstructionKind {
+  kDescribe,        ///< I1: describe the facial expressions.
+  kAssess,          ///< I2: assess stress from video + description.
+  kHighlight,       ///< I3: highlight the critical cues as rationale.
+  kReflectDescribe, ///< Fig. 3: reflect on a description, emit a new one.
+  kReflectRationale,///< Fig. 5: reflect on a rationale, emit n new ones.
+  kVerifyDescribe,  ///< Fig. 4: pick which of 4 videos a description fits.
+  kDirectAssess,    ///< "Is the subject in this video stressed? Yes or No?"
+};
+
+/// Builders for the canonical English instruction texts.
+std::string DescribeInstruction();                       // I1
+std::string AssessInstruction();                         // I2
+std::string HighlightInstruction();                      // I3
+std::string ReflectDescribeInstruction(const std::string& description,
+                                       int ground_truth_stress);
+std::string ReflectRationaleInstruction(const std::string& rationale);
+std::string VerifyDescribeInstruction(const std::string& description,
+                                      int num_choices);
+std::string DirectAssessInstruction();
+
+/// Classifies an instruction text back into its kind. This is the
+/// "instruction following" interface of the simulated foundation model:
+/// routing is by content, so paraphrases containing the key verbs work.
+vsd::Result<InstructionKind> ClassifyInstruction(const std::string& text);
+
+}  // namespace vsd::text
+
+#endif  // VSD_TEXT_INSTRUCTIONS_H_

@@ -1,0 +1,162 @@
+#include "text/templates.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace vsd::text {
+
+using face::AuMask;
+using face::GetAu;
+using face::kNumAus;
+
+std::string RenderDescription(const AuMask& mask) {
+  std::string out = "The facial expressions can be listed below:\n";
+  bool any = false;
+  for (int i = 0; i < kNumAus; ++i) {
+    if (!mask[i]) continue;
+    const auto& au = GetAu(i);
+    out += "-";
+    out += au.region_word;
+    out += ": ";
+    out += au.description;
+    out += "\n";
+    any = true;
+  }
+  if (!any) out += "-face: no notable facial movements\n";
+  return out;
+}
+
+AuMask ParseDescription(const std::string& text) {
+  AuMask mask{};
+  for (int i = 0; i < kNumAus; ++i) {
+    if (vsd::ContainsIgnoreCase(text, GetAu(i).description)) {
+      mask[i] = true;
+    }
+  }
+  // "cheek: raised" is a substring hazard ("raised" appears in other
+  // phrases); require the region-qualified form for AU6.
+  const int au6 = face::AuIndexFromFacs(6);
+  if (!vsd::ContainsIgnoreCase(text, "cheek: raised") &&
+      !vsd::ContainsIgnoreCase(text, "cheek raised") &&
+      !vsd::ContainsIgnoreCase(text, "cheeks raised")) {
+    mask[au6] = false;
+  } else {
+    mask[au6] = true;
+  }
+  return mask;
+}
+
+std::string RenderAssessment(int stress_label) {
+  return stress_label == 1 ? "The subject appears stressed."
+                           : "The subject does not appear stressed.";
+}
+
+vsd::Result<int> ParseAssessment(const std::string& text) {
+  const std::string lower = vsd::ToLower(text);
+  if (lower.find("not appear stressed") != std::string::npos ||
+      lower.find("not stressed") != std::string::npos ||
+      lower.find("unstressed") != std::string::npos) {
+    return 0;
+  }
+  if (lower.find("stressed") != std::string::npos) return 1;
+  // Bare yes/no answers must match whole tokens ("cannot" contains "no").
+  for (const auto& token : Tokenize(lower)) {
+    if (token == "yes") return 1;
+    if (token == "no") return 0;
+  }
+  return vsd::Status::InvalidArgument("no stress verdict in: " + text);
+}
+
+std::string RenderRationale(const std::vector<int>& au_indices) {
+  std::string out = "The facial cues most critical to my assessment are:\n";
+  int rank = 1;
+  for (int i : au_indices) {
+    if (i < 0 || i >= kNumAus) continue;
+    const auto& au = GetAu(i);
+    out += std::to_string(rank++) + ". " + au.description + " (" +
+           au.region_word + ")\n";
+  }
+  if (rank == 1) out += "(none)\n";
+  return out;
+}
+
+std::vector<int> ParseRationale(const std::string& text) {
+  const std::string lower = vsd::ToLower(text);
+  // Collect (position, au) pairs and sort by first appearance.
+  std::vector<std::pair<size_t, int>> hits;
+  for (int i = 0; i < kNumAus; ++i) {
+    const std::string phrase = vsd::ToLower(GetAu(i).description);
+    const size_t pos = lower.find(phrase);
+    if (pos != std::string::npos) hits.emplace_back(pos, i);
+  }
+  std::sort(hits.begin(), hits.end());
+  std::vector<int> out;
+  out.reserve(hits.size());
+  for (const auto& [pos, au] : hits) out.push_back(au);
+  return out;
+}
+
+AuLevels QuantizeAuLevels(const std::array<float, face::kNumAus>& intensity,
+                          float slight_threshold, float strong_threshold) {
+  AuLevels levels{};
+  for (int j = 0; j < kNumAus; ++j) {
+    if (intensity[j] >= strong_threshold) {
+      levels[j] = AuLevel::kStrong;
+    } else if (intensity[j] >= slight_threshold) {
+      levels[j] = AuLevel::kSlight;
+    } else {
+      levels[j] = AuLevel::kAbsent;
+    }
+  }
+  return levels;
+}
+
+std::string RenderDescriptionWithIntensity(const AuLevels& levels) {
+  std::string out = "The facial expressions can be listed below:\n";
+  bool any = false;
+  for (int j = 0; j < kNumAus; ++j) {
+    if (levels[j] == AuLevel::kAbsent) continue;
+    const auto& au = GetAu(j);
+    out += "-";
+    out += au.region_word;
+    out += ": ";
+    out += au.description;
+    out += levels[j] == AuLevel::kStrong ? " (strongly)" : " (slightly)";
+    out += "\n";
+    any = true;
+  }
+  if (!any) out += "-face: no notable facial movements\n";
+  return out;
+}
+
+AuLevels ParseDescriptionWithIntensity(const std::string& text) {
+  AuLevels levels{};
+  const face::AuMask mask = ParseDescription(text);
+  const std::string lower = vsd::ToLower(text);
+  for (int j = 0; j < kNumAus; ++j) {
+    if (!mask[j]) continue;
+    // Look for the qualifier right after the AU's phrase.
+    const std::string phrase = vsd::ToLower(GetAu(j).description);
+    const size_t pos = lower.find(phrase);
+    levels[j] = AuLevel::kSlight;
+    if (pos != std::string::npos) {
+      const std::string tail = lower.substr(pos + phrase.size(), 16);
+      if (tail.find("strongly") != std::string::npos) {
+        levels[j] = AuLevel::kStrong;
+      }
+    }
+  }
+  return levels;
+}
+
+face::AuMask LevelsToMask(const AuLevels& levels) {
+  face::AuMask mask{};
+  for (int j = 0; j < kNumAus; ++j) {
+    mask[j] = levels[j] != AuLevel::kAbsent;
+  }
+  return mask;
+}
+
+}  // namespace vsd::text

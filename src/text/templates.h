@@ -1,0 +1,74 @@
+#ifndef VSD_TEXT_TEMPLATES_H_
+#define VSD_TEXT_TEMPLATES_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "face/au.h"
+
+namespace vsd::text {
+
+/// \brief Renders an AU set into the paper's facial-description format:
+///
+///     The facial expressions can be listed below:
+///     -eyebrow: inner portions of the eyebrows raising
+///     -lid: upper lid raising
+///     -cheek: raised
+///
+/// An empty mask renders an explicit "no notable facial movements" line.
+std::string RenderDescription(const face::AuMask& mask);
+
+/// Inverse of RenderDescription: recovers the AU set by phrase matching.
+/// Tolerant to casing/extra whitespace. Unknown lines are ignored.
+face::AuMask ParseDescription(const std::string& text);
+
+/// Renders the Assess answer, e.g. "The subject appears stressed." /
+/// "The subject does not appear stressed."
+std::string RenderAssessment(int stress_label);
+
+/// Parses a stress answer; accepts "stressed"/"not stressed"/"unstressed"/
+/// "yes"/"no" forms. Errors when no verdict is present.
+vsd::Result<int> ParseAssessment(const std::string& text);
+
+/// Renders an ordered rationale list, most critical cue first:
+///
+///     The facial cues most critical to my assessment are:
+///     1. eyebrows lowering and drawing together (eyebrow)
+///     2. lip corners pulling downward (lip)
+std::string RenderRationale(const std::vector<int>& au_indices);
+
+/// Parses a rationale back into ordered AU indices (order of appearance).
+std::vector<int> ParseRationale(const std::string& text);
+
+/// FACS-style intensity levels (the A-E scale collapsed to three bins the
+/// renderer can actually distinguish).
+enum class AuLevel { kAbsent = 0, kSlight = 1, kStrong = 2 };
+
+/// Per-AU intensity levels.
+using AuLevels = std::array<AuLevel, face::kNumAus>;
+
+/// Quantizes continuous intensities ([0,1]) into levels; `slight_threshold`
+/// and `strong_threshold` default to the FACS-coder conventions used by
+/// the data generator (0.3 / 0.6).
+AuLevels QuantizeAuLevels(const std::array<float, face::kNumAus>& intensity,
+                          float slight_threshold = 0.3f,
+                          float strong_threshold = 0.6f);
+
+/// Renders a description with intensity qualifiers, e.g.
+/// "-eyebrow: eyebrows lowering and drawing together (strongly)".
+/// Extension over the paper's format (its Qwen-VL emits free text and may
+/// include such adverbs; our structured template makes them explicit).
+std::string RenderDescriptionWithIntensity(const AuLevels& levels);
+
+/// Inverse of RenderDescriptionWithIntensity. Unqualified mentions parse
+/// as kSlight.
+AuLevels ParseDescriptionWithIntensity(const std::string& text);
+
+/// Collapses levels to the presence mask used by the main pipeline.
+face::AuMask LevelsToMask(const AuLevels& levels);
+
+}  // namespace vsd::text
+
+#endif  // VSD_TEXT_TEMPLATES_H_

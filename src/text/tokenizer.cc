@@ -1,0 +1,36 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <set>
+
+namespace vsd::text {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  const auto ta = Tokenize(a);
+  const auto tb = Tokenize(b);
+  std::set<std::string> sa(ta.begin(), ta.end());
+  std::set<std::string> sb(tb.begin(), tb.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  int inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  const int uni = static_cast<int>(sa.size() + sb.size()) - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+}  // namespace vsd::text

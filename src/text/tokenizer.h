@@ -1,0 +1,19 @@
+#ifndef VSD_TEXT_TOKENIZER_H_
+#define VSD_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vsd::text {
+
+/// Lowercases and splits on non-alphanumeric characters; drops empties.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Token count shared between two texts divided by the union size
+/// (Jaccard over token sets).
+double TokenJaccard(std::string_view a, std::string_view b);
+
+}  // namespace vsd::text
+
+#endif  // VSD_TEXT_TOKENIZER_H_

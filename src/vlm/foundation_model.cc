@@ -1,0 +1,560 @@
+#include "vlm/foundation_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "tensor/autograd.h"
+#include "text/instructions.h"
+#include "text/templates.h"
+
+namespace vsd::vlm {
+
+namespace ag = ::vsd::autograd;
+using face::AuMask;
+using face::kNumAus;
+using nn::Var;
+using tensor::Tensor;
+
+FoundationModel::FoundationModel(const FoundationModelConfig& config)
+    : config_(config) {
+  Rng rng(config.seed);
+  vision_ = std::make_shared<VisionTower>(config.vision_dim, &rng);
+  trunk_ = std::make_shared<nn::Linear>(2 * config.vision_dim,
+                                        config.hidden_dim, &rng);
+  // The trunk is residual: heads see [GELU(W f), f], so the nonlinear
+  // features never bottleneck the raw video representation.
+  const int trunk_out = config.hidden_dim + 2 * config.vision_dim;
+  describe_head_ = std::make_shared<nn::Linear>(trunk_out, kNumAus, &rng);
+  au_embed_ = std::make_shared<nn::Linear>(kNumAus, config.au_feature_dim,
+                                           &rng);
+  assess_head_ = std::make_shared<nn::Mlp>(
+      std::vector<int>{trunk_out + kNumAus + config.au_feature_dim, 64, 2},
+      nn::Activation::kGelu, &rng);
+  highlight_head_ = std::make_shared<nn::Mlp>(
+      std::vector<int>{trunk_out + config.au_feature_dim + 2, 48, kNumAus},
+      nn::Activation::kGelu, &rng);
+}
+
+std::unique_ptr<FoundationModel> FoundationModel::Clone() const {
+  auto copy = std::make_unique<FoundationModel>(config_);
+  const bool ok = copy->LoadStateVector(StateVector());
+  VSD_CHECK(ok) << "Clone state mismatch";
+  copy->feature_cache_ = feature_cache_;
+  return copy;
+}
+
+Tensor FoundationModel::VideoFeature(const data::VideoSample& sample) const {
+  auto it = feature_cache_.find(sample.id);
+  if (it != feature_cache_.end()) return it->second;
+  return vision_->EmbedPair(sample.expressive_frame, sample.neutral_frame);
+}
+
+void FoundationModel::PrecomputeFeatures(const data::Dataset& dataset) {
+  for (const auto& sample : dataset.samples) {
+    feature_cache_[sample.id] =
+        vision_->EmbedPair(sample.expressive_frame, sample.neutral_frame);
+  }
+}
+
+void FoundationModel::ClearFeatureCache() { feature_cache_.clear(); }
+
+Var FoundationModel::TrunkForward(const Var& video_features) const {
+  return ag::Concat(ag::Gelu(trunk_->Forward(video_features)),
+                    video_features);
+}
+
+Var FoundationModel::DescribeLogitsVar(const Var& hidden) const {
+  return describe_head_->Forward(hidden);
+}
+
+Var FoundationModel::AssessLogitsVar(const Var& hidden,
+                                     const Var& description_rows) const {
+  Var au_feat = au_embed_->Forward(description_rows);
+  // The assess step re-reads the model's own facial-action posterior (the
+  // soft form of the Describe output) alongside the discrete description
+  // text E — the structured analogue of a VLM attending to its generated
+  // reasoning step.
+  Var describe_posterior = ag::SigmoidV(DescribeLogitsVar(hidden));
+  return assess_head_->Forward(
+      ag::Concat(ag::Concat(hidden, describe_posterior), au_feat));
+}
+
+Var FoundationModel::HighlightLogitsVar(const Var& hidden,
+                                        const Var& description_rows,
+                                        const Var& assess_onehot) const {
+  Var au_feat = au_embed_->Forward(description_rows);
+  return highlight_head_->Forward(
+      ag::Concat(ag::Concat(hidden, au_feat), assess_onehot));
+}
+
+Var FoundationModel::BernoulliSetLogProbVar(
+    const Var& logits, const std::vector<AuMask>& masks) {
+  Var mask_rows = MaskRows(masks);
+  // log p = sum_j [m log sigma(z) + (1-m) log sigma(-z)]
+  //       = sum_j -(softplus(z) - z*m).
+  Var nll = ag::Sub(ag::Softplus(logits), ag::Mul(logits, mask_rows));
+  return ag::RowSum(ag::Neg(nll));
+}
+
+double FoundationModel::EffectiveBias(const AuMask& description) const {
+  return config_.assess_margin_bias;
+}
+
+Var FoundationModel::HiddenFor(const data::VideoSample& sample) const {
+  Tensor feature = VideoFeature(sample);
+  return TrunkForward(Var(feature.Reshape({1, feature.size()})));
+}
+
+Var FoundationModel::MaskRows(const std::vector<AuMask>& masks) {
+  Tensor rows({static_cast<int>(masks.size()), kNumAus});
+  for (size_t i = 0; i < masks.size(); ++i) {
+    for (int j = 0; j < kNumAus; ++j) {
+      rows.at(static_cast<int>(i), j) = masks[i][j] ? 1.0f : 0.0f;
+    }
+  }
+  return Var(rows);
+}
+
+Var FoundationModel::OneHotRows(const std::vector<int>& labels,
+                                int classes) {
+  Tensor rows({static_cast<int>(labels.size()), classes});
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= 0 && labels[i] < classes) {
+      rows.at(static_cast<int>(i), labels[i]) = 1.0f;
+    }
+  }
+  return Var(rows);
+}
+
+std::vector<double> FoundationModel::DescribeProbs(
+    const data::VideoSample& sample) const {
+  Var logits = DescribeLogitsVar(HiddenFor(sample));
+  std::vector<double> probs(kNumAus);
+  for (int j = 0; j < kNumAus; ++j) {
+    probs[j] = vsd::Sigmoid(logits.value().at(0, j));
+  }
+  return probs;
+}
+
+DescribeResult FoundationModel::Describe(const data::VideoSample& sample,
+                                         double temperature,
+                                         Rng* rng) const {
+  Var logits = DescribeLogitsVar(HiddenFor(sample));
+  const double t = std::max(temperature, 1e-3);
+  DescribeResult result;
+  for (int j = 0; j < kNumAus; ++j) {
+    const double z = logits.value().at(0, j);
+    const bool active = rng->Bernoulli(vsd::Sigmoid(z / t));
+    result.mask[j] = active;
+    // Likelihood is reported at the model's native temperature (T=1).
+    result.log_prob +=
+        active ? std::log(std::max(vsd::Sigmoid(z), 1e-12))
+               : std::log(std::max(vsd::Sigmoid(-z), 1e-12));
+  }
+  result.text = text::RenderDescription(result.mask);
+  return result;
+}
+
+double FoundationModel::DescriptionLogProb(const data::VideoSample& sample,
+                                           const AuMask& mask) const {
+  Var logits = DescribeLogitsVar(HiddenFor(sample));
+  double log_prob = 0.0;
+  for (int j = 0; j < kNumAus; ++j) {
+    const double z = logits.value().at(0, j);
+    log_prob += mask[j] ? std::log(std::max(vsd::Sigmoid(z), 1e-12))
+                        : std::log(std::max(vsd::Sigmoid(-z), 1e-12));
+  }
+  return log_prob;
+}
+
+AssessResult FoundationModel::Assess(const data::VideoSample& sample,
+                                     const AuMask& description,
+                                     double temperature, Rng* rng) const {
+  Var logits = AssessLogitsVar(HiddenFor(sample), MaskRows({description}));
+  const double margin = logits.value().at(0, 1) - logits.value().at(0, 0) +
+                        EffectiveBias(description);
+  AssessResult result;
+  result.prob_stressed = vsd::Sigmoid(margin);
+  if (temperature <= 0.0 || rng == nullptr) {
+    result.label = result.prob_stressed >= 0.5 ? 1 : 0;
+  } else {
+    result.label = rng->Bernoulli(vsd::Sigmoid(margin / temperature)) ? 1 : 0;
+  }
+  result.text = text::RenderAssessment(result.label);
+  return result;
+}
+
+double FoundationModel::AssessProbStressed(
+    const data::VideoSample& sample, const AuMask& description) const {
+  Var logits = AssessLogitsVar(HiddenFor(sample), MaskRows({description}));
+  return vsd::Sigmoid(logits.value().at(0, 1) - logits.value().at(0, 0) +
+                      EffectiveBias(description));
+}
+
+double FoundationModel::AssessProbStressedWithFrames(
+    const img::Image& expressive, const img::Image& neutral,
+    const AuMask& description) const {
+  Tensor feature = vision_->EmbedPair(expressive, neutral);
+  Var hidden = TrunkForward(Var(feature.Reshape({1, feature.size()})));
+  Var logits = AssessLogitsVar(hidden, MaskRows({description}));
+  return vsd::Sigmoid(logits.value().at(0, 1) - logits.value().at(0, 0) +
+                      EffectiveBias(description));
+}
+
+AssessResult FoundationModel::AssessWithExample(
+    const data::VideoSample& sample, const AuMask& description,
+    int example_label, double similarity, double temperature,
+    Rng* rng) const {
+  Var logits = AssessLogitsVar(HiddenFor(sample), MaskRows({description}));
+  double margin = logits.value().at(0, 1) - logits.value().at(0, 0) +
+                  EffectiveBias(description);
+  // The in-context example shifts the decision toward its own label in
+  // proportion to how similar it is to the query (Sec. IV-F): dissimilar
+  // examples contribute near-zero shift (random retrieval ~ no example).
+  constexpr double kIclWeight = 1.1;
+  const double gate = std::max(0.0, similarity);
+  margin += kIclWeight * gate * (example_label == 1 ? 1.0 : -1.0);
+  AssessResult result;
+  result.prob_stressed = vsd::Sigmoid(margin);
+  if (temperature <= 0.0 || rng == nullptr) {
+    result.label = result.prob_stressed >= 0.5 ? 1 : 0;
+  } else {
+    result.label =
+        rng->Bernoulli(vsd::Sigmoid(margin / temperature)) ? 1 : 0;
+  }
+  result.text = text::RenderAssessment(result.label);
+  return result;
+}
+
+HighlightResult FoundationModel::Highlight(const data::VideoSample& sample,
+                                           const AuMask& description,
+                                           int assessment, int top_m,
+                                           double temperature,
+                                           Rng* rng) const {
+  Var logits = HighlightLogitsVar(HiddenFor(sample), MaskRows({description}),
+                                  OneHotRows({assessment}, 2));
+  std::vector<int> candidates = face::AuMaskToIndices(description);
+  if (candidates.empty()) {
+    candidates.resize(kNumAus);
+    for (int j = 0; j < kNumAus; ++j) candidates[j] = j;
+  }
+  const double t = std::max(temperature, 1e-3);
+  HighlightResult result;
+  // Plackett-Luce sampling without replacement over the candidate set.
+  std::vector<int> remaining = candidates;
+  const int picks = std::min<int>(top_m, static_cast<int>(remaining.size()));
+  for (int step = 0; step < picks; ++step) {
+    std::vector<double> weights(remaining.size());
+    double max_z = -1e30;
+    for (int i : remaining) max_z = std::max(max_z, (double)logits.value().at(0, i));
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      weights[i] =
+          std::exp((logits.value().at(0, remaining[i]) - max_z) / t);
+    }
+    int pick;
+    if (rng == nullptr) {
+      pick = vsd::ArgMax(weights);
+    } else {
+      pick = rng->SampleIndex(weights);
+    }
+    if (pick < 0) pick = 0;
+    result.ranked_aus.push_back(remaining[pick]);
+    remaining.erase(remaining.begin() + pick);
+  }
+  result.text = text::RenderRationale(result.ranked_aus);
+  return result;
+}
+
+DescribeResult FoundationModel::ReflectDescribe(
+    const data::VideoSample& sample, const AuMask& previous,
+    int ground_truth_stress, double temperature, Rng* rng) const {
+  Var hidden = HiddenFor(sample);
+  Var logits = DescribeLogitsVar(hidden);
+
+  // Sensitivity of the model's own stress belief to each AU: toggling AU j
+  // in the previous description and reading the assess-head margin. With
+  // the ground-truth outcome known (training time), the describe logits
+  // are tilted toward AUs that support the true label — "could I refine my
+  // descriptions to support better stress assessment?" (Fig. 3).
+  std::array<double, kNumAus> tilt{};
+  if (ground_truth_stress == 0 || ground_truth_stress == 1) {
+    const double sign = ground_truth_stress == 1 ? 1.0 : -1.0;
+    for (int j = 0; j < kNumAus; ++j) {
+      AuMask on = previous;
+      AuMask off = previous;
+      on[j] = true;
+      off[j] = false;
+      Var z_on = AssessLogitsVar(hidden, MaskRows({on}));
+      Var z_off = AssessLogitsVar(hidden, MaskRows({off}));
+      const double margin_on =
+          z_on.value().at(0, 1) - z_on.value().at(0, 0);
+      const double margin_off =
+          z_off.value().at(0, 1) - z_off.value().at(0, 0);
+      tilt[j] = sign * (margin_on - margin_off);
+    }
+  }
+
+  constexpr double kTiltStrength = 2.2;
+  constexpr double kAnchorStrength = 0.5;
+  const double t = std::max(temperature, 1e-3);
+  DescribeResult result;
+  for (int j = 0; j < kNumAus; ++j) {
+    double z = logits.value().at(0, j);
+    z += kAnchorStrength * (previous[j] ? 1.0 : -1.0);
+    // Reflection reconsiders *uncertain* units: confident visual evidence
+    // (large |z|) is not overridden by the outcome-driven tilt.
+    const double uncertainty = 1.0 / (1.0 + std::abs(z));
+    z += kTiltStrength * uncertainty * tilt[j];
+    const bool active = rng->Bernoulli(vsd::Sigmoid(z / t));
+    result.mask[j] = active;
+    const double z_model = logits.value().at(0, j);
+    result.log_prob +=
+        active ? std::log(std::max(vsd::Sigmoid(z_model), 1e-12))
+               : std::log(std::max(vsd::Sigmoid(-z_model), 1e-12));
+  }
+  result.text = text::RenderDescription(result.mask);
+  return result;
+}
+
+int FoundationModel::SelectVideoForDescription(
+    const std::vector<const data::VideoSample*>& candidates,
+    const AuMask& description, double temperature, Rng* rng) const {
+  VSD_CHECK(!candidates.empty()) << "no candidate videos";
+  std::vector<double> log_probs(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    log_probs[i] = DescriptionLogProb(*candidates[i], description);
+  }
+  if (temperature <= 0.0 || rng == nullptr) {
+    return vsd::ArgMax(log_probs);
+  }
+  std::vector<double> weights = log_probs;
+  vsd::SoftmaxInPlace(&weights, temperature);
+  const int pick = rng->SampleIndex(weights);
+  return pick < 0 ? 0 : pick;
+}
+
+Var FoundationModel::DescribeLoss(
+    const std::vector<const data::VideoSample*>& batch,
+    const std::vector<AuMask>& targets, bool train_vision) const {
+  VSD_CHECK(batch.size() == targets.size()) << "DescribeLoss batch mismatch";
+  const int n = static_cast<int>(batch.size());
+  Var features;
+  if (train_vision) {
+    std::vector<const img::Image*> images;
+    images.reserve(2 * n);
+    for (const auto* sample : batch) {
+      images.push_back(&sample->expressive_frame);
+      images.push_back(&sample->neutral_frame);
+    }
+    Var frame_embeds = vision_->Forward(Var(vision_->PackImages(images)));
+    // Rows are (f_e, f_l) interleaved, so a reshape pairs them per sample.
+    features = ag::Reshape(frame_embeds, {n, 2 * config_.vision_dim});
+  } else {
+    Tensor rows({n, 2 * config_.vision_dim});
+    for (int i = 0; i < n; ++i) {
+      Tensor f = VideoFeature(*batch[i]);
+      for (int j = 0; j < f.size(); ++j) rows.at(i, j) = f.at(j);
+    }
+    features = Var(rows);
+  }
+  Var logits = DescribeLogitsVar(TrunkForward(features));
+  Var mask_rows = MaskRows(targets);
+  // Mean BCE-with-logits: softplus(z) - z*m averaged over all entries.
+  return ag::MeanAll(ag::Sub(ag::Softplus(logits),
+                             ag::Mul(logits, mask_rows)));
+}
+
+Var FoundationModel::AssessLoss(
+    const std::vector<const data::VideoSample*>& batch,
+    const std::vector<AuMask>& descriptions,
+    const std::vector<int>& labels) const {
+  VSD_CHECK(batch.size() == descriptions.size() &&
+            batch.size() == labels.size())
+      << "AssessLoss batch mismatch";
+  const int n = static_cast<int>(batch.size());
+  Tensor rows({n, 2 * config_.vision_dim});
+  for (int i = 0; i < n; ++i) {
+    Tensor f = VideoFeature(*batch[i]);
+    for (int j = 0; j < f.size(); ++j) rows.at(i, j) = f.at(j);
+  }
+  Var hidden = TrunkForward(Var(rows));
+  Var logits = AssessLogitsVar(hidden, MaskRows(descriptions));
+  return ag::SoftmaxCrossEntropy(logits, labels);
+}
+
+namespace {
+
+/// Stacks cached features of a batch into [N, dim] rows.
+Tensor StackFeatures(const FoundationModel& model,
+                     const std::vector<const data::VideoSample*>& batch,
+                     int dim) {
+  Tensor rows({static_cast<int>(batch.size()), dim});
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Tensor f = model.VideoFeature(*batch[i]);
+    for (int j = 0; j < f.size(); ++j) {
+      rows.at(static_cast<int>(i), j) = f.at(j);
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+Var FoundationModel::HighlightLoss(
+    const std::vector<const data::VideoSample*>& batch,
+    const std::vector<AuMask>& descriptions,
+    const std::vector<int>& assessments,
+    const std::vector<AuMask>& targets) const {
+  VSD_CHECK(batch.size() == targets.size()) << "HighlightLoss batch mismatch";
+  Tensor rows = StackFeatures(*this, batch, 2 * config_.vision_dim);
+  Var hidden = TrunkForward(Var(rows));
+  Var logits = HighlightLogitsVar(hidden, MaskRows(descriptions),
+                                  OneHotRows(assessments, 2));
+  Var mask_rows = MaskRows(targets);
+  return ag::MeanAll(ag::Sub(ag::Softplus(logits),
+                             ag::Mul(logits, mask_rows)));
+}
+
+Var FoundationModel::DpoDescribeLoss(
+    const std::vector<const data::VideoSample*>& batch,
+    const std::vector<AuMask>& winners, const std::vector<AuMask>& losers,
+    const FoundationModel& reference, float beta) const {
+  VSD_CHECK(batch.size() == winners.size() && batch.size() == losers.size())
+      << "DpoDescribeLoss batch mismatch";
+  Tensor rows = StackFeatures(*this, batch, 2 * config_.vision_dim);
+  Var logits = DescribeLogitsVar(TrunkForward(Var(rows)));
+  Var lw = BernoulliSetLogProbVar(logits, winners);
+  Var ll = BernoulliSetLogProbVar(logits, losers);
+
+  // Reference log-probs are constants (frozen model).
+  Tensor ref_rows = StackFeatures(reference, batch,
+                                  2 * reference.config_.vision_dim);
+  Var ref_logits =
+      reference.DescribeLogitsVar(reference.TrunkForward(Var(ref_rows)));
+  Var ref_lw = BernoulliSetLogProbVar(ref_logits, winners);
+  Var ref_ll = BernoulliSetLogProbVar(ref_logits, losers);
+  Var ref_delta = Var(tensor::Sub(ref_lw.value(), ref_ll.value()));
+
+  Var delta = ag::Sub(ag::Sub(lw, ll), ref_delta);
+  // -log sigmoid(beta * delta) = softplus(-beta * delta).
+  return ag::MeanAll(ag::Softplus(ag::Scale(delta, -beta)));
+}
+
+Var FoundationModel::DpoRationaleLoss(
+    const std::vector<const data::VideoSample*>& batch,
+    const std::vector<AuMask>& descriptions,
+    const std::vector<int>& assessments, const std::vector<AuMask>& winners,
+    const std::vector<AuMask>& losers, const FoundationModel& reference,
+    float beta) const {
+  VSD_CHECK(batch.size() == winners.size() && batch.size() == losers.size())
+      << "DpoRationaleLoss batch mismatch";
+  Tensor rows = StackFeatures(*this, batch, 2 * config_.vision_dim);
+  Var hidden = TrunkForward(Var(rows));
+  Var logits = HighlightLogitsVar(hidden, MaskRows(descriptions),
+                                  OneHotRows(assessments, 2));
+  Var lw = BernoulliSetLogProbVar(logits, winners);
+  Var ll = BernoulliSetLogProbVar(logits, losers);
+
+  Tensor ref_rows = StackFeatures(reference, batch,
+                                  2 * reference.config_.vision_dim);
+  Var ref_hidden = reference.TrunkForward(Var(ref_rows));
+  Var ref_logits = reference.HighlightLogitsVar(
+      ref_hidden, MaskRows(descriptions), OneHotRows(assessments, 2));
+  Var ref_lw = BernoulliSetLogProbVar(ref_logits, winners);
+  Var ref_ll = BernoulliSetLogProbVar(ref_logits, losers);
+  Var ref_delta = Var(tensor::Sub(ref_lw.value(), ref_ll.value()));
+
+  Var delta = ag::Sub(ag::Sub(lw, ll), ref_delta);
+  return ag::MeanAll(ag::Softplus(ag::Scale(delta, -beta)));
+}
+
+vsd::Result<std::string> FoundationModel::Chat(
+    const std::vector<const data::VideoSample*>& videos,
+    const std::string& instruction, const std::string& context,
+    double temperature, Rng* rng) const {
+  if (videos.empty()) {
+    return vsd::Status::InvalidArgument("Chat requires at least one video");
+  }
+  VSD_ASSIGN_OR_RETURN(text::InstructionKind kind,
+                       text::ClassifyInstruction(instruction));
+  const data::VideoSample& video = *videos[0];
+  switch (kind) {
+    case text::InstructionKind::kDescribe:
+      return Describe(video, temperature, rng).text;
+    case text::InstructionKind::kAssess: {
+      const AuMask description = text::ParseDescription(context);
+      return Assess(video, description, temperature, rng).text;
+    }
+    case text::InstructionKind::kHighlight: {
+      const AuMask description = text::ParseDescription(context);
+      auto assessment = text::ParseAssessment(context);
+      const int label = assessment.ok()
+                            ? assessment.value()
+                            : Assess(video, description, 0.0, nullptr).label;
+      return Highlight(video, description, label, /*top_m=*/3, temperature,
+                       rng)
+          .text;
+    }
+    case text::InstructionKind::kReflectDescribe: {
+      const AuMask previous = text::ParseDescription(instruction);
+      int ground_truth = -1;
+      if (vsd::ContainsIgnoreCase(instruction, "actually not stressed")) {
+        ground_truth = 0;
+      } else if (vsd::ContainsIgnoreCase(instruction, "actually stressed")) {
+        ground_truth = 1;
+      }
+      return ReflectDescribe(video, previous, ground_truth, temperature, rng)
+          .text;
+    }
+    case text::InstructionKind::kReflectRationale: {
+      const AuMask description = text::ParseDescription(context);
+      auto assessment = text::ParseAssessment(context);
+      const int label = assessment.ok()
+                            ? assessment.value()
+                            : Assess(video, description, 0.0, nullptr).label;
+      // Reflection explores alternatives: a hotter re-ranking.
+      return Highlight(video, description, label, /*top_m=*/3,
+                       std::max(1.0, temperature * 2.0), rng)
+          .text;
+    }
+    case text::InstructionKind::kVerifyDescribe: {
+      const AuMask description = text::ParseDescription(instruction);
+      const int pick =
+          SelectVideoForDescription(videos, description, temperature, rng);
+      return "Video " + std::to_string(pick + 1);
+    }
+    case text::InstructionKind::kDirectAssess: {
+      AssessResult result = Assess(video, AuMask{}, temperature, rng);
+      return std::string(result.label == 1 ? "Yes. " : "No. ") + result.text;
+    }
+  }
+  return vsd::Status::Internal("unhandled instruction kind");
+}
+
+std::vector<Var> FoundationModel::Parameters() const {
+  std::vector<Var> params = VisionParameters();
+  for (const auto& p : HeadParameters()) params.push_back(p);
+  return params;
+}
+
+std::vector<Var> FoundationModel::HeadParameters() const {
+  std::vector<Var> params;
+  auto append = [&params](const std::vector<Var>& more) {
+    params.insert(params.end(), more.begin(), more.end());
+  };
+  append(trunk_->Parameters());
+  append(describe_head_->Parameters());
+  append(au_embed_->Parameters());
+  append(assess_head_->Parameters());
+  append(highlight_head_->Parameters());
+  return params;
+}
+
+std::vector<Var> FoundationModel::VisionParameters() const {
+  return vision_->Parameters();
+}
+
+}  // namespace vsd::vlm

@@ -1,0 +1,258 @@
+#ifndef VSD_VLM_FOUNDATION_MODEL_H_
+#define VSD_VLM_FOUNDATION_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/sample.h"
+#include "face/au.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "vlm/vision.h"
+
+namespace vsd::vlm {
+
+/// Architecture hyper-parameters of the simulated vision-language model.
+struct FoundationModelConfig {
+  int vision_dim = 48;      ///< Per-frame embedding width.
+  int hidden_dim = 96;      ///< Trunk width.
+  int au_feature_dim = 24;  ///< Width of the description (AU set) embedding.
+  uint64_t seed = 42;       ///< Weight initialization seed.
+  /// Fixed additive offset on the assess stress-margin. Zero for trained
+  /// task models; nonzero for the off-the-shelf API simulations, whose
+  /// verdict threshold is not calibrated to the stress prior (the paper's
+  /// zero-shot rows show exactly this precision/recall skew).
+  float assess_margin_bias = 0.0f;
+};
+
+/// Structured result of the Describe step (facial description E).
+struct DescribeResult {
+  face::AuMask mask{};   ///< AUs the model reports.
+  std::string text;      ///< Natural-language rendering of the description.
+  double log_prob = 0.0; ///< log p_F(E | V, I1) of the sampled set.
+};
+
+/// Structured result of the Assess step (stress decision A).
+struct AssessResult {
+  int label = 0;               ///< 1 = Stressed, 0 = Unstressed.
+  double prob_stressed = 0.5;  ///< p_F(A=stressed | V, E, I2).
+  std::string text;
+};
+
+/// Structured result of the Highlight step (rationale R).
+struct HighlightResult {
+  std::vector<int> ranked_aus;  ///< AU indices, most critical first.
+  std::string text;
+};
+
+/// \brief The trainable generative vision-language model F.
+///
+/// This class is the repo's stand-in for the fine-tuned Qwen-VL of the
+/// paper. It exposes two equivalent interfaces:
+///
+///  * a typed interface (`Describe` / `Assess` / `Highlight` / reflection /
+///    verification) whose outputs carry honest model likelihoods, used by
+///    the chain pipeline and the DPO trainer; and
+///  * a text interface (`Chat`) that routes English instructions (I1, I2,
+///    I3, reflection, verification, direct-assess) to the typed interface
+///    and renders/parses the canonical templates — the "prompt the model"
+///    surface used by examples and the off-the-shelf-model experiments.
+///
+/// Generation is stochastic: Describe samples a Bernoulli per AU from the
+/// describe head, Assess samples from the stress softmax, and Highlight
+/// samples a ranking (Plackett-Luce) from the saliency head; `temperature`
+/// scales all of them. Likelihood queries (`DescriptionLogProb`,
+/// `AssessProbStressed`, `RationaleSetLogProbVar`) are exact under the
+/// model, which is what makes Eq. 2-5 implementable as written.
+///
+/// The vision tower is trained during Describe instruction tuning and then
+/// frozen, so per-video features can be cached with PrecomputeFeatures().
+class FoundationModel : public nn::Module {
+ public:
+  explicit FoundationModel(const FoundationModelConfig& config);
+
+  const FoundationModelConfig& config() const { return config_; }
+  const VisionTower& vision() const { return *vision_; }
+
+  /// Deep copy (weights included); used for the frozen DPO reference.
+  std::unique_ptr<FoundationModel> Clone() const;
+
+  // ---- Features ----
+
+  /// [2*vision_dim] embedding of the sample's frame pair; served from the
+  /// feature cache when present.
+  tensor::Tensor VideoFeature(const data::VideoSample& sample) const;
+
+  /// Fills the feature cache for every sample (call after the vision tower
+  /// is frozen). Keyed by sample id.
+  void PrecomputeFeatures(const data::Dataset& dataset);
+  void ClearFeatureCache();
+
+  // ---- Differentiable internals (batched) ----
+
+  /// Residual trunk: [N, 2*vision_dim] -> [N, hidden_dim + 2*vision_dim]
+  /// (the GELU features concatenated with the raw video features, so no
+  /// head is bottlenecked by the nonlinear projection).
+  nn::Var TrunkForward(const nn::Var& video_features) const;
+  /// Describe head: hidden -> [N, kNumAus] presence logits.
+  nn::Var DescribeLogitsVar(const nn::Var& hidden) const;
+  /// Assess head: trunk output + the model's own describe posterior +
+  /// description mask rows [N,kNumAus] -> [N,2].
+  nn::Var AssessLogitsVar(const nn::Var& hidden,
+                          const nn::Var& description_rows) const;
+  /// Highlight head: hidden + description + assessment one-hot -> [N,12].
+  nn::Var HighlightLogitsVar(const nn::Var& hidden,
+                             const nn::Var& description_rows,
+                             const nn::Var& assess_onehot) const;
+
+  /// log p(mask | logits) as a differentiable [N,1] column (independent
+  /// Bernoulli per AU). Shared by Eq. 3 and Eq. 5.
+  static nn::Var BernoulliSetLogProbVar(
+      const nn::Var& logits, const std::vector<face::AuMask>& masks);
+
+  // ---- Inference (single sample) ----
+
+  /// Per-AU activation probabilities from the describe head.
+  std::vector<double> DescribeProbs(const data::VideoSample& sample) const;
+
+  /// Samples a description E ~ p_F(. | V, I1) at the given temperature.
+  DescribeResult Describe(const data::VideoSample& sample,
+                          double temperature, Rng* rng) const;
+
+  /// Exact log p_F(E | V, I1) of a specific AU set.
+  double DescriptionLogProb(const data::VideoSample& sample,
+                            const face::AuMask& mask) const;
+
+  /// Assesses stress given video + description (I2). `temperature` == 0
+  /// means greedy argmax.
+  AssessResult Assess(const data::VideoSample& sample,
+                      const face::AuMask& description, double temperature,
+                      Rng* rng) const;
+
+  /// p_F(A = stressed | V, E, I2).
+  double AssessProbStressed(const data::VideoSample& sample,
+                            const face::AuMask& description) const;
+
+  /// Like AssessProbStressed but for explicit (possibly perturbed) frames,
+  /// bypassing the feature cache; used by the explainers and the rationale
+  /// faithfulness checks, which query the model on masked/noised images.
+  double AssessProbStressedWithFrames(const img::Image& expressive,
+                                      const img::Image& neutral,
+                                      const face::AuMask& description) const;
+
+  /// Assess with an in-context example: the example's label shifts the
+  /// stress logit proportionally to its similarity (Sec. IV-F).
+  AssessResult AssessWithExample(const data::VideoSample& sample,
+                                 const face::AuMask& description,
+                                 int example_label, double similarity,
+                                 double temperature, Rng* rng) const;
+
+  /// Samples a rationale: ranks AUs by the saliency head via Plackett-Luce
+  /// sampling restricted to the described set (falls back to all AUs when
+  /// the description is empty), returning the top `top_m`.
+  HighlightResult Highlight(const data::VideoSample& sample,
+                            const face::AuMask& description, int assessment,
+                            int top_m, double temperature, Rng* rng) const;
+
+  /// Self-reflection on a description (Fig. 3). When `ground_truth_stress`
+  /// is 0/1, the describe logits are tilted toward AUs whose presence the
+  /// model's own assess head associates with the true label; with -1
+  /// (test time, no label) the model merely resamples.
+  DescribeResult ReflectDescribe(const data::VideoSample& sample,
+                                 const face::AuMask& previous,
+                                 int ground_truth_stress, double temperature,
+                                 Rng* rng) const;
+
+  /// Self-verification (Fig. 4): returns the index of the candidate video
+  /// the description most plausibly describes (sampled at `temperature`).
+  int SelectVideoForDescription(
+      const std::vector<const data::VideoSample*>& candidates,
+      const face::AuMask& description, double temperature, Rng* rng) const;
+
+  // ---- Training losses ----
+
+  /// Eq. 2: -E log p_F(E|V,I1) over a batch (BCE per AU). When
+  /// `train_vision` the gradient flows through the vision tower; otherwise
+  /// cached features are used.
+  nn::Var DescribeLoss(const std::vector<const data::VideoSample*>& batch,
+                       const std::vector<face::AuMask>& targets,
+                       bool train_vision) const;
+
+  /// Eq. 4: cross-entropy of the assess head given descriptions.
+  nn::Var AssessLoss(const std::vector<const data::VideoSample*>& batch,
+                     const std::vector<face::AuMask>& descriptions,
+                     const std::vector<int>& labels) const;
+
+  /// Supervised warmup of the highlight head: BCE toward target AU sets
+  /// (e.g. described AUs whose assess-head sensitivity agrees with the
+  /// assessment). The paper's Qwen-VL highlights sensibly out of the box;
+  /// a randomly initialized head needs this warmup before Eq. 5 refines it.
+  nn::Var HighlightLoss(const std::vector<const data::VideoSample*>& batch,
+                        const std::vector<face::AuMask>& descriptions,
+                        const std::vector<int>& assessments,
+                        const std::vector<face::AuMask>& targets) const;
+
+  /// Eq. 3: DPO on descriptions (winner = refined E, loser = original E_o)
+  /// against the frozen `reference` model.
+  nn::Var DpoDescribeLoss(
+      const std::vector<const data::VideoSample*>& batch,
+      const std::vector<face::AuMask>& winners,
+      const std::vector<face::AuMask>& losers,
+      const FoundationModel& reference, float beta) const;
+
+  /// Eq. 5: DPO on rationales (winner/loser AU sets from the saliency
+  /// head) against the frozen `reference` model.
+  nn::Var DpoRationaleLoss(
+      const std::vector<const data::VideoSample*>& batch,
+      const std::vector<face::AuMask>& descriptions,
+      const std::vector<int>& assessments,
+      const std::vector<face::AuMask>& winners,
+      const std::vector<face::AuMask>& losers,
+      const FoundationModel& reference, float beta) const;
+
+  // ---- Text interface ----
+
+  /// Routes an instruction (I1/I2/I3, reflection, verification, direct
+  /// assess) and returns the generated text. `context` carries prior chain
+  /// outputs (description and/or assessment) where the instruction needs
+  /// them; `videos` supplies one video (or the candidate list for
+  /// verification).
+  vsd::Result<std::string> Chat(
+      const std::vector<const data::VideoSample*>& videos,
+      const std::string& instruction, const std::string& context,
+      double temperature, Rng* rng) const;
+
+  // ---- Parameters ----
+
+  std::vector<nn::Var> Parameters() const override;
+  /// Trunk + heads only (the stage-2 trainable set; vision frozen).
+  std::vector<nn::Var> HeadParameters() const;
+  std::vector<nn::Var> VisionParameters() const;
+
+ private:
+  /// Verdict-threshold miscalibration actually applied: attenuated when
+  /// the assessment is conditioned on an explicit description.
+  double EffectiveBias(const face::AuMask& description) const;
+
+  nn::Var HiddenFor(const data::VideoSample& sample) const;
+  static nn::Var MaskRows(const std::vector<face::AuMask>& masks);
+  static nn::Var OneHotRows(const std::vector<int>& labels, int classes);
+
+  FoundationModelConfig config_;
+  std::shared_ptr<VisionTower> vision_;
+  std::shared_ptr<nn::Linear> trunk_;
+  std::shared_ptr<nn::Linear> describe_head_;
+  std::shared_ptr<nn::Linear> au_embed_;
+  std::shared_ptr<nn::Mlp> assess_head_;
+  std::shared_ptr<nn::Mlp> highlight_head_;
+
+  mutable std::unordered_map<int, tensor::Tensor> feature_cache_;
+};
+
+}  // namespace vsd::vlm
+
+#endif  // VSD_VLM_FOUNDATION_MODEL_H_

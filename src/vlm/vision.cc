@@ -1,0 +1,80 @@
+#include "vlm/vision.h"
+
+#include "common/logging.h"
+#include "tensor/autograd.h"
+
+namespace vsd::vlm {
+
+namespace ag = ::vsd::autograd;
+using nn::Var;
+using tensor::Tensor;
+
+VisionTower::VisionTower(int embed_dim, Rng* rng, int input_size)
+    : embed_dim_(embed_dim), input_size_(input_size) {
+  VSD_CHECK(input_size_ % 4 == 0) << "input size must be divisible by 4";
+  conv1_ = std::make_shared<nn::Conv2d>(1, 8, /*kernel=*/5, /*stride=*/2,
+                                        /*pad=*/2, rng);
+  conv2_ = std::make_shared<nn::Conv2d>(8, 16, /*kernel=*/3, /*stride=*/2,
+                                        /*pad=*/1, rng);
+  const int spatial = input_size_ / 4;
+  proj_ = std::make_shared<nn::Linear>(spatial * spatial * 16, embed_dim,
+                                       rng);
+}
+
+Var VisionTower::Forward(const Var& images) const {
+  VSD_CHECK(images.value().ndim() == 4) << "VisionTower input rank";
+  VSD_CHECK(images.value().dim(1) == input_size_) << "VisionTower input size";
+  const int n = images.value().dim(0);
+  const int spatial = input_size_ / 4;
+  Var h = ag::Relu(conv1_->Forward(images));   // /2
+  h = ag::Relu(conv2_->Forward(h));            // /4
+  h = ag::Reshape(h, {n, spatial * spatial * 16});
+  return proj_->Forward(h);                    // [N,dim]
+}
+
+Tensor VisionTower::PackImages(
+    const std::vector<const img::Image*>& images) const {
+  const int n = static_cast<int>(images.size());
+  Tensor packed({n, input_size_, input_size_, 1});
+  for (int i = 0; i < n; ++i) {
+    img::Image small = (images[i]->width() == input_size_ &&
+                        images[i]->height() == input_size_)
+                           ? *images[i]
+                           : img::Resize(*images[i], input_size_,
+                                         input_size_);
+    for (int y = 0; y < input_size_; ++y) {
+      for (int x = 0; x < input_size_; ++x) {
+        packed.at4(i, y, x, 0) = small.at(y, x);
+      }
+    }
+  }
+  return packed;
+}
+
+Tensor VisionTower::Embed(const img::Image& image) const {
+  Tensor packed = PackImages({&image});
+  Var out = Forward(Var(packed));
+  return out.value().Row(0);
+}
+
+Tensor VisionTower::EmbedPair(const img::Image& expressive,
+                              const img::Image& neutral) const {
+  Tensor packed = PackImages({&expressive, &neutral});
+  Var out = Forward(Var(packed));
+  Tensor pair({2 * embed_dim_});
+  for (int j = 0; j < embed_dim_; ++j) {
+    pair.at(j) = out.value().at(0, j);
+    pair.at(embed_dim_ + j) = out.value().at(1, j);
+  }
+  return pair;
+}
+
+std::vector<Var> VisionTower::Parameters() const {
+  std::vector<Var> params;
+  for (const auto& p : conv1_->Parameters()) params.push_back(p);
+  for (const auto& p : conv2_->Parameters()) params.push_back(p);
+  for (const auto& p : proj_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace vsd::vlm

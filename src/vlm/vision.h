@@ -1,0 +1,59 @@
+#ifndef VSD_VLM_VISION_H_
+#define VSD_VLM_VISION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "img/image.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace vsd::vlm {
+
+/// \brief Convolutional vision encoder (the model's "vision tower").
+///
+/// 96x96 frames are downsampled to 48x48 and passed through two strided
+/// convolutions and a projection, yielding a `dim()`-dimensional embedding
+/// per frame. The tower is trained during Describe instruction tuning and
+/// then frozen for the stress stage (as is standard for VLM fine-tuning),
+/// which lets callers cache per-video features.
+class VisionTower : public nn::Module {
+ public:
+  /// `input_size` is the square side the frames are resized to before the
+  /// convolutions (the VLM uses 48; baseline towers use 32, matching their
+  /// original coarser preprocessing).
+  VisionTower(int embed_dim, Rng* rng, int input_size = 48);
+
+  /// Differentiable forward over a batch packed as [N,input,input,1].
+  nn::Var Forward(const nn::Var& images) const;
+
+  /// Packs images into the [N,input,input,1] tensor (resizes as needed).
+  tensor::Tensor PackImages(
+      const std::vector<const img::Image*>& images) const;
+
+  int input_size() const { return input_size_; }
+
+  /// Inference-only embedding of a single image -> [dim] tensor.
+  tensor::Tensor Embed(const img::Image& image) const;
+
+  /// Inference-only embedding of a frame pair (f_e, f_l) -> [2*dim].
+  tensor::Tensor EmbedPair(const img::Image& expressive,
+                           const img::Image& neutral) const;
+
+  int dim() const { return embed_dim_; }
+
+  std::vector<nn::Var> Parameters() const override;
+
+ private:
+  int embed_dim_;
+  int input_size_;
+  std::shared_ptr<nn::Conv2d> conv1_;  // 1 -> 8, /2
+  std::shared_ptr<nn::Conv2d> conv2_;  // 8 -> 16, /2
+  std::shared_ptr<nn::Linear> proj_;   // (input/4)^2*16 -> dim
+};
+
+}  // namespace vsd::vlm
+
+#endif  // VSD_VLM_VISION_H_

@@ -1,0 +1,375 @@
+#include "tensor/autograd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+
+namespace vsd::autograd {
+namespace {
+
+using ::vsd::tensor::Tensor;
+
+/// Numerically checks d(loss)/d(leaf) against the autograd gradient for a
+/// scalar-valued graph builder `f` evaluated at `leaf`.
+void CheckGradient(const std::function<Var(const Var&)>& f, Tensor at,
+                   float tol = 2e-2f, float eps = 1e-3f) {
+  Var leaf(at.Clone(), /*requires_grad=*/true);
+  Var loss = f(leaf);
+  ASSERT_EQ(loss.value().size(), 1);
+  leaf.ZeroGrad();
+  Backward(loss);
+  const Tensor& grad = leaf.grad();
+  ASSERT_EQ(grad.size(), at.size());
+  for (int i = 0; i < at.size(); ++i) {
+    Tensor plus = at.Clone();
+    plus.at(i) += eps;
+    Tensor minus = at.Clone();
+    minus.at(i) -= eps;
+    const float fp = f(Var(plus)).value().at(0);
+    const float fm = f(Var(minus)).value().at(0);
+    const float numeric = (fp - fm) / (2.0f * eps);
+    EXPECT_NEAR(grad.at(i), numeric, tol * std::max(1.0f, std::abs(numeric)))
+        << "at flat index " << i;
+  }
+}
+
+Tensor SmallRand(std::vector<int> shape, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Uniform(std::move(shape), &rng, -1.0f, 1.0f);
+}
+
+TEST(AutogradTest, AddGradient) {
+  Tensor b = SmallRand({2, 3}, 1);
+  CheckGradient(
+      [&](const Var& x) { return SumAll(Add(x, Var(b))); },
+      SmallRand({2, 3}, 2));
+}
+
+TEST(AutogradTest, AddRowBroadcastGradientOfBias) {
+  Tensor x = SmallRand({4, 3}, 3);
+  CheckGradient(
+      [&](const Var& b) { return SumAll(Add(Var(x), b)); },
+      SmallRand({3}, 4));
+}
+
+TEST(AutogradTest, SubGradient) {
+  Tensor b = SmallRand({5}, 5);
+  CheckGradient(
+      [&](const Var& x) { return SumAll(Sub(x, Var(b))); },
+      SmallRand({5}, 6));
+  CheckGradient(
+      [&](const Var& x) { return SumAll(Sub(Var(b), x)); },
+      SmallRand({5}, 7));
+}
+
+TEST(AutogradTest, MulGradientBothSides) {
+  Tensor other = SmallRand({2, 3}, 8);
+  CheckGradient(
+      [&](const Var& x) { return SumAll(Mul(x, Var(other))); },
+      SmallRand({2, 3}, 9));
+  CheckGradient(
+      [&](const Var& x) { return SumAll(Mul(Var(other), x)); },
+      SmallRand({2, 3}, 10));
+}
+
+TEST(AutogradTest, MulSelfQuadratic) {
+  // d/dx sum(x*x) = 2x.
+  Tensor at = SmallRand({4}, 11);
+  Var x(at.Clone(), true);
+  Var loss = SumAll(Mul(x, x));
+  Backward(loss);
+  for (int i = 0; i < at.size(); ++i) {
+    EXPECT_NEAR(x.grad().at(i), 2.0f * at.at(i), 1e-4f);
+  }
+}
+
+TEST(AutogradTest, ScaleNegGradient) {
+  CheckGradient([](const Var& x) { return SumAll(Scale(x, 3.5f)); },
+                SmallRand({3}, 12));
+  CheckGradient([](const Var& x) { return SumAll(Neg(x)); },
+                SmallRand({3}, 13));
+}
+
+TEST(AutogradTest, MatMulGradientLeft) {
+  Tensor b = SmallRand({3, 2}, 14);
+  CheckGradient(
+      [&](const Var& x) { return SumAll(MatMul(x, Var(b))); },
+      SmallRand({2, 3}, 15));
+}
+
+TEST(AutogradTest, MatMulGradientRight) {
+  Tensor a = SmallRand({2, 3}, 16);
+  CheckGradient(
+      [&](const Var& x) { return SumAll(MatMul(Var(a), x)); },
+      SmallRand({3, 2}, 17));
+}
+
+TEST(AutogradTest, ReluGradient) {
+  // Keep values away from the kink.
+  Tensor at = Tensor::FromVector({4}, {-0.8f, -0.3f, 0.4f, 1.2f});
+  CheckGradient([](const Var& x) { return SumAll(Relu(x)); }, at);
+}
+
+TEST(AutogradTest, TanhSigmoidExpLogGradients) {
+  CheckGradient([](const Var& x) { return SumAll(TanhV(x)); },
+                SmallRand({4}, 18));
+  CheckGradient([](const Var& x) { return SumAll(SigmoidV(x)); },
+                SmallRand({4}, 19));
+  CheckGradient([](const Var& x) { return SumAll(ExpV(x)); },
+                SmallRand({4}, 20));
+  Tensor positive = Tensor::FromVector({3}, {0.5f, 1.0f, 2.0f});
+  CheckGradient([](const Var& x) { return SumAll(LogV(x)); }, positive);
+}
+
+TEST(AutogradTest, GeluGradient) {
+  CheckGradient([](const Var& x) { return SumAll(Gelu(x)); },
+                SmallRand({5}, 21));
+}
+
+TEST(AutogradTest, ConcatGradient) {
+  Tensor b = SmallRand({2, 2}, 22);
+  CheckGradient(
+      [&](const Var& x) { return SumAll(Concat(x, Var(b))); },
+      SmallRand({2, 3}, 23));
+  CheckGradient(
+      [&](const Var& x) { return SumAll(Concat(Var(b), x)); },
+      SmallRand({2, 3}, 24));
+}
+
+TEST(AutogradTest, ReshapeGradient) {
+  CheckGradient(
+      [](const Var& x) {
+        Var r = Reshape(x, {3, 2});
+        return SumAll(Mul(r, r));
+      },
+      SmallRand({2, 3}, 25));
+}
+
+TEST(AutogradTest, MeanAllGradient) {
+  CheckGradient([](const Var& x) { return MeanAll(Mul(x, x)); },
+                SmallRand({2, 3}, 26));
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyGradient) {
+  std::vector<int> labels = {0, 2, 1};
+  CheckGradient(
+      [&](const Var& x) { return SoftmaxCrossEntropy(x, labels); },
+      SmallRand({3, 3}, 27));
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyValue) {
+  // Uniform logits -> loss = log(C).
+  Var logits(Tensor::Zeros({2, 4}));
+  Var loss = SoftmaxCrossEntropy(logits, {1, 3});
+  EXPECT_NEAR(loss.value().at(0), std::log(4.0f), 1e-5f);
+}
+
+TEST(AutogradTest, BceWithLogitsGradient) {
+  std::vector<float> targets = {1.0f, 0.0f, 1.0f, 0.0f};
+  CheckGradient(
+      [&](const Var& x) { return BceWithLogits(x, targets); },
+      SmallRand({4}, 28));
+}
+
+TEST(AutogradTest, BceWithLogitsValue) {
+  Var logits(Tensor::Zeros({2}));
+  Var loss = BceWithLogits(logits, {1.0f, 0.0f});
+  EXPECT_NEAR(loss.value().at(0), std::log(2.0f), 1e-5f);
+}
+
+TEST(AutogradTest, LogSoftmaxGradient) {
+  CheckGradient(
+      [](const Var& x) {
+        Var ls = LogSoftmaxRows(x);
+        // Weighted sum to give distinct row gradients.
+        Tensor w = Tensor::FromVector({2, 3}, {1, 2, 3, -1, 0.5f, 2});
+        return SumAll(Mul(ls, Var(w)));
+      },
+      SmallRand({2, 3}, 29));
+}
+
+TEST(AutogradTest, SoftmaxRowsVGradient) {
+  CheckGradient(
+      [](const Var& x) {
+        Var p = SoftmaxRowsV(x);
+        Tensor w = Tensor::FromVector({2, 2}, {2, -1, 0.5f, 3});
+        return SumAll(Mul(p, Var(w)));
+      },
+      SmallRand({2, 2}, 30));
+}
+
+TEST(AutogradTest, LayerNormGradientAll) {
+  Tensor gamma = Tensor::FromVector({3}, {1.2f, 0.8f, 1.0f});
+  Tensor beta = Tensor::FromVector({3}, {0.1f, -0.2f, 0.0f});
+  Tensor x = SmallRand({2, 3}, 31);
+  CheckGradient(
+      [&](const Var& v) {
+        Var y = LayerNormRows(v, Var(gamma), Var(beta));
+        return SumAll(Mul(y, y));
+      },
+      x, /*tol=*/5e-2f);
+  CheckGradient(
+      [&](const Var& g) {
+        Var y = LayerNormRows(Var(x), g, Var(beta));
+        return SumAll(Mul(y, y));
+      },
+      gamma);
+  CheckGradient(
+      [&](const Var& b) {
+        Var y = LayerNormRows(Var(x), Var(gamma), b);
+        return SumAll(Mul(y, y));
+      },
+      beta);
+}
+
+TEST(AutogradTest, MeanRowsGradient) {
+  CheckGradient(
+      [](const Var& x) {
+        Var m = MeanRows(x);
+        return SumAll(Mul(m, m));
+      },
+      SmallRand({3, 2}, 32));
+}
+
+TEST(AutogradTest, Im2ColGradient) {
+  CheckGradient(
+      [](const Var& x) {
+        Var cols = Im2Col(x, 2, 2, 1, 0);
+        return SumAll(Mul(cols, cols));
+      },
+      SmallRand({1, 3, 3, 2}, 33));
+}
+
+TEST(AutogradTest, Im2ColWithStrideAndPad) {
+  CheckGradient(
+      [](const Var& x) {
+        Var cols = Im2Col(x, 3, 3, 2, 1);
+        return SumAll(Mul(cols, cols));
+      },
+      SmallRand({2, 5, 5, 1}, 34));
+}
+
+TEST(AutogradTest, Im2ColValues) {
+  // 1x2x2x1 image, 2x2 kernel, stride 1, no pad -> one row of 4 values.
+  Tensor x = Tensor::FromVector({1, 2, 2, 1}, {1, 2, 3, 4});
+  Var cols = Im2Col(Var(x), 2, 2, 1, 0);
+  ASSERT_EQ(cols.value().dim(0), 1);
+  ASSERT_EQ(cols.value().dim(1), 4);
+  EXPECT_EQ(cols.value().at(0, 0), 1.0f);
+  EXPECT_EQ(cols.value().at(0, 3), 4.0f);
+}
+
+TEST(AutogradTest, ConvOutDim) {
+  EXPECT_EQ(ConvOutDim(32, 3, 1, 1), 32);
+  EXPECT_EQ(ConvOutDim(32, 3, 2, 1), 16);
+  EXPECT_EQ(ConvOutDim(5, 3, 2, 0), 2);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossBackward) {
+  Var x(Tensor::FromVector({1}, {2.0f}), true);
+  Var loss = Mul(x, x);
+  Backward(loss);
+  EXPECT_NEAR(x.grad().at(0), 4.0f, 1e-5f);
+  Var loss2 = Mul(x, x);
+  Backward(loss2);  // accumulates
+  EXPECT_NEAR(x.grad().at(0), 8.0f, 1e-5f);
+  x.ZeroGrad();
+  EXPECT_EQ(x.grad().at(0), 0.0f);
+}
+
+TEST(AutogradTest, DiamondGraphGradient) {
+  // loss = sum((x + x) * x) = 2*sum(x^2); grad = 4x.
+  Tensor at = SmallRand({3}, 35);
+  Var x(at.Clone(), true);
+  Var loss = SumAll(Mul(Add(x, x), x));
+  Backward(loss);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x.grad().at(i), 4.0f * at.at(i), 1e-4f);
+  }
+}
+
+TEST(AutogradTest, NoGradForConstants) {
+  Var c(Tensor::FromVector({2}, {1, 2}), false);
+  Var x(Tensor::FromVector({2}, {3, 4}), true);
+  Var loss = SumAll(Mul(c, x));
+  Backward(loss);
+  EXPECT_EQ(c.grad().size(), 0);  // never allocated
+  EXPECT_NEAR(x.grad().at(0), 1.0f, 1e-6f);
+}
+
+TEST(AutogradTest, DivGradientBothSides) {
+  Tensor b = Tensor::FromVector({4}, {1.5f, -2.0f, 0.7f, 3.0f});
+  CheckGradient(
+      [&](const Var& x) { return SumAll(Div(x, Var(b))); },
+      SmallRand({4}, 40));
+  Tensor a = SmallRand({4}, 41);
+  CheckGradient(
+      [&](const Var& x) { return SumAll(Div(Var(a), x)); }, b);
+}
+
+TEST(AutogradTest, DivByScalar) {
+  Tensor s = Tensor::Full({1}, 2.5f);
+  CheckGradient(
+      [&](const Var& x) { return SumAll(Div(x, Var(s))); },
+      SmallRand({3}, 42));
+}
+
+TEST(AutogradTest, SqrtGradient) {
+  Tensor positive = Tensor::FromVector({3}, {0.5f, 1.0f, 2.5f});
+  CheckGradient([](const Var& x) { return SumAll(SqrtV(x)); }, positive);
+}
+
+TEST(AutogradTest, AbsGradient) {
+  Tensor at = Tensor::FromVector({4}, {-0.8f, -0.2f, 0.3f, 1.1f});
+  CheckGradient([](const Var& x) { return SumAll(AbsV(x)); }, at);
+}
+
+TEST(AutogradTest, ClampGradientPassesOnlyInside) {
+  Tensor at = Tensor::FromVector({3}, {-2.0f, 0.2f, 2.0f});
+  Var x(at.Clone(), true);
+  Var loss = SumAll(ClampV(x, -1.0f, 1.0f));
+  Backward(loss);
+  EXPECT_EQ(x.grad().at(0), 0.0f);   // below lo
+  EXPECT_EQ(x.grad().at(1), 1.0f);   // inside
+  EXPECT_EQ(x.grad().at(2), 0.0f);   // above hi
+}
+
+TEST(AutogradTest, MulColumnGradient) {
+  Tensor col = Tensor::FromVector({3, 1}, {0.5f, -1.0f, 2.0f});
+  CheckGradient(
+      [&](const Var& x) { return SumAll(MulColumn(x, Var(col))); },
+      SmallRand({3, 4}, 43));
+  Tensor x = SmallRand({3, 4}, 44);
+  CheckGradient(
+      [&](const Var& c) { return SumAll(MulColumn(Var(x), c)); },
+      Tensor::FromVector({3, 1}, {0.5f, -1.0f, 2.0f}));
+}
+
+TEST(AutogradTest, SoftplusGradient) {
+  CheckGradient([](const Var& x) { return SumAll(Softplus(x)); },
+                SmallRand({5}, 45));
+}
+
+TEST(AutogradTest, RowSumGradient) {
+  CheckGradient(
+      [](const Var& x) {
+        Var rs = RowSum(x);
+        return SumAll(Mul(rs, rs));
+      },
+      SmallRand({3, 4}, 46));
+}
+
+TEST(AutogradTest, DeepChainGradient) {
+  // Long chains must not blow the stack (iterative DFS).
+  Var x(Tensor::FromVector({1}, {0.5f}), true);
+  Var h = x;
+  for (int i = 0; i < 2000; ++i) h = Scale(h, 1.0f);
+  Backward(h);
+  EXPECT_NEAR(x.grad().at(0), 1.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace vsd::autograd

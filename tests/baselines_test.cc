@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/baseline.h"
+#include "baselines/ding_fusion.h"
+#include "baselines/fdassnn.h"
+#include "baselines/gao_svm.h"
+#include "baselines/jeon_attention.h"
+#include "baselines/marlin.h"
+#include "baselines/singh_resnet.h"
+#include "baselines/tsdnet.h"
+#include "baselines/zero_shot_lfm.h"
+#include "baselines/zhang_emotion.h"
+#include "common/rng.h"
+#include "data/folds.h"
+#include "data/generator.h"
+
+namespace vsd::baselines {
+namespace {
+
+/// Shared fixture: a small easy dataset, split once.
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(data::MakeUvsdSimSmall(240, 51));
+    Rng rng(7);
+    auto split = data::StratifiedHoldout(*dataset_, 0.25, &rng);
+    train_ = new data::Dataset(dataset_->Subset(split.train));
+    test_ = new data::Dataset(dataset_->Subset(split.test));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete train_;
+    delete test_;
+    dataset_ = nullptr;
+    train_ = nullptr;
+    test_ = nullptr;
+  }
+
+  /// Trains and checks the classifier beats chance clearly on train data
+  /// (these are small smoke datasets; Table I uses the full protocol).
+  void ExpectLearnsSignal(StressClassifier* classifier,
+                          double min_train_accuracy) {
+    Rng rng(11);
+    classifier->Fit(*train_, &rng);
+    int correct = 0;
+    for (const auto& sample : train_->samples) {
+      const double p = classifier->PredictProbStressed(sample);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      correct += classifier->Predict(sample) == sample.stress_label;
+    }
+    const double accuracy =
+        static_cast<double>(correct) / train_->size();
+    EXPECT_GE(accuracy, min_train_accuracy) << classifier->name();
+  }
+
+  static data::Dataset* dataset_;
+  static data::Dataset* train_;
+  static data::Dataset* test_;
+};
+
+data::Dataset* BaselinesTest::dataset_ = nullptr;
+data::Dataset* BaselinesTest::train_ = nullptr;
+data::Dataset* BaselinesTest::test_ = nullptr;
+
+TEST_F(BaselinesTest, DetectLandmarksIsDeterministicPerSample) {
+  const auto& sample = dataset_->samples[0];
+  const auto a = DetectLandmarks(sample, true, 1.0f);
+  const auto b = DetectLandmarks(sample, true, 1.0f);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+  }
+  // Expressive vs neutral frames give different landmarks.
+  const auto c = DetectLandmarks(sample, false, 1.0f);
+  double diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i].y - c[i].y);
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST_F(BaselinesTest, FdassnnLearns) {
+  Fdassnn classifier;
+  EXPECT_EQ(classifier.name(), "FDASSNN");
+  ExpectLearnsSignal(&classifier, 0.70);
+}
+
+TEST_F(BaselinesTest, GaoSvmLearns) {
+  GaoSvm classifier;
+  ExpectLearnsSignal(&classifier, 0.58);
+}
+
+TEST_F(BaselinesTest, JeonAttentionLearns) {
+  JeonAttention classifier(1.0f, /*epochs=*/10);
+  ExpectLearnsSignal(&classifier, 0.65);
+}
+
+TEST_F(BaselinesTest, TsdnetLearns) {
+  Tsdnet classifier(/*epochs=*/8);
+  ExpectLearnsSignal(&classifier, 0.70);
+}
+
+TEST_F(BaselinesTest, MarlinLearns) {
+  Marlin classifier(/*pretrain_epochs=*/2, /*finetune_epochs=*/8);
+  ExpectLearnsSignal(&classifier, 0.70);
+}
+
+TEST_F(BaselinesTest, SinghResnetLearns) {
+  SinghResnet classifier(/*epochs=*/8);
+  ExpectLearnsSignal(&classifier, 0.70);
+}
+
+TEST_F(BaselinesTest, ZhangRuleCalibratesThreshold) {
+  // A tiny generalist emotion model.
+  vlm::FoundationModelConfig config;
+  config.vision_dim = 16;
+  config.hidden_dim = 32;
+  config.au_feature_dim = 12;
+  config.seed = 3;
+  vlm::FoundationModel emotion(config);
+  vlm::ApiModelSpec spec = vlm::GetApiModelSpec(vlm::ApiModelKind::kGemini15);
+  spec.config = config;
+  spec.pretrain_epochs = 2;
+  spec.corpus_size = 120;
+  vlm::PretrainGeneralist(&emotion, spec, 5);
+
+  ZhangEmotionRule classifier(&emotion);
+  Rng rng(12);
+  classifier.Fit(*train_, &rng);
+  // Rule-based: just has to beat chance on training data.
+  int correct = 0;
+  for (const auto& sample : train_->samples) {
+    correct += classifier.Predict(sample) == sample.stress_label;
+  }
+  EXPECT_GT(static_cast<double>(correct) / train_->size(), 0.55);
+}
+
+TEST_F(BaselinesTest, DingFusionLearnsFromFrozenVlm) {
+  vlm::FoundationModelConfig config;
+  config.vision_dim = 16;
+  config.hidden_dim = 32;
+  config.au_feature_dim = 12;
+  config.seed = 4;
+  vlm::FoundationModel backbone(config);  // even untrained features work
+  DingFusion classifier(&backbone, /*epochs=*/30);
+  ExpectLearnsSignal(&classifier, 0.60);
+}
+
+TEST_F(BaselinesTest, ZeroShotLfmNeedsNoTraining) {
+  vlm::FoundationModelConfig config;
+  config.vision_dim = 16;
+  config.hidden_dim = 32;
+  config.au_feature_dim = 12;
+  config.seed = 5;
+  vlm::FoundationModel model(config);
+  ZeroShotLfm classifier(&model, "GPT-4o (sim)");
+  EXPECT_EQ(classifier.name(), "GPT-4o (sim)");
+  Rng rng(13);
+  classifier.Fit(*train_, &rng);  // no-op
+  const double p = classifier.PredictProbStressed(dataset_->samples[0]);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+}  // namespace
+}  // namespace vsd::baselines

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/math_util.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table.h"
+
+namespace vsd {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad shape");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+}
+
+Status FailThrough() {
+  VSD_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = FailThrough();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterOf(int x) {
+  VSD_ASSIGN_OR_RETURN(int half, HalfOf(x));
+  return HalfOf(half);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EXPECT_EQ(QuarterOf(8).value(), 2);
+  EXPECT_FALSE(QuarterOf(6).ok());
+  EXPECT_FALSE(QuarterOf(3).ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(5);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values reached
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.Normal();
+  EXPECT_NEAR(Mean(xs), 0.0, 0.03);
+  EXPECT_NEAR(StdDev(xs), 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, SampleIndexRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) counts[rng.SampleIndex(w)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(counts[2] / 8000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, SampleIndexEmptyOrZero) {
+  Rng rng(19);
+  EXPECT_EQ(rng.SampleIndex({}), -1);
+  EXPECT_EQ(rng.SampleIndex({0.0, 0.0}), -1);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  auto sample = rng.SampleWithoutReplacement(10, 6);
+  EXPECT_EQ(sample.size(), 6u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementClamps) {
+  Rng rng(29);
+  auto sample = rng.SampleWithoutReplacement(3, 10);
+  EXPECT_EQ(sample.size(), 3u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(37);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+TEST(StringTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  auto kept = Split("a,b,,c", ',', /*keep_empty=*/true);
+  EXPECT_EQ(kept.size(), 4u);
+}
+
+TEST(StringTest, Join) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ", "), "");
+}
+
+TEST(StringTest, CaseAndTrim) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(Trim("  hi \n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringTest, Predicates) {
+  EXPECT_TRUE(StartsWith("eyebrow raised", "eye"));
+  EXPECT_FALSE(StartsWith("eye", "eyebrow"));
+  EXPECT_TRUE(EndsWith("raised", "sed"));
+  EXPECT_TRUE(ContainsIgnoreCase("The Inner BROW", "inner brow"));
+  EXPECT_FALSE(ContainsIgnoreCase("cheek", "lip"));
+}
+
+TEST(StringTest, Formatting) {
+  EXPECT_EQ(FormatPercent(0.9581), "95.81%");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+}
+
+TEST(MathTest, SigmoidStable) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(MathTest, LogSumExp) {
+  EXPECT_NEAR(LogSumExp({0.0, 0.0}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, Softmax) {
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(&xs);
+  EXPECT_NEAR(xs[0] + xs[1] + xs[2], 1.0, 1e-12);
+  EXPECT_GT(xs[2], xs[1]);
+  // Low temperature sharpens.
+  std::vector<double> ys = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(&ys, 0.1);
+  EXPECT_GT(ys[2], xs[2]);
+}
+
+TEST(MathTest, MeanStd) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(Mean(xs), 5.0, 1e-12);
+  EXPECT_NEAR(StdDev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(MathTest, Cosine) {
+  EXPECT_NEAR(CosineSimilarity(std::vector<double>{1, 0},
+                               std::vector<double>{0, 1}),
+              0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity(std::vector<double>{1, 2},
+                               std::vector<double>{2, 4}),
+              1.0, 1e-12);
+  EXPECT_EQ(CosineSimilarity(std::vector<double>{0, 0},
+                             std::vector<double>{1, 1}),
+            0.0);
+}
+
+TEST(MathTest, ArgMaxTopK) {
+  std::vector<double> xs = {0.3, 0.9, 0.1, 0.7};
+  EXPECT_EQ(ArgMax(xs), 1);
+  EXPECT_EQ(ArgMax({}), -1);
+  auto top2 = TopK(xs, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 1);
+  EXPECT_EQ(top2[1], 3);
+  EXPECT_EQ(TopK(xs, 10).size(), 4u);
+}
+
+TEST(TableTest, RendersAlignedAndCsv) {
+  Table t({"Method", "Acc."});
+  t.AddRow({"Ours", "95.81%"});
+  t.AddSeparator();
+  t.AddRow({"TSDNet", "85.42%"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Ours"), std::string::npos);
+  EXPECT_NE(s.find("+"), std::string::npos);
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("Method,Acc.\n"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 3);  // separator counts as a row slot
+}
+
+TEST(TableTest, CsvQuotesCommas) {
+  Table t({"a"});
+  t.AddRow({"x,y"});
+  EXPECT_NE(t.ToCsv().find("\"x,y\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vsd

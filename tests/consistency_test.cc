@@ -1,0 +1,160 @@
+// Cross-component consistency checks: places where two independent parts
+// of the library must agree about the same underlying quantity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "cot/chain_config.h"
+#include "cot/pipeline.h"
+#include "data/generator.h"
+#include "explain/kernel_shap.h"
+#include "explain/lime.h"
+#include "face/landmarks.h"
+#include "face/renderer.h"
+#include "img/slic.h"
+#include "vlm/foundation_model.h"
+#include "vlm/vision.h"
+
+namespace vsd {
+namespace {
+
+// LIME and SHAP are different estimators of the same attribution; on a
+// clean oracle they must agree on where the signal is.
+TEST(ConsistencyTest, LimeAndShapAgreeOnOracle) {
+  img::Image image(32, 32, 0.2f);
+  for (int y = 8; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) image.at(y, x) = 0.9f;
+  }
+  img::Segmentation seg = img::Slic(image, 16, 20.0f);
+  auto oracle = [](const img::Image& im) {
+    double sum = 0.0;
+    for (int y = 8; y < 16; ++y) {
+      for (int x = 8; x < 16; ++x) sum += im.at(y, x);
+    }
+    return sum / 64.0;
+  };
+  Rng rng_a(1);
+  Rng rng_b(2);
+  const auto lime =
+      explain::LimeExplainer(500).Explain(oracle, image, seg, &rng_a);
+  const auto shap =
+      explain::KernelShapExplainer(500).Explain(oracle, image, seg, &rng_b);
+  const auto lime_top = lime.RankedSegments();
+  const auto shap_top = shap.RankedSegments();
+  // Their top-2 sets must overlap (both found the bright window).
+  int overlap = 0;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) overlap += (lime_top[i] == shap_top[j]);
+  }
+  EXPECT_GE(overlap, 1);
+}
+
+// The rendered face and the analytic landmarks describe the same geometry:
+// landmark positions must sit on/near non-background pixels.
+TEST(ConsistencyTest, LandmarksLieOnTheRenderedFace) {
+  Rng rng(3);
+  face::FaceParams params;
+  params.identity = face::Identity::Sample(&rng);
+  params.au_intensity[2] = 0.7f;
+  params.au_intensity[6] = 0.6f;
+  params.noise_stddev = 0.0f;
+  const img::Image face_image = face::RenderFace(params, nullptr);
+  const auto landmarks = face::ExtractLandmarks(params, 0.0f, nullptr);
+  int on_face = 0;
+  for (const auto& p : landmarks) {
+    const int y = std::clamp(static_cast<int>(p.y), 0, 95);
+    const int x = std::clamp(static_cast<int>(p.x), 0, 95);
+    // Background is 0.08; anything brighter is face material.
+    if (face_image.at(y, x) > 0.12f) ++on_face;
+  }
+  EXPECT_GE(on_face, static_cast<int>(landmarks.size()) - 6);
+}
+
+// The tower accepts either configured input size and arbitrary source
+// image sizes (PackImages resizes).
+TEST(ConsistencyTest, VisionTowerInputSizes) {
+  Rng rng(4);
+  for (int input : {32, 48}) {
+    vlm::VisionTower tower(16, &rng, input);
+    EXPECT_EQ(tower.input_size(), input);
+    img::Image odd(77, 53, 0.4f);
+    auto embed = tower.Embed(odd);
+    EXPECT_EQ(embed.size(), 16);
+  }
+}
+
+// ChainPipeline::Run and the cheaper PredictLabel must produce the same
+// verdict (Run is PredictLabel + extra generations).
+TEST(ConsistencyTest, PipelineRunMatchesPredict) {
+  data::Dataset d = data::MakeUvsdSimSmall(12, 55);
+  vlm::FoundationModelConfig config;
+  config.vision_dim = 12;
+  config.hidden_dim = 24;
+  config.au_feature_dim = 12;
+  config.seed = 5;
+  vlm::FoundationModel model(config);
+  model.PrecomputeFeatures(d);
+  cot::ChainConfig chain;
+  cot::ChainPipeline pipeline(&model, chain);
+  Rng rng(6);
+  for (const auto& sample : d.samples) {
+    EXPECT_EQ(pipeline.Run(sample, &rng).assess.label,
+              pipeline.PredictLabel(sample));
+  }
+}
+
+// Describe head vs DescriptionLogProb: the greedy mask must be the
+// likelihood-maximizing mask (independence across AUs makes this exact).
+TEST(ConsistencyTest, GreedyDescriptionMaximizesLikelihood) {
+  data::Dataset d = data::MakeUvsdSimSmall(6, 77);
+  vlm::FoundationModelConfig config;
+  config.vision_dim = 12;
+  config.hidden_dim = 24;
+  config.au_feature_dim = 12;
+  config.seed = 7;
+  vlm::FoundationModel model(config);
+  model.PrecomputeFeatures(d);
+  Rng rng(8);
+  for (const auto& sample : d.samples) {
+    const auto probs = model.DescribeProbs(sample);
+    face::AuMask greedy{};
+    for (int j = 0; j < face::kNumAus; ++j) greedy[j] = probs[j] > 0.5;
+    const double greedy_lp = model.DescriptionLogProb(sample, greedy);
+    for (int trial = 0; trial < 10; ++trial) {
+      face::AuMask other = greedy;
+      other[rng.UniformInt(face::kNumAus)] ^= true;
+      EXPECT_GE(greedy_lp, model.DescriptionLogProb(sample, other));
+    }
+  }
+}
+
+// The generator's activation probabilities and the empirical dataset
+// statistics must agree.
+TEST(ConsistencyTest, GeneratorStatisticsMatchConfiguredProbabilities) {
+  data::StressGenConfig config;
+  config.num_samples = 1500;
+  config.num_subjects = 50;
+  config.num_stressed = 750;
+  config.subject_sigma = 0.0;  // isolate the base probabilities
+  config.distractor_rate = 0.0;
+  config.label_noise = 0.0;
+  config.seed = 99;
+  const data::Dataset d = data::GenerateStressDataset(config);
+  for (int j : {2, 6}) {  // AU4, AU12 — the strongest signals
+    int active = 0;
+    int n = 0;
+    for (const auto& sample : d.samples) {
+      if (sample.stress_label != data::kStressed) continue;
+      ++n;
+      active += sample.au_label[j];
+    }
+    const double expected =
+        data::AuActivationProbability(j, true, config.au_gap);
+    EXPECT_NEAR(static_cast<double>(active) / n, expected, 0.06)
+        << "AU index " << j;
+  }
+}
+
+}  // namespace
+}  // namespace vsd

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.h"
+#include "core/evaluation.h"
+#include "core/metrics.h"
+#include "core/stress_detector.h"
+#include "data/folds.h"
+#include "data/generator.h"
+
+namespace vsd::core {
+namespace {
+
+TEST(MetricsTest, PerfectPrediction) {
+  const std::vector<int> y = {0, 1, 0, 1, 1};
+  const Metrics m = ComputeMetrics(y, y);
+  EXPECT_EQ(m.accuracy, 1.0);
+  EXPECT_EQ(m.precision, 1.0);
+  EXPECT_EQ(m.recall, 1.0);
+  EXPECT_EQ(m.f1, 1.0);
+  EXPECT_EQ(m.n, 5);
+}
+
+TEST(MetricsTest, AllWrong) {
+  const Metrics m = ComputeMetrics({0, 1}, {1, 0});
+  EXPECT_EQ(m.accuracy, 0.0);
+  EXPECT_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, KnownConfusionMatrix) {
+  // y_true: 4 positives, 4 negatives. Predictions: 3 TP, 1 FN, 1 FP, 3 TN.
+  const std::vector<int> y_true = {1, 1, 1, 1, 0, 0, 0, 0};
+  const std::vector<int> y_pred = {1, 1, 1, 0, 1, 0, 0, 0};
+  const Metrics m = ComputeMetrics(y_true, y_pred);
+  EXPECT_NEAR(m.accuracy, 6.0 / 8.0, 1e-12);
+  // Class 1: P = 3/4, R = 3/4; class 0: P = 3/4, R = 3/4; macro = 0.75.
+  EXPECT_NEAR(m.precision, 0.75, 1e-12);
+  EXPECT_NEAR(m.recall, 0.75, 1e-12);
+  EXPECT_NEAR(m.f1, 0.75, 1e-12);
+}
+
+TEST(MetricsTest, MacroAveragingHandlesImbalance) {
+  // Majority-class predictor on a 90/10 split: high accuracy, poor macro.
+  std::vector<int> y_true;
+  std::vector<int> y_pred;
+  for (int i = 0; i < 90; ++i) {
+    y_true.push_back(0);
+    y_pred.push_back(0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    y_true.push_back(1);
+    y_pred.push_back(0);
+  }
+  const Metrics m = ComputeMetrics(y_true, y_pred);
+  EXPECT_NEAR(m.accuracy, 0.9, 1e-12);
+  EXPECT_NEAR(m.recall, 0.5, 1e-12);  // (1.0 + 0.0) / 2
+  EXPECT_LT(m.f1, 0.5);
+}
+
+TEST(MetricsTest, EmptyInput) {
+  const Metrics m = ComputeMetrics({}, {});
+  EXPECT_EQ(m.n, 0);
+  EXPECT_EQ(m.accuracy, 0.0);
+}
+
+TEST(MetricsTest, AverageWeightsBySize) {
+  Metrics a;
+  a.accuracy = 1.0;
+  a.n = 10;
+  Metrics b;
+  b.accuracy = 0.0;
+  b.n = 30;
+  const Metrics avg = AverageMetrics({a, b});
+  EXPECT_NEAR(avg.accuracy, 0.25, 1e-12);
+  EXPECT_EQ(avg.n, 40);
+}
+
+TEST(MetricsTest, RowFormatting) {
+  Metrics m;
+  m.accuracy = 0.9581;
+  m.precision = 0.9605;
+  m.recall = 0.9282;
+  m.f1 = 0.9422;
+  const auto row = m.ToRow();
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[0], "95.81%");
+  EXPECT_EQ(row[3], "94.22%");
+}
+
+TEST(EvaluationTest, EvaluatePredictorCountsCorrectly) {
+  data::Dataset d = data::MakeUvsdSimSmall(40, 61);
+  const Metrics oracle = EvaluatePredictor(
+      [](const data::VideoSample& s) { return s.stress_label; }, d);
+  EXPECT_EQ(oracle.accuracy, 1.0);
+  const Metrics constant = EvaluatePredictor(
+      [](const data::VideoSample&) { return 1; }, d);
+  EXPECT_LT(constant.accuracy, 1.0);
+}
+
+TEST(EvaluationTest, FoldsFromEnv) {
+  unsetenv("VSD_FOLDS");
+  EXPECT_EQ(NumFoldsFromEnv(3), 3);
+  setenv("VSD_FOLDS", "7", 1);
+  EXPECT_EQ(NumFoldsFromEnv(3), 7);
+  setenv("VSD_FOLDS", "junk", 1);
+  EXPECT_EQ(NumFoldsFromEnv(3), 3);
+  unsetenv("VSD_FOLDS");
+}
+
+TEST(StressDetectorTest, TrainPredictExplainEndToEnd) {
+  data::Dataset stress = data::MakeUvsdSimSmall(80, 71);
+  data::Dataset au_data = data::MakeDisfaSim(72, 60);
+  Rng rng(1);
+  auto split = data::StratifiedHoldout(stress, 0.25, &rng);
+  data::Dataset train = stress.Subset(split.train);
+  data::Dataset test = stress.Subset(split.test);
+
+  StressDetector::Options options;
+  options.model.vision_dim = 16;
+  options.model.hidden_dim = 32;
+  options.model.au_feature_dim = 12;
+  options.chain.describe_epochs = 3;
+  options.chain.describe_augment_copies = 0;
+  options.chain.assess_epochs = 4;
+  options.chain.highlight_warmup_epochs = 1;
+  options.chain.dpo_epochs = 1;
+  options.chain.k_repeats = 2;
+  options.chain.max_refine_rounds = 1;
+  options.chain.rationale_dpo_samples = 8;
+  options.pretrain_generalist = false;  // keep the test fast
+  StressDetector detector(options);
+  detector.Train(au_data, train, &rng);
+  detector.PrecomputeFeatures(test);
+
+  const Metrics metrics = EvaluatePipeline(detector.pipeline(), test);
+  EXPECT_GT(metrics.accuracy, 0.55);  // beats chance on a small set
+
+  const auto& sample = test.samples[0];
+  const int label = detector.Predict(sample);
+  EXPECT_TRUE(label == 0 || label == 1);
+  const std::string explanation = detector.Explain(sample);
+  EXPECT_NE(explanation.find("facial"), std::string::npos);
+  const double p = detector.PredictProbStressed(sample);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(StressDetectorTest, SaveLoadRoundTripPreservesPredictions) {
+  data::Dataset stress = data::MakeUvsdSimSmall(60, 72);
+  data::Dataset au_data = data::MakeDisfaSim(73, 40);
+  Rng rng(2);
+  StressDetector::Options options;
+  options.model.vision_dim = 16;
+  options.model.hidden_dim = 32;
+  options.model.au_feature_dim = 12;
+  options.chain.describe_epochs = 2;
+  options.chain.describe_augment_copies = 0;
+  options.chain.assess_epochs = 3;
+  options.chain.highlight_warmup_epochs = 1;
+  options.chain.dpo_epochs = 1;
+  options.chain.max_refine_rounds = 1;
+  options.chain.rationale_dpo_samples = 4;
+  options.pretrain_generalist = false;
+  StressDetector trained(options);
+  trained.Train(au_data, stress, &rng);
+  trained.PrecomputeFeatures(stress);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/detector.vsdm";
+  ASSERT_TRUE(trained.SaveModel(path).ok());
+
+  StressDetector restored(options);
+  ASSERT_TRUE(restored.LoadModel(path).ok());
+  restored.PrecomputeFeatures(stress);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(trained.Predict(stress.samples[i]),
+              restored.Predict(stress.samples[i]));
+    EXPECT_NEAR(trained.PredictProbStressed(stress.samples[i]),
+                restored.PredictProbStressed(stress.samples[i]), 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StressDetectorTest, LoadModelRejectsWrongArchitecture) {
+  StressDetector::Options small;
+  small.model.vision_dim = 12;
+  small.model.hidden_dim = 24;
+  small.model.au_feature_dim = 12;
+  small.pretrain_generalist = false;
+  StressDetector a(small);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/small.vsdm";
+  ASSERT_TRUE(a.SaveModel(path).ok());
+  StressDetector::Options big;
+  big.pretrain_generalist = false;
+  StressDetector b(big);
+  EXPECT_FALSE(b.LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(StressDetectorTest, FromPretrainedBaseClones) {
+  vlm::FoundationModelConfig config;
+  config.vision_dim = 16;
+  config.hidden_dim = 32;
+  config.au_feature_dim = 12;
+  config.seed = 9;
+  vlm::FoundationModel base(config);
+  cot::ChainConfig chain;
+  StressDetector a(base, chain);
+  StressDetector b(base, chain);
+  data::Dataset d = data::MakeUvsdSimSmall(10, 81);
+  a.PrecomputeFeatures(d);
+  b.PrecomputeFeatures(d);
+  // Identical initial behaviour, independent objects.
+  EXPECT_EQ(a.PredictProbStressed(d.samples[0]),
+            b.PredictProbStressed(d.samples[0]));
+  EXPECT_NE(&a.model(), &b.model());
+}
+
+}  // namespace
+}  // namespace vsd::core

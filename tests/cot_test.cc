@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cot/chain_config.h"
+#include "cot/icl.h"
+#include "cot/pipeline.h"
+#include "cot/refinement.h"
+#include "cot/trainer.h"
+#include "data/folds.h"
+#include "data/generator.h"
+#include "text/templates.h"
+#include "vlm/foundation_model.h"
+
+namespace vsd::cot {
+namespace {
+
+using face::AuMask;
+
+vlm::FoundationModelConfig SmallConfig(uint64_t seed = 1) {
+  vlm::FoundationModelConfig config;
+  config.vision_dim = 16;
+  config.hidden_dim = 32;
+  config.au_feature_dim = 12;
+  config.seed = seed;
+  return config;
+}
+
+ChainConfig FastChainConfig() {
+  ChainConfig config;
+  config.describe_epochs = 3;
+  config.describe_augment_copies = 0;
+  config.assess_epochs = 8;
+  config.highlight_warmup_epochs = 1;
+  config.dpo_epochs = 1;
+  config.k_repeats = 2;
+  config.n_rationales = 2;
+  config.max_refine_rounds = 1;
+  config.rationale_dpo_samples = 10;
+  return config;
+}
+
+class CotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stress_ = data::MakeUvsdSimSmall(60, 31);
+    au_data_ = data::MakeDisfaSim(32, 40);
+    model_ = std::make_unique<vlm::FoundationModel>(SmallConfig());
+    model_->PrecomputeFeatures(stress_);
+  }
+  data::Dataset stress_;
+  data::Dataset au_data_;
+  std::unique_ptr<vlm::FoundationModel> model_;
+};
+
+TEST_F(CotTest, HelpfulnessIsAFraction) {
+  Rng rng(1);
+  SelfRefinement refinement(model_.get(), FastChainConfig(), &stress_);
+  const double h = refinement.Helpfulness(stress_.samples[0], AuMask{},
+                                          /*true_label=*/1, &rng);
+  EXPECT_GE(h, 0.0);
+  EXPECT_LE(h, 1.0);
+}
+
+TEST_F(CotTest, FaithfulnessIsAFraction) {
+  Rng rng(2);
+  SelfRefinement refinement(model_.get(), FastChainConfig(), &stress_);
+  const double f =
+      refinement.Faithfulness(stress_.samples[0], AuMask{}, &rng);
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+}
+
+TEST_F(CotTest, RefineDescriptionKeepsOriginalOnRejection) {
+  Rng rng(3);
+  ChainConfig config = FastChainConfig();
+  config.max_refine_rounds = 2;
+  SelfRefinement refinement(model_.get(), config, &stress_);
+  AuMask initial{};
+  initial[0] = true;
+  const auto outcome = refinement.RefineDescription(
+      stress_.samples[1], initial, stress_.samples[1].stress_label, &rng);
+  EXPECT_EQ(outcome.original_mask, initial);
+  if (!outcome.replaced) {
+    EXPECT_EQ(outcome.final_mask, initial);
+  } else {
+    EXPECT_NE(outcome.final_mask, initial);
+  }
+}
+
+TEST_F(CotTest, RationaleFlipScoreBounds) {
+  SelfRefinement refinement(model_.get(), FastChainConfig(), &stress_);
+  const auto& sample = stress_.samples[2];
+  AuMask description{};
+  description[2] = description[6] = true;
+  const int assessment =
+      model_->Assess(sample, description, 0.0, nullptr).label;
+  const std::vector<int> rationale = {2, 6};
+  const int score = refinement.RationaleFlipScore(sample, description,
+                                                  assessment, rationale);
+  EXPECT_GE(score, 1);
+  EXPECT_LE(score, 3);  // rationale.size() + 1
+}
+
+TEST_F(CotTest, PipelineRunProducesFullChain) {
+  ChainPipeline pipeline(model_.get(), FastChainConfig());
+  Rng rng(4);
+  const auto output = pipeline.Run(stress_.samples[3], &rng);
+  EXPECT_FALSE(output.describe.text.empty());
+  EXPECT_TRUE((output.assess.label == 0) || (output.assess.label == 1));
+  EXPECT_FALSE(output.highlight.text.empty());
+  // The transcript contains all three generations.
+  const std::string transcript = output.Transcript();
+  EXPECT_NE(transcript.find(output.describe.text), std::string::npos);
+  EXPECT_NE(transcript.find(output.assess.text), std::string::npos);
+}
+
+TEST_F(CotTest, PipelineGreedyIsDeterministic) {
+  ChainPipeline pipeline(model_.get(), FastChainConfig());
+  EXPECT_EQ(pipeline.PredictLabel(stress_.samples[4]),
+            pipeline.PredictLabel(stress_.samples[4]));
+  EXPECT_EQ(pipeline.PredictProbStressed(stress_.samples[4]),
+            pipeline.PredictProbStressed(stress_.samples[4]));
+}
+
+TEST_F(CotTest, WithoutChainUsesEmptyDescription) {
+  ChainConfig config = FastChainConfig();
+  config.use_chain = false;
+  ChainPipeline pipeline(model_.get(), config);
+  Rng rng(5);
+  const auto output = pipeline.Run(stress_.samples[5], &rng);
+  EXPECT_EQ(output.describe.mask, AuMask{});
+}
+
+TEST_F(CotTest, RationaleRespectsDescription) {
+  ChainPipeline pipeline(model_.get(), FastChainConfig());
+  Rng rng(6);
+  const auto output = pipeline.Run(stress_.samples[6], &rng);
+  if (face::AuMaskCount(output.describe.mask) > 0) {
+    for (int au : output.highlight.ranked_aus) {
+      EXPECT_TRUE(output.describe.mask[au]);
+    }
+  }
+}
+
+TEST_F(CotTest, TestTimeRefinementRuns) {
+  ChainPipeline pipeline(model_.get(), FastChainConfig());
+  Rng rng(7);
+  const auto output =
+      pipeline.RunWithTestTimeRefinement(stress_.samples[7], stress_, &rng);
+  EXPECT_TRUE((output.assess.label == 0) || (output.assess.label == 1));
+}
+
+TEST_F(CotTest, TrainerEndToEndImprovesTrainAccuracy) {
+  Rng rng(8);
+  ChainTrainer trainer(FastChainConfig());
+  // Accuracy before training (random heads).
+  ChainPipeline pipeline(model_.get(), FastChainConfig());
+  int correct_before = 0;
+  for (const auto& sample : stress_.samples) {
+    correct_before += pipeline.PredictLabel(sample) == sample.stress_label;
+  }
+  const auto report = trainer.Train(model_.get(), au_data_, stress_, &rng);
+  int correct_after = 0;
+  for (const auto& sample : stress_.samples) {
+    correct_after += pipeline.PredictLabel(sample) == sample.stress_label;
+  }
+  EXPECT_GT(correct_after, correct_before);
+  EXPECT_GE(report.describe_dpo_pairs, 0);
+  EXPECT_GT(report.final_assess_loss, 0.0);
+}
+
+TEST_F(CotTest, TrainerWithoutChainSkipsDescribeStages) {
+  Rng rng(9);
+  ChainConfig config = FastChainConfig();
+  config.use_chain = false;
+  ChainTrainer trainer(config);
+  const auto report = trainer.Train(model_.get(), au_data_, stress_, &rng);
+  EXPECT_EQ(report.describe_dpo_pairs, 0);
+  EXPECT_EQ(report.rationale_dpo_pairs, 0);
+  EXPECT_EQ(report.refined_descriptions, 0);
+}
+
+TEST_F(CotTest, TrainerWithoutRefinementHasNoDpoPairs) {
+  Rng rng(10);
+  ChainConfig config = FastChainConfig();
+  config.use_refinement = false;
+  ChainTrainer trainer(config);
+  const auto report = trainer.Train(model_.get(), au_data_, stress_, &rng);
+  EXPECT_EQ(report.describe_dpo_pairs, 0);
+  EXPECT_EQ(report.rationale_dpo_pairs, 0);
+}
+
+TEST_F(CotTest, ExampleStoreRetrievalMethods) {
+  Rng rng(11);
+  vlm::VisionTower generic(16, &rng);
+  ExampleStore store(stress_, &generic, model_.get(), &rng);
+  EXPECT_EQ(store.size(), stress_.size());
+
+  const auto& query = stress_.samples[0];
+  AuMask description{};
+  description[2] = true;
+
+  const auto none =
+      store.Retrieve(RetrievalMethod::kNone, query, description, &rng);
+  EXPECT_EQ(none.store_index, -1);
+
+  const auto random =
+      store.Retrieve(RetrievalMethod::kRandom, query, description, &rng);
+  EXPECT_GE(random.store_index, 0);
+  EXPECT_LT(random.store_index, store.size());
+
+  const auto by_vision =
+      store.Retrieve(RetrievalMethod::kByVision, query, description, &rng);
+  EXPECT_GE(by_vision.store_index, 0);
+  EXPECT_GE(by_vision.normalized_similarity, 0.0);
+  EXPECT_LE(by_vision.normalized_similarity, 1.0);
+
+  const auto by_description = store.Retrieve(RetrievalMethod::kByDescription,
+                                             query, description, &rng);
+  EXPECT_GE(by_description.store_index, 0);
+}
+
+TEST_F(CotTest, RetrievalFindsMostSimilarVisionExample) {
+  Rng rng(12);
+  vlm::VisionTower generic(16, &rng);
+  ExampleStore store(stress_, &generic, model_.get(), &rng);
+  // The query IS a training sample, so the best match is itself.
+  const auto& query = stress_.samples[10];
+  const auto hit =
+      store.Retrieve(RetrievalMethod::kByVision, query, AuMask{}, &rng);
+  EXPECT_EQ(store.sample_id(hit.store_index), query.id);
+  EXPECT_NEAR(hit.raw_similarity, 1.0, 1e-5);
+}
+
+TEST_F(CotTest, SubsampleShrinksStore) {
+  Rng rng(13);
+  vlm::VisionTower generic(16, &rng);
+  ExampleStore store(stress_, &generic, model_.get(), &rng);
+  store.SubsampleTo(0.5, &rng);
+  EXPECT_EQ(store.size(), stress_.size() / 2);
+  store.SubsampleTo(0.0, &rng);
+  EXPECT_EQ(store.size(), 1);  // clamped to at least one example
+}
+
+TEST_F(CotTest, RetrievalMethodNames) {
+  EXPECT_STREQ(RetrievalMethodName(RetrievalMethod::kNone), "w/o Example");
+  EXPECT_STREQ(RetrievalMethodName(RetrievalMethod::kByDescription),
+               "Retrieve-by-description");
+}
+
+}  // namespace
+}  // namespace vsd::cot

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "data/clip.h"
+#include "data/folds.h"
+#include "data/generator.h"
+#include "data/sample.h"
+
+namespace vsd::data {
+namespace {
+
+TEST(GeneratorTest, UvsdSimMatchesPaperCardinalities) {
+  // Full-size generation is a few seconds; use it once here.
+  Dataset uvsd = MakeUvsdSim();
+  EXPECT_EQ(uvsd.size(), 2092);
+  EXPECT_EQ(uvsd.CountSubjects(), 112);
+  // Label noise flips ~1% of the 920/1172 split; allow slack.
+  EXPECT_NEAR(uvsd.CountLabel(kStressed), 920, 60);
+}
+
+TEST(GeneratorTest, RslSimMatchesPaperCardinalities) {
+  Dataset rsl = MakeRslSim();
+  EXPECT_EQ(rsl.size(), 706);
+  EXPECT_EQ(rsl.CountSubjects(), 60);
+  EXPECT_NEAR(rsl.CountLabel(kStressed), 209, 40);
+}
+
+TEST(GeneratorTest, DisfaSimHasAuLabelsOnly) {
+  Dataset disfa = MakeDisfaSim(3, 100);
+  EXPECT_EQ(disfa.size(), 100);
+  for (const auto& sample : disfa.samples) {
+    EXPECT_EQ(sample.stress_label, kNoStressLabel);
+  }
+  // At least some AU variety.
+  int active_total = 0;
+  for (const auto& sample : disfa.samples) {
+    active_total += face::AuMaskCount(sample.au_label);
+  }
+  EXPECT_GT(active_total, 50);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  Dataset a = MakeUvsdSimSmall(50, 9);
+  Dataset b = MakeUvsdSimSmall(50, 9);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.samples[i].stress_label, b.samples[i].stress_label);
+    EXPECT_EQ(a.samples[i].expressive_frame.pixels(),
+              b.samples[i].expressive_frame.pixels());
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  Dataset a = MakeUvsdSimSmall(50, 1);
+  Dataset b = MakeUvsdSimSmall(50, 2);
+  int label_diff = 0;
+  for (int i = 0; i < a.size(); ++i) {
+    label_diff +=
+        (a.samples[i].stress_label != b.samples[i].stress_label);
+  }
+  EXPECT_GT(label_diff, 0);
+}
+
+TEST(GeneratorTest, AuLabelMatchesIntensityThreshold) {
+  Dataset d = MakeUvsdSimSmall(40, 3);
+  for (const auto& sample : d.samples) {
+    for (int j = 0; j < face::kNumAus; ++j) {
+      EXPECT_EQ(sample.au_label[j], sample.au_intensity[j] >= 0.3f);
+    }
+  }
+}
+
+TEST(GeneratorTest, StressedSamplesShowTensionAus) {
+  // Class-conditional statistics should follow the configured profile:
+  // AU4 (index 2) much more frequent under stress; AU12 (index 6) much
+  // more frequent otherwise.
+  Dataset d = MakeUvsdSimSmall(800, 4);
+  int au4_s = 0, au4_u = 0, au12_s = 0, au12_u = 0, n_s = 0, n_u = 0;
+  for (const auto& sample : d.samples) {
+    if (sample.stress_label == kStressed) {
+      ++n_s;
+      au4_s += sample.au_label[2];
+      au12_s += sample.au_label[6];
+    } else {
+      ++n_u;
+      au4_u += sample.au_label[2];
+      au12_u += sample.au_label[6];
+    }
+  }
+  EXPECT_GT(static_cast<double>(au4_s) / n_s,
+            static_cast<double>(au4_u) / n_u + 0.3);
+  EXPECT_GT(static_cast<double>(au12_u) / n_u,
+            static_cast<double>(au12_s) / n_s + 0.3);
+}
+
+TEST(GeneratorTest, ActivationProbabilityInterpolates) {
+  const double pu = AuActivationProbability(2, false, 1.0);
+  const double full = AuActivationProbability(2, true, 1.0);
+  const double half = AuActivationProbability(2, true, 0.5);
+  EXPECT_NEAR(half, pu + 0.5 * (full - pu), 1e-12);
+}
+
+TEST(GeneratorTest, NeutralFrameLessExpressive) {
+  Dataset d = MakeUvsdSimSmall(30, 5);
+  for (const auto& sample : d.samples) {
+    float expressive_sum = 0.0f;
+    float neutral_sum = 0.0f;
+    for (int j = 0; j < face::kNumAus; ++j) {
+      expressive_sum += sample.render_params.au_intensity[j];
+      neutral_sum += sample.neutral_params.au_intensity[j];
+    }
+    EXPECT_LE(neutral_sum, expressive_sum + 1e-5f);
+  }
+}
+
+TEST(GeneratorTest, AugmentFramesPreservesLabels) {
+  Dataset d = MakeDisfaSim(6, 20);
+  Dataset augmented = AugmentFrames(d, 2, 7);
+  EXPECT_EQ(augmented.size(), 60);
+  // Ids unique.
+  std::set<int> ids;
+  for (const auto& sample : augmented.samples) ids.insert(sample.id);
+  EXPECT_EQ(ids.size(), 60u);
+  // Each copy keeps the AU label but differs in pixels.
+  EXPECT_EQ(augmented.samples[0].au_label, augmented.samples[1].au_label);
+  EXPECT_NE(augmented.samples[0].expressive_frame.pixels(),
+            augmented.samples[1].expressive_frame.pixels());
+}
+
+TEST(DatasetTest, SubsetKeepsIdsAndOrder) {
+  Dataset d = MakeUvsdSimSmall(20, 8);
+  Dataset subset = d.Subset({3, 7, 11});
+  ASSERT_EQ(subset.size(), 3);
+  EXPECT_EQ(subset.samples[0].id, 3);
+  EXPECT_EQ(subset.samples[2].id, 11);
+}
+
+TEST(FoldsTest, KFoldPartitionsExactly) {
+  Dataset d = MakeUvsdSimSmall(100, 10);
+  Rng rng(1);
+  auto splits = StratifiedKFold(d, 5, &rng);
+  ASSERT_EQ(splits.size(), 5u);
+  std::multiset<int> all_test;
+  for (const auto& split : splits) {
+    EXPECT_EQ(static_cast<int>(split.train.size() + split.test.size()),
+              d.size());
+    for (int i : split.test) all_test.insert(i);
+    // Train and test are disjoint.
+    std::set<int> train(split.train.begin(), split.train.end());
+    for (int i : split.test) EXPECT_FALSE(train.count(i));
+  }
+  // Every sample appears in exactly one test fold.
+  EXPECT_EQ(static_cast<int>(all_test.size()), d.size());
+  std::set<int> unique_test(all_test.begin(), all_test.end());
+  EXPECT_EQ(static_cast<int>(unique_test.size()), d.size());
+}
+
+TEST(FoldsTest, KFoldIsStratified) {
+  Dataset d = MakeUvsdSimSmall(200, 11);
+  const double overall =
+      static_cast<double>(d.CountLabel(kStressed)) / d.size();
+  Rng rng(2);
+  auto splits = StratifiedKFold(d, 4, &rng);
+  for (const auto& split : splits) {
+    int stressed = 0;
+    for (int i : split.test) {
+      stressed += (d.samples[i].stress_label == kStressed);
+    }
+    const double fraction = static_cast<double>(stressed) /
+                            static_cast<double>(split.test.size());
+    EXPECT_NEAR(fraction, overall, 0.08);
+  }
+}
+
+TEST(FoldsTest, HoldoutRespectsFraction) {
+  Dataset d = MakeUvsdSimSmall(100, 12);
+  Rng rng(3);
+  auto split = StratifiedHoldout(d, 0.3, &rng);
+  EXPECT_NEAR(static_cast<double>(split.test.size()), 30.0, 3.0);
+  EXPECT_EQ(static_cast<int>(split.train.size() + split.test.size()),
+            d.size());
+}
+
+TEST(ClipTest, ExpressivenessScoreTracksIntensity) {
+  Rng rng(41);
+  face::FaceParams calm;
+  face::FaceParams expressive;
+  expressive.au_intensity[2] = 0.9f;
+  expressive.au_intensity[6] = 0.8f;
+  EXPECT_GT(ExpressivenessScore(expressive, 0.0f, nullptr),
+            ExpressivenessScore(calm, 0.0f, nullptr));
+}
+
+TEST(ClipTest, MakeStressClipShapes) {
+  Rng rng(42);
+  std::array<float, face::kNumAus> peak{};
+  peak[2] = 0.9f;
+  peak[7] = 0.7f;
+  VideoClip clip = MakeStressClip(5, 3, face::Identity::Sample(&rng), peak,
+                                  kStressed, 8, &rng);
+  EXPECT_EQ(clip.frames.size(), 8u);
+  EXPECT_EQ(clip.frame_params.size(), 8u);
+  EXPECT_EQ(clip.stress_label, kStressed);
+  for (const auto& frame : clip.frames) {
+    EXPECT_EQ(frame.width(), face::kFaceSize);
+  }
+}
+
+TEST(ClipTest, SelectFramePairPicksPeakAndRest) {
+  Rng rng(43);
+  std::array<float, face::kNumAus> peak{};
+  peak[2] = 1.0f;
+  peak[9] = 0.9f;
+  VideoClip clip = MakeStressClip(7, 1, face::Identity::Sample(&rng), peak,
+                                  kStressed, 10, &rng);
+  VideoSample sample = SelectFramePair(clip, 0.0f, &rng);
+  EXPECT_EQ(sample.id, 7);
+  EXPECT_EQ(sample.stress_label, kStressed);
+  // f_e must be more expressive than f_l (by generative intensity sum).
+  float e_sum = 0.0f;
+  float l_sum = 0.0f;
+  for (int j = 0; j < face::kNumAus; ++j) {
+    e_sum += sample.render_params.au_intensity[j];
+    l_sum += sample.neutral_params.au_intensity[j];
+  }
+  EXPECT_GT(e_sum, l_sum);
+  // The AU label reflects the expressive frame.
+  EXPECT_TRUE(sample.au_label[2]);
+}
+
+TEST(ClipTest, SelectFramePairDeterministicWithoutNoise) {
+  Rng rng(44);
+  std::array<float, face::kNumAus> peak{};
+  peak[6] = 0.8f;
+  VideoClip clip = MakeStressClip(9, 2, face::Identity::Sample(&rng), peak,
+                                  kUnstressed, 6, &rng);
+  VideoSample a = SelectFramePair(clip, 0.0f, nullptr);
+  VideoSample b = SelectFramePair(clip, 0.0f, nullptr);
+  EXPECT_EQ(a.expressive_frame.pixels(), b.expressive_frame.pixels());
+  EXPECT_EQ(a.neutral_frame.pixels(), b.neutral_frame.pixels());
+}
+
+}  // namespace
+}  // namespace vsd::data

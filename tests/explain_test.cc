@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "explain/explainer.h"
+#include "explain/faithfulness.h"
+#include "explain/kernel_shap.h"
+#include "explain/lime.h"
+#include "explain/occlusion.h"
+#include "explain/sobol.h"
+#include "img/image.h"
+#include "img/slic.h"
+
+namespace vsd::explain {
+namespace {
+
+/// A synthetic "model" whose output depends only on the mean intensity of
+/// a known target window: the perfect ground truth for attribution tests.
+class WindowOracle {
+ public:
+  WindowOracle(int y0, int y1, int x0, int x1)
+      : y0_(y0), y1_(y1), x0_(x0), x1_(x1) {}
+
+  double operator()(const img::Image& image) const {
+    double sum = 0.0;
+    int count = 0;
+    for (int y = y0_; y < y1_; ++y) {
+      for (int x = x0_; x < x1_; ++x) {
+        sum += image.at(y, x);
+        ++count;
+      }
+    }
+    return sum / count;
+  }
+
+ private:
+  int y0_, y1_, x0_, x1_;
+};
+
+/// Test fixture: a bright patch image, its segmentation, and the oracle
+/// focused on that patch.
+class ExplainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    image_ = img::Image(32, 32, 0.2f);
+    for (int y = 8; y < 16; ++y) {
+      for (int x = 8; x < 16; ++x) image_.at(y, x) = 0.9f;
+    }
+    segmentation_ = img::Slic(image_, 16, /*compactness=*/20.0f);
+  }
+
+  /// Fraction of the oracle window covered by segment `s`.
+  double WindowOverlap(int segment) const {
+    int inside = 0;
+    int total = 0;
+    for (int y = 0; y < 32; ++y) {
+      for (int x = 0; x < 32; ++x) {
+        if (segmentation_.LabelAt(y, x) != segment) continue;
+        ++total;
+        if (y >= 8 && y < 16 && x >= 8 && x < 16) ++inside;
+      }
+    }
+    return total > 0 ? static_cast<double>(inside) / total : 0.0;
+  }
+
+  void ExpectTopSegmentInWindow(const Explainer& explainer) {
+    Rng rng(17);
+    WindowOracle oracle(8, 16, 8, 16);
+    const Attribution attribution = explainer.Explain(
+        [&oracle](const img::Image& im) { return oracle(im); }, image_,
+        segmentation_, &rng);
+    ASSERT_EQ(static_cast<int>(attribution.segment_scores.size()),
+              segmentation_.num_segments);
+    const auto ranked = attribution.RankedSegments();
+    // The top-ranked segment must overlap the oracle's window.
+    EXPECT_GT(WindowOverlap(ranked[0]), 0.3)
+        << explainer.name() << " top segment misses the target window";
+    EXPECT_GT(attribution.model_evaluations, 0);
+  }
+
+  img::Image image_;
+  img::Segmentation segmentation_;
+};
+
+TEST_F(ExplainerTest, LimeFindsTheWindow) {
+  ExpectTopSegmentInWindow(LimeExplainer(400));
+}
+
+TEST_F(ExplainerTest, KernelShapFindsTheWindow) {
+  ExpectTopSegmentInWindow(KernelShapExplainer(400));
+}
+
+TEST_F(ExplainerTest, SobolFindsTheWindow) {
+  ExpectTopSegmentInWindow(SobolExplainer(12));
+}
+
+TEST_F(ExplainerTest, OcclusionFindsTheWindow) {
+  ExpectTopSegmentInWindow(OcclusionExplainer());
+}
+
+TEST_F(ExplainerTest, EvaluationBudgetsRespected) {
+  Rng rng(18);
+  auto constant = [](const img::Image&) { return 0.5; };
+  const auto lime =
+      LimeExplainer(100).Explain(constant, image_, segmentation_, &rng);
+  EXPECT_EQ(lime.model_evaluations, 100);
+  const auto shap =
+      KernelShapExplainer(100).Explain(constant, image_, segmentation_,
+                                       &rng);
+  EXPECT_EQ(shap.model_evaluations, 100);
+  const auto sobol =
+      SobolExplainer(4).Explain(constant, image_, segmentation_, &rng);
+  // N * (d + 2) evaluations.
+  EXPECT_EQ(sobol.model_evaluations,
+            4 * (segmentation_.num_segments + 2));
+  const auto occlusion =
+      OcclusionExplainer().Explain(constant, image_, segmentation_, &rng);
+  EXPECT_EQ(occlusion.model_evaluations, segmentation_.num_segments + 1);
+}
+
+TEST_F(ExplainerTest, ConstantModelGetsNearZeroAttributions) {
+  Rng rng(19);
+  auto constant = [](const img::Image&) { return 0.5; };
+  const auto attribution =
+      LimeExplainer(300).Explain(constant, image_, segmentation_, &rng);
+  for (double score : attribution.segment_scores) {
+    EXPECT_NEAR(score, 0.0, 0.05);
+  }
+}
+
+TEST_F(ExplainerTest, ApplySegmentMaskInterpolatesToMean) {
+  std::vector<float> keep(segmentation_.num_segments, 1.0f);
+  keep[0] = 0.0f;
+  const img::Image masked =
+      ApplySegmentMask(image_, segmentation_, keep);
+  const float mean = image_.MeanValue();
+  bool found = false;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      if (segmentation_.LabelAt(y, x) == 0) {
+        EXPECT_NEAR(masked.at(y, x), mean, 1e-5f);
+        found = true;
+      } else {
+        EXPECT_EQ(masked.at(y, x), image_.at(y, x));
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QmcSequenceTest, PointsInUnitCubeAndLowDiscrepancy) {
+  QmcSequence sequence(8);
+  // First 64 points of each dim should cover [0,1) roughly uniformly.
+  std::vector<double> sums(8, 0.0);
+  for (int i = 0; i < 64; ++i) {
+    const auto point = sequence.Point(i);
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_GE(point[j], 0.0);
+      EXPECT_LT(point[j], 1.0);
+      sums[j] += point[j];
+    }
+  }
+  for (double sum : sums) EXPECT_NEAR(sum / 64.0, 0.5, 0.08);
+}
+
+TEST(QmcSequenceTest, Deterministic) {
+  QmcSequence a(4);
+  QmcSequence b(4);
+  EXPECT_EQ(a.Point(17), b.Point(17));
+}
+
+TEST(FaithfulnessTest, OracleRationaleDropsAccuracyMost) {
+  // Model: stressed iff the 8..16 window is bright. Samples: half bright
+  // (label 1), half dark (label 0). The oracle ranking (window segments
+  // first) must cause a larger accuracy drop than a deliberately wrong
+  // ranking.
+  Rng rng(20);
+  WindowOracle oracle(8, 16, 8, 16);
+  std::vector<img::Image> images;
+  std::vector<img::Segmentation> segmentations;
+  std::vector<ExplainedSample> good;
+  std::vector<ExplainedSample> bad;
+  const int n = 16;
+  images.reserve(n);
+  segmentations.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    img::Image image(32, 32, 0.2f);
+    const int label = i % 2;
+    if (label == 1) {
+      for (int y = 8; y < 16; ++y) {
+        for (int x = 8; x < 16; ++x) image.at(y, x) = 0.95f;
+      }
+    }
+    images.push_back(image);
+    segmentations.push_back(img::Slic(images.back(), 16, 20.0f));
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto& segmentation = segmentations[i];
+    // Rank segments by window overlap (oracle) and reverse (bad).
+    std::vector<std::pair<double, int>> overlap;
+    for (int s = 0; s < segmentation.num_segments; ++s) {
+      int inside = 0;
+      int total = 0;
+      for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 32; ++x) {
+          if (segmentation.LabelAt(y, x) != s) continue;
+          ++total;
+          inside += (y >= 8 && y < 16 && x >= 8 && x < 16);
+        }
+      }
+      overlap.push_back({total > 0 ? -1.0 * inside / total : 0.0, s});
+    }
+    std::sort(overlap.begin(), overlap.end());
+    ExplainedSample sample;
+    sample.image = &images[i];
+    sample.segmentation = &segmentation;
+    sample.true_label = i % 2;
+    // Noise-sensitive oracle: "stressed" needs a bright AND smooth
+    // window, so noising a covering segment flips the decision.
+    sample.classifier = [](const img::Image& im) {
+      double sum = 0.0;
+      double sq = 0.0;
+      for (int y = 8; y < 16; ++y) {
+        for (int x = 8; x < 16; ++x) {
+          sum += im.at(y, x);
+          sq += im.at(y, x) * im.at(y, x);
+        }
+      }
+      const double mean = sum / 64.0;
+      const double var = sq / 64.0 - mean * mean;
+      return (mean > 0.5 && var < 0.02) ? 0.9 : 0.1;
+    };
+    for (const auto& [score, segment] : overlap) {
+      sample.ranked_segments.push_back(segment);
+    }
+    good.push_back(sample);
+    ExplainedSample reversed = sample;
+    std::reverse(reversed.ranked_segments.begin(),
+                 reversed.ranked_segments.end());
+    bad.push_back(reversed);
+  }
+  EXPECT_NEAR(CleanAccuracy(good), 1.0, 1e-9);
+  const auto good_drops = TopKAccuracyDrop(good, {1, 2, 3}, 0.8f, &rng);
+  Rng rng2(21);
+  const auto bad_drops = TopKAccuracyDrop(bad, {1, 2, 3}, 0.8f, &rng2);
+  // The faithful ranking flips the stressed half early; the reversed
+  // ranking barely touches the window within its top 3.
+  EXPECT_GE(good_drops[0], 0.3);
+  EXPECT_GT(good_drops[2], bad_drops[2]);
+}
+
+}  // namespace
+}  // namespace vsd::explain

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "face/au.h"
+#include "face/landmarks.h"
+#include "face/renderer.h"
+
+namespace vsd::face {
+namespace {
+
+TEST(AuCatalogTest, HasTwelveDistinctAus) {
+  const auto& catalog = AuCatalog();
+  ASSERT_EQ(catalog.size(), static_cast<size_t>(kNumAus));
+  std::set<int> facs;
+  for (const auto& au : catalog) facs.insert(au.facs_number);
+  EXPECT_EQ(facs.size(), static_cast<size_t>(kNumAus));
+  // The DISFA set.
+  for (int f : {1, 2, 4, 5, 6, 9, 12, 15, 17, 20, 25, 26}) {
+    EXPECT_TRUE(facs.count(f)) << "missing AU" << f;
+  }
+}
+
+TEST(AuCatalogTest, FacsLookupRoundTrip) {
+  for (int i = 0; i < kNumAus; ++i) {
+    EXPECT_EQ(AuIndexFromFacs(GetAu(i).facs_number), i);
+  }
+  EXPECT_EQ(AuIndexFromFacs(99), -1);
+  EXPECT_EQ(AuIndexFromFacs(3), -1);  // AU3 is not in the DISFA set
+}
+
+TEST(AuMaskTest, CountAndIndices) {
+  AuMask mask{};
+  mask[0] = mask[5] = mask[11] = true;
+  EXPECT_EQ(AuMaskCount(mask), 3);
+  EXPECT_EQ(AuMaskToIndices(mask), (std::vector<int>{0, 5, 11}));
+  EXPECT_EQ(AuMaskFromIndices({0, 5, 11, 99, -1}), mask);
+}
+
+TEST(AuMaskTest, Jaccard) {
+  AuMask a{};
+  AuMask b{};
+  EXPECT_EQ(AuMaskJaccard(a, b), 1.0);  // both empty
+  a[0] = a[1] = true;
+  b[1] = b[2] = true;
+  EXPECT_NEAR(AuMaskJaccard(a, b), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(AuMaskJaccard(a, a), 1.0, 1e-12);
+}
+
+TEST(AuMaskTest, ToString) {
+  AuMask mask{};
+  EXPECT_EQ(AuMaskToString(mask), "none");
+  mask[0] = mask[3] = true;
+  EXPECT_EQ(AuMaskToString(mask), "AU1+AU5");
+}
+
+TEST(RendererTest, ProducesValidImage) {
+  Rng rng(1);
+  FaceParams params;
+  params.identity = Identity::Sample(&rng);
+  img::Image face = RenderFace(params, &rng);
+  EXPECT_EQ(face.width(), kFaceSize);
+  EXPECT_EQ(face.height(), kFaceSize);
+  for (float p : face.pixels()) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+  // Face is brighter than background: center vs corner.
+  EXPECT_GT(face.at(52, 48), face.at(2, 2));
+}
+
+TEST(RendererTest, DeterministicWithoutNoise) {
+  FaceParams params;
+  params.noise_stddev = 0.0f;
+  img::Image a = RenderFace(params, nullptr);
+  img::Image b = RenderFace(params, nullptr);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.pixels()[i], b.pixels()[i]);
+  }
+}
+
+/// Pixel L1 distance between two renders.
+float RenderDistance(const FaceParams& a, const FaceParams& b) {
+  img::Image ia = RenderFace(a, nullptr);
+  img::Image ib = RenderFace(b, nullptr);
+  float total = 0.0f;
+  for (int i = 0; i < ia.size(); ++i) {
+    total += std::abs(ia.pixels()[i] - ib.pixels()[i]);
+  }
+  return total;
+}
+
+TEST(RendererTest, EveryAuChangesTheImage) {
+  FaceParams neutral;
+  neutral.noise_stddev = 0.0f;
+  for (int j = 0; j < kNumAus; ++j) {
+    FaceParams active = neutral;
+    active.au_intensity[j] = 1.0f;
+    EXPECT_GT(RenderDistance(neutral, active), 1.0f)
+        << "AU" << GetAu(j).facs_number << " has no visual effect";
+  }
+}
+
+TEST(RendererTest, AuEffectIsLocalizedToItsRegion) {
+  // Activating an AU must change pixels mostly inside its region mask.
+  FaceParams neutral;
+  neutral.noise_stddev = 0.0f;
+  img::Image base = RenderFace(neutral, nullptr);
+  for (int j = 0; j < kNumAus; ++j) {
+    FaceParams active = neutral;
+    active.au_intensity[j] = 1.0f;
+    img::Image changed = RenderFace(active, nullptr);
+    const auto mask = RegionMask(GetAu(j).region);
+    float inside = 0.0f;
+    float outside = 0.0f;
+    for (int i = 0; i < base.size(); ++i) {
+      const float diff = std::abs(base.pixels()[i] - changed.pixels()[i]);
+      (mask[i] ? inside : outside) += diff;
+    }
+    EXPECT_GT(inside, outside)
+        << "AU" << GetAu(j).facs_number << " leaks outside its region";
+  }
+}
+
+TEST(RendererTest, ExpressivenessScalesAuIntensities) {
+  FaceParams params;
+  params.au_intensity[0] = 0.8f;
+  params.au_intensity[6] = 0.6f;
+  FaceParams scaled = params.WithExpressiveness(0.5f);
+  EXPECT_NEAR(scaled.au_intensity[0], 0.4f, 1e-6f);
+  EXPECT_NEAR(scaled.au_intensity[6], 0.3f, 1e-6f);
+  FaceParams clamped = params.WithExpressiveness(2.0f);
+  EXPECT_EQ(clamped.au_intensity[0], 1.0f);
+}
+
+TEST(RendererTest, IdentitySamplingVariesFaces) {
+  Rng rng(2);
+  FaceParams a;
+  a.identity = Identity::Sample(&rng);
+  a.noise_stddev = 0.0f;
+  FaceParams b = a;
+  b.identity = Identity::Sample(&rng);
+  EXPECT_GT(RenderDistance(a, b), 1.0f);
+}
+
+TEST(RegionMaskTest, MasksNonEmptyAndWithinImage) {
+  for (int r = 0; r < kNumFaceRegions; ++r) {
+    const auto mask = RegionMask(static_cast<FaceRegion>(r));
+    ASSERT_EQ(static_cast<int>(mask.size()), kFaceSize * kFaceSize);
+    int count = 0;
+    for (uint8_t m : mask) count += m;
+    EXPECT_GT(count, 50) << "region " << r;
+    EXPECT_LT(count, kFaceSize * kFaceSize) << "region " << r;
+  }
+}
+
+TEST(RegionMaskTest, AuRegionsMaskUnions) {
+  AuMask aus{};
+  aus[0] = true;  // AU1 -> eyebrow
+  aus[6] = true;  // AU12 -> mouth
+  const auto unioned = AuRegionsMask(aus);
+  const auto brow = RegionMask(FaceRegion::kEyebrow);
+  const auto mouth = RegionMask(FaceRegion::kMouth);
+  for (size_t i = 0; i < unioned.size(); ++i) {
+    EXPECT_EQ(unioned[i], brow[i] | mouth[i]);
+  }
+}
+
+TEST(LandmarkTest, CountAndDeterminism) {
+  FaceParams params;
+  auto a = ExtractLandmarks(params, 0.0f, nullptr);
+  auto b = ExtractLandmarks(params, 0.0f, nullptr);
+  ASSERT_EQ(static_cast<int>(a.size()), kNumLandmarks);
+  for (int i = 0; i < kNumLandmarks; ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+  }
+}
+
+TEST(LandmarkTest, NoiseJittersPoints) {
+  Rng rng(3);
+  FaceParams params;
+  auto clean = ExtractLandmarks(params, 0.0f, nullptr);
+  auto noisy = ExtractLandmarks(params, 2.0f, &rng);
+  float total = 0.0f;
+  for (int i = 0; i < kNumLandmarks; ++i) {
+    total += std::abs(clean[i].x - noisy[i].x);
+  }
+  EXPECT_GT(total, 10.0f);
+}
+
+TEST(LandmarkTest, FeaturesAreCentered) {
+  FaceParams params;
+  const auto features =
+      LandmarksToFeatures(ExtractLandmarks(params, 0.0f, nullptr));
+  ASSERT_EQ(features.size(), static_cast<size_t>(2 * kNumLandmarks));
+  for (float f : features) EXPECT_LT(std::abs(f), 1.5f);
+}
+
+TEST(AuEstimatorTest, RecoversStrongAusFromCleanLandmarks) {
+  // For geometry-visible AUs, a full-intensity activation should yield a
+  // clearly higher estimate than neutral.
+  const int kGeometric[] = {0, 1, 2, 3, 6, 7, 9, 10, 11};
+  for (int j : kGeometric) {
+    FaceParams neutral;
+    FaceParams active;
+    active.au_intensity[j] = 1.0f;
+    const auto est_neutral =
+        face::EstimateAuIntensities(ExtractLandmarks(neutral, 0.0f, nullptr));
+    const auto est_active =
+        face::EstimateAuIntensities(ExtractLandmarks(active, 0.0f, nullptr));
+    EXPECT_GT(est_active[j], est_neutral[j] + 0.3f)
+        << "AU" << GetAu(j).facs_number;
+  }
+}
+
+TEST(AuEstimatorTest, EstimatesAreInUnitRange) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    FaceParams params;
+    params.identity = Identity::Sample(&rng);
+    for (auto& a : params.au_intensity) {
+      a = static_cast<float>(rng.Uniform());
+    }
+    const auto est = face::EstimateAuIntensities(
+        ExtractLandmarks(params, 1.0f, &rng));
+    for (float e : est) {
+      EXPECT_GE(e, 0.0f);
+      EXPECT_LE(e, 1.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vsd::face

@@ -1,0 +1,130 @@
+// Tests for the bench-harness plumbing that turns chain rationales into
+// segment rankings and wires the interpretability protocol together.
+#include "bench/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "face/renderer.h"
+#include "img/slic.h"
+
+namespace vsd::bench {
+namespace {
+
+TEST(HarnessTest, ParseArgsDefaults) {
+  const char* argv[] = {"bench"};
+  BenchOptions options = ParseBenchArgs(1, const_cast<char**>(argv));
+  EXPECT_FALSE(options.quick);
+  EXPECT_GE(options.folds, 2);
+}
+
+TEST(HarnessTest, ParseArgsQuickAndFolds) {
+  const char* argv[] = {"bench", "--quick", "--folds", "5", "--seed", "9"};
+  BenchOptions options = ParseBenchArgs(6, const_cast<char**>(argv));
+  EXPECT_TRUE(options.quick);
+  EXPECT_EQ(options.folds, 5);
+  EXPECT_EQ(options.seed, 9u);
+}
+
+TEST(HarnessTest, ParseArgsRejectsDegenerateFolds) {
+  const char* argv[] = {"bench", "--folds", "1"};
+  BenchOptions options = ParseBenchArgs(3, const_cast<char**>(argv));
+  EXPECT_GE(options.folds, 2);
+}
+
+TEST(HarnessTest, QuickDataHasPaperShapes) {
+  BenchOptions options;
+  options.quick = true;
+  options.seed = 3;
+  BenchData data = MakeBenchData(options);
+  EXPECT_GT(data.uvsd.size(), data.rsl.size());
+  EXPECT_GT(data.uvsd.CountLabel(data::kStressed), 0);
+  EXPECT_GT(data.disfa.size(), 0);
+  EXPECT_EQ(data.disfa.samples[0].stress_label, data::kNoStressLabel);
+}
+
+TEST(HarnessTest, RationaleToSegmentsMapsToRegions) {
+  Rng rng(4);
+  face::FaceParams params;
+  params.identity = face::Identity::Sample(&rng);
+  params.au_intensity[2] = 0.8f;   // AU4 (eyebrow)
+  params.au_intensity[6] = 0.7f;   // AU12 (mouth)
+  const img::Image face_image = face::RenderFace(params, &rng);
+  const img::Segmentation seg = img::Slic(face_image, kNumSlicSegments);
+
+  const std::vector<int> rationale = {2, 6};  // AU4, AU12
+  const auto segments = RationaleToSegments(rationale, seg);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_NE(segments[0], segments[1]);
+
+  // Each chosen segment's centroid must fall inside (or near) the AU's
+  // facial region box.
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const auto region = face::RegionMask(face::GetAu(rationale[i]).region);
+    auto [cy, cx] = seg.SegmentCentroid(segments[i]);
+    const int y = static_cast<int>(cy);
+    const int x = static_cast<int>(cx);
+    bool near_region = false;
+    for (int dy = -8; dy <= 8 && !near_region; ++dy) {
+      for (int dx = -8; dx <= 8 && !near_region; ++dx) {
+        const int yy = y + dy;
+        const int xx = x + dx;
+        if (yy >= 0 && yy < 96 && xx >= 0 && xx < 96 &&
+            region[yy * 96 + xx]) {
+          near_region = true;
+        }
+      }
+    }
+    EXPECT_TRUE(near_region) << "segment centroid far from AU region";
+  }
+}
+
+TEST(HarnessTest, RationaleToSegmentsHandlesEmpty) {
+  img::Image flat(96, 96, 0.5f);
+  const img::Segmentation seg = img::Slic(flat, 16);
+  EXPECT_TRUE(RationaleToSegments({}, seg).empty());
+}
+
+TEST(HarnessTest, ModelClassifierRespondsToPerturbation) {
+  data::Dataset d = data::MakeUvsdSimSmall(4, 5);
+  vlm::FoundationModelConfig config;
+  config.vision_dim = 12;
+  config.hidden_dim = 24;
+  config.au_feature_dim = 12;
+  config.seed = 11;
+  vlm::FoundationModel model(config);
+  auto classifier = ModelClassifier(model, d.samples[0], true);
+  const double clean = classifier(d.samples[0].expressive_frame);
+  EXPECT_GE(clean, 0.0);
+  EXPECT_LE(clean, 1.0);
+  img::Image black(96, 96);
+  const double blanked = classifier(black);
+  EXPECT_GE(blanked, 0.0);
+  EXPECT_LE(blanked, 1.0);
+}
+
+TEST(HarnessTest, CrossValidateAggregatesFolds) {
+  BenchOptions options;
+  options.folds = 3;
+  options.seed = 21;
+  data::Dataset d = data::MakeUvsdSimSmall(60, 33);
+  int calls = 0;
+  const core::Metrics metrics = CrossValidate(
+      d, options,
+      [&](const data::Dataset& train, const data::Dataset& test,
+          uint64_t fold_seed) {
+        ++calls;
+        EXPECT_EQ(train.size() + test.size(), d.size());
+        core::Metrics m;
+        m.accuracy = 1.0;
+        m.n = test.size();
+        return m;
+      });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(metrics.n, d.size());
+  EXPECT_NEAR(metrics.accuracy, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace vsd::bench

@@ -1,0 +1,236 @@
+// Property-style parameterized sweeps (TEST_P) over the library's core
+// invariants: rendering monotonicity per AU, template round-trips across
+// random AU sets, generator class-separation vs the au_gap knob, SLIC
+// structural invariants across segment counts, and DPO improvement across
+// beta values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "face/au.h"
+#include "face/landmarks.h"
+#include "face/renderer.h"
+#include "img/slic.h"
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+#include "text/templates.h"
+#include "vlm/foundation_model.h"
+
+namespace vsd {
+namespace {
+
+// ---------------------------------------------------------------------
+// Renderer: each AU's visual footprint grows monotonically with intensity.
+// ---------------------------------------------------------------------
+class AuRenderMonotoneTest : public ::testing::TestWithParam<int> {};
+
+float RenderL1(const face::FaceParams& a, const face::FaceParams& b) {
+  img::Image ia = face::RenderFace(a, nullptr);
+  img::Image ib = face::RenderFace(b, nullptr);
+  float total = 0.0f;
+  for (int i = 0; i < ia.size(); ++i) {
+    total += std::abs(ia.pixels()[i] - ib.pixels()[i]);
+  }
+  return total;
+}
+
+TEST_P(AuRenderMonotoneTest, FootprintGrowsWithIntensity) {
+  const int au = GetParam();
+  face::FaceParams neutral;
+  neutral.noise_stddev = 0.0f;
+  float previous = 0.0f;
+  for (float intensity : {0.35f, 0.7f, 1.0f}) {
+    face::FaceParams active = neutral;
+    active.au_intensity[au] = intensity;
+    const float distance = RenderL1(neutral, active);
+    // Allow mild non-monotonicity from occlusion (e.g. a fully lowered
+    // brow overlapping the bright eye region).
+    EXPECT_GE(distance, previous * 0.85f - 1.0f)
+        << "AU" << face::GetAu(au).facs_number << " at " << intensity;
+    previous = distance;
+  }
+  EXPECT_GT(previous, 1.0f);  // full intensity clearly visible
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAus, AuRenderMonotoneTest,
+                         ::testing::Range(0, face::kNumAus));
+
+// ---------------------------------------------------------------------
+// Templates: render/parse round-trip for random AU sets across seeds.
+// ---------------------------------------------------------------------
+class TemplateRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TemplateRoundTripTest, DescriptionAndRationaleRoundTrip) {
+  Rng rng(GetParam() * 7919 + 3);
+  face::AuMask mask{};
+  for (int j = 0; j < face::kNumAus; ++j) mask[j] = rng.Bernoulli(0.35);
+  EXPECT_EQ(text::ParseDescription(text::RenderDescription(mask)), mask);
+
+  auto indices = face::AuMaskToIndices(mask);
+  rng.Shuffle(&indices);
+  if (indices.size() > 3) indices.resize(3);
+  EXPECT_EQ(text::ParseRationale(text::RenderRationale(indices)), indices);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemplateRoundTripTest,
+                         ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------------
+// Generator: larger au_gap -> more separable AU statistics.
+// ---------------------------------------------------------------------
+class GapSeparationTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+double Au4RateGap(double au_gap, uint64_t seed) {
+  data::StressGenConfig config;
+  config.num_samples = 400;
+  config.num_subjects = 20;
+  config.num_stressed = 200;
+  config.au_gap = au_gap;
+  config.subject_sigma = 0.3;
+  config.seed = seed;
+  const data::Dataset d = data::GenerateStressDataset(config);
+  int s_active = 0, s_n = 0, u_active = 0, u_n = 0;
+  for (const auto& sample : d.samples) {
+    if (sample.stress_label == 1) {
+      ++s_n;
+      s_active += sample.au_label[2];  // AU4
+    } else {
+      ++u_n;
+      u_active += sample.au_label[2];
+    }
+  }
+  return static_cast<double>(s_active) / s_n -
+         static_cast<double>(u_active) / u_n;
+}
+
+TEST_P(GapSeparationTest, BiggerGapSeparatesMore) {
+  const auto [small_gap, big_gap] = GetParam();
+  EXPECT_LT(Au4RateGap(small_gap, 42), Au4RateGap(big_gap, 42) + 0.05);
+  EXPECT_GT(Au4RateGap(big_gap, 42), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gaps, GapSeparationTest,
+    ::testing::Values(std::make_pair(0.2, 0.7), std::make_pair(0.4, 1.0),
+                      std::make_pair(0.0, 0.5)));
+
+// ---------------------------------------------------------------------
+// SLIC: structural invariants hold across segment counts.
+// ---------------------------------------------------------------------
+class SlicInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlicInvariantTest, CoverageContiguityAndSizes) {
+  const int requested = GetParam();
+  Rng rng(9);
+  face::FaceParams params;
+  params.identity = face::Identity::Sample(&rng);
+  params.au_intensity[2] = 0.7f;
+  const img::Image face_image = face::RenderFace(params, &rng);
+  const img::Segmentation seg = img::Slic(face_image, requested);
+
+  // Every pixel labeled with a valid segment.
+  for (int label : seg.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, seg.num_segments);
+  }
+  // Labels contiguous (every id used).
+  std::set<int> used(seg.labels.begin(), seg.labels.end());
+  EXPECT_EQ(static_cast<int>(used.size()), seg.num_segments);
+  // Segment count in a sane band around the request.
+  EXPECT_GE(seg.num_segments, requested / 2);
+  EXPECT_LE(seg.num_segments, requested * 2);
+  // Sizes sum to the pixel count.
+  const auto sizes = seg.SegmentSizes();
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0),
+            face_image.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SlicInvariantTest,
+                         ::testing::Values(9, 16, 36, 64, 100));
+
+// ---------------------------------------------------------------------
+// DPO: for any beta, optimization raises the winner/loser margin.
+// ---------------------------------------------------------------------
+class DpoBetaTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(DpoBetaTest, MarginImprovesForAnyBeta) {
+  const float beta = GetParam();
+  vlm::FoundationModelConfig config;
+  config.vision_dim = 12;
+  config.hidden_dim = 24;
+  config.au_feature_dim = 12;
+  config.seed = 17;
+  vlm::FoundationModel model(config);
+  data::Dataset d = data::MakeUvsdSimSmall(12, 91);
+  model.PrecomputeFeatures(d);
+  auto reference = model.Clone();
+
+  std::vector<const data::VideoSample*> batch;
+  std::vector<face::AuMask> winners;
+  std::vector<face::AuMask> losers;
+  Rng rng(5);
+  for (const auto& sample : d.samples) {
+    batch.push_back(&sample);
+    face::AuMask winner{};
+    face::AuMask loser{};
+    for (int j = 0; j < face::kNumAus; ++j) {
+      winner[j] = rng.Bernoulli(0.3);
+      loser[j] = rng.Bernoulli(0.3);
+    }
+    winners.push_back(winner);
+    losers.push_back(loser);
+  }
+  auto margin = [&]() {
+    double total = 0.0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      total += model.DescriptionLogProb(*batch[i], winners[i]) -
+               model.DescriptionLogProb(*batch[i], losers[i]);
+    }
+    return total;
+  };
+  const double before = margin();
+  nn::Adam opt(model.HeadParameters(), 3e-3f);
+  for (int step = 0; step < 15; ++step) {
+    nn::Var loss =
+        model.DpoDescribeLoss(batch, winners, losers, *reference, beta);
+    opt.ZeroGrad();
+    autograd::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_GT(margin(), before) << "beta=" << beta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, DpoBetaTest,
+                         ::testing::Values(0.02f, 0.1f, 0.5f, 1.0f));
+
+// ---------------------------------------------------------------------
+// Landmark/AU estimator: estimates track intensity for geometric AUs.
+// ---------------------------------------------------------------------
+class EstimatorTrackingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EstimatorTrackingTest, EstimateIncreasesWithIntensity) {
+  const int au = GetParam();
+  face::FaceParams low;
+  face::FaceParams high;
+  low.au_intensity[au] = 0.2f;
+  high.au_intensity[au] = 1.0f;
+  const auto est_low = face::EstimateAuIntensities(
+      face::ExtractLandmarks(low, 0.0f, nullptr));
+  const auto est_high = face::EstimateAuIntensities(
+      face::ExtractLandmarks(high, 0.0f, nullptr));
+  EXPECT_GT(est_high[au], est_low[au])
+      << "AU" << face::GetAu(au).facs_number;
+}
+
+// AU9 (index 5) has the weakest geometric signature; the rest must track.
+INSTANTIATE_TEST_SUITE_P(GeometricAus, EstimatorTrackingTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 6, 7, 8, 9, 10,
+                                           11));
+
+}  // namespace
+}  // namespace vsd

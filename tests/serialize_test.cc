@@ -1,0 +1,139 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.h"
+#include "img/pgm.h"
+#include "nn/layers.h"
+#include "data/generator.h"
+#include "vlm/foundation_model.h"
+
+namespace vsd {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripMlp) {
+  Rng rng(1);
+  nn::Mlp a({4, 8, 2}, nn::Activation::kGelu, &rng);
+  nn::Mlp b({4, 8, 2}, nn::Activation::kGelu, &rng);  // different weights
+  const std::string path = TempPath("mlp.vsdm");
+  ASSERT_TRUE(nn::SaveModule(a, path).ok());
+  ASSERT_TRUE(nn::LoadModule(&b, path).ok());
+  EXPECT_EQ(a.StateVector(), b.StateVector());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsWrongArchitecture) {
+  Rng rng(2);
+  nn::Mlp a({4, 8, 2}, nn::Activation::kGelu, &rng);
+  nn::Mlp smaller({4, 4, 2}, nn::Activation::kGelu, &rng);
+  const std::string path = TempPath("mlp2.vsdm");
+  ASSERT_TRUE(nn::SaveModule(a, path).ok());
+  const Status status = nn::LoadModule(&smaller, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsGarbageFile) {
+  const std::string path = TempPath("garbage.vsdm");
+  std::ofstream(path) << "this is not a checkpoint";
+  Rng rng(3);
+  nn::Mlp m({2, 2}, nn::Activation::kRelu, &rng);
+  EXPECT_FALSE(nn::LoadModule(&m, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  Rng rng(4);
+  nn::Mlp m({2, 2}, nn::Activation::kRelu, &rng);
+  EXPECT_EQ(nn::LoadModule(&m, "/nonexistent/vsd.ckpt").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, RejectsTruncatedPayload) {
+  Rng rng(5);
+  nn::Mlp a({4, 8, 2}, nn::Activation::kGelu, &rng);
+  const std::string path = TempPath("trunc.vsdm");
+  ASSERT_TRUE(nn::SaveModule(a, path).ok());
+  // Truncate the payload.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size() - 32));
+  out.close();
+  EXPECT_FALSE(nn::LoadModule(&a, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FoundationModelRoundTripPreservesBehaviour) {
+  vlm::FoundationModelConfig config;
+  config.vision_dim = 12;
+  config.hidden_dim = 24;
+  config.au_feature_dim = 12;
+  config.seed = 6;
+  vlm::FoundationModel a(config);
+  config.seed = 7;  // different init
+  vlm::FoundationModel b(config);
+  const std::string path = TempPath("fm.vsdm");
+  ASSERT_TRUE(nn::SaveModule(a, path).ok());
+  ASSERT_TRUE(nn::LoadModule(&b, path).ok());
+
+  data::Dataset d = data::MakeUvsdSimSmall(4, 99);
+  for (const auto& sample : d.samples) {
+    EXPECT_EQ(a.DescriptionLogProb(sample, face::AuMask{}),
+              b.DescriptionLogProb(sample, face::AuMask{}));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PgmTest, RoundTripBinary) {
+  Rng rng(8);
+  img::Image image(17, 9);
+  for (auto& p : image.mutable_pixels()) {
+    p = static_cast<float>(rng.Uniform());
+  }
+  const std::string path = TempPath("face.pgm");
+  ASSERT_TRUE(img::WritePgm(image, path).ok());
+  auto loaded = img::ReadPgm(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->width(), 17);
+  EXPECT_EQ(loaded->height(), 9);
+  for (int i = 0; i < image.size(); ++i) {
+    EXPECT_NEAR(loaded->pixels()[i], image.pixels()[i], 1.0f / 255.0f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PgmTest, ReadsAsciiVariant) {
+  const std::string path = TempPath("ascii.pgm");
+  std::ofstream(path) << "P2\n# comment\n2 2\n255\n0 128 255 64\n";
+  auto loaded = img::ReadPgm(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_NEAR(loaded->at(0, 1), 128.0f / 255.0f, 1e-6f);
+  EXPECT_NEAR(loaded->at(1, 0), 1.0f, 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(PgmTest, RejectsNonPgm) {
+  const std::string path = TempPath("notpgm.txt");
+  std::ofstream(path) << "hello";
+  EXPECT_FALSE(img::ReadPgm(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PgmTest, RejectsEmptyImageWrite) {
+  img::Image empty;
+  EXPECT_FALSE(img::WritePgm(empty, TempPath("empty.pgm")).ok());
+}
+
+}  // namespace
+}  // namespace vsd

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "face/au.h"
+#include "text/encoder.h"
+#include "text/instructions.h"
+#include "text/templates.h"
+#include "text/tokenizer.h"
+
+namespace vsd::text {
+namespace {
+
+using face::AuMask;
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  auto tokens = Tokenize("The Inner-Brow, raising!");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "the");
+  EXPECT_EQ(tokens[1], "inner");
+  EXPECT_EQ(tokens[2], "brow");
+  EXPECT_EQ(tokens[3], "raising");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... !!").empty());
+}
+
+TEST(TokenizerTest, JaccardBehaviour) {
+  EXPECT_NEAR(TokenJaccard("a b c", "a b c"), 1.0, 1e-12);
+  EXPECT_NEAR(TokenJaccard("a b", "c d"), 0.0, 1e-12);
+  EXPECT_NEAR(TokenJaccard("a b", "b c"), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(TokenJaccard("", ""), 1.0);
+}
+
+TEST(TemplatesTest, DescriptionRoundTripsAllSingleAus) {
+  for (int j = 0; j < face::kNumAus; ++j) {
+    AuMask mask{};
+    mask[j] = true;
+    const std::string text = RenderDescription(mask);
+    EXPECT_EQ(ParseDescription(text), mask)
+        << "AU" << face::GetAu(j).facs_number << " failed: " << text;
+  }
+}
+
+TEST(TemplatesTest, DescriptionRoundTripsCombinations) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    AuMask mask{};
+    for (int j = 0; j < face::kNumAus; ++j) mask[j] = rng.Bernoulli(0.4);
+    EXPECT_EQ(ParseDescription(RenderDescription(mask)), mask);
+  }
+}
+
+TEST(TemplatesTest, EmptyDescriptionRendersExplicitly) {
+  const std::string text = RenderDescription(AuMask{});
+  EXPECT_NE(text.find("no notable facial movements"), std::string::npos);
+  EXPECT_EQ(ParseDescription(text), AuMask{});
+}
+
+TEST(TemplatesTest, DescriptionMatchesPaperFormat) {
+  // The paper's example: AU1 + AU5 + AU6.
+  AuMask mask{};
+  mask[face::AuIndexFromFacs(1)] = true;
+  mask[face::AuIndexFromFacs(5)] = true;
+  mask[face::AuIndexFromFacs(6)] = true;
+  const std::string text = RenderDescription(mask);
+  EXPECT_NE(text.find("The facial expressions can be listed below:"),
+            std::string::npos);
+  EXPECT_NE(text.find("-eyebrow: inner portions of the eyebrows raising"),
+            std::string::npos);
+  EXPECT_NE(text.find("-lid: upper lid raising"), std::string::npos);
+  EXPECT_NE(text.find("-cheek: raised"), std::string::npos);
+}
+
+TEST(TemplatesTest, AssessmentRoundTrip) {
+  EXPECT_EQ(ParseAssessment(RenderAssessment(1)).value(), 1);
+  EXPECT_EQ(ParseAssessment(RenderAssessment(0)).value(), 0);
+}
+
+TEST(TemplatesTest, AssessmentParsesVariants) {
+  EXPECT_EQ(ParseAssessment("Stressed").value(), 1);
+  EXPECT_EQ(ParseAssessment("definitely unstressed").value(), 0);
+  EXPECT_EQ(ParseAssessment("Yes.").value(), 1);
+  EXPECT_EQ(ParseAssessment("No.").value(), 0);
+  EXPECT_EQ(ParseAssessment("the subject is not stressed").value(), 0);
+  EXPECT_FALSE(ParseAssessment("cannot tell").ok());
+}
+
+TEST(TemplatesTest, RationaleRoundTripPreservesOrder) {
+  const std::vector<int> order = {2, 6, 0};
+  const std::string text = RenderRationale(order);
+  EXPECT_EQ(ParseRationale(text), order);
+}
+
+TEST(TemplatesTest, RationaleIgnoresInvalidIndices) {
+  const std::string text = RenderRationale({1, 99, -3});
+  EXPECT_EQ(ParseRationale(text), (std::vector<int>{1}));
+}
+
+TEST(TemplatesTest, EmptyRationale) {
+  const std::string text = RenderRationale({});
+  EXPECT_TRUE(ParseRationale(text).empty());
+}
+
+TEST(InstructionsTest, CanonicalInstructionsClassify) {
+  EXPECT_EQ(ClassifyInstruction(DescribeInstruction()).value(),
+            InstructionKind::kDescribe);
+  EXPECT_EQ(ClassifyInstruction(AssessInstruction()).value(),
+            InstructionKind::kAssess);
+  EXPECT_EQ(ClassifyInstruction(HighlightInstruction()).value(),
+            InstructionKind::kHighlight);
+  EXPECT_EQ(ClassifyInstruction(DirectAssessInstruction()).value(),
+            InstructionKind::kDirectAssess);
+}
+
+TEST(InstructionsTest, ReflectionInstructionsClassify) {
+  AuMask mask{};
+  mask[0] = true;
+  const std::string description = RenderDescription(mask);
+  EXPECT_EQ(
+      ClassifyInstruction(ReflectDescribeInstruction(description, 1)).value(),
+      InstructionKind::kReflectDescribe);
+  EXPECT_EQ(ClassifyInstruction(
+                ReflectRationaleInstruction(RenderRationale({0})))
+                .value(),
+            InstructionKind::kReflectRationale);
+  EXPECT_EQ(
+      ClassifyInstruction(VerifyDescribeInstruction(description, 4)).value(),
+      InstructionKind::kVerifyDescribe);
+}
+
+TEST(InstructionsTest, ReflectionEmbedsGroundTruth) {
+  const std::string stressed = ReflectDescribeInstruction("desc", 1);
+  const std::string unstressed = ReflectDescribeInstruction("desc", 0);
+  EXPECT_NE(stressed.find("actually stressed"), std::string::npos);
+  EXPECT_NE(unstressed.find("actually not stressed"), std::string::npos);
+}
+
+TEST(InstructionsTest, UnknownInstructionErrors) {
+  EXPECT_FALSE(ClassifyInstruction("make me a sandwich").ok());
+}
+
+TEST(EncoderTest, DeterministicAndNormalized) {
+  TextEncoder encoder(64);
+  const auto a = encoder.Encode("upper lid raising");
+  const auto b = encoder.Encode("upper lid raising");
+  EXPECT_EQ(a, b);
+  double norm = 0.0;
+  for (float x : a) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(EncoderTest, SimilarTextsCloserThanDissimilar) {
+  TextEncoder encoder(64);
+  const auto a = encoder.Encode(
+      "eyebrow inner portions of the eyebrows raising lid upper lid");
+  const auto b = encoder.Encode(
+      "eyebrow inner portions of the eyebrows raising cheek raised");
+  const auto c = encoder.Encode("jaw dropping open lips parting");
+  EXPECT_GT(EmbeddingCosine(a, b), EmbeddingCosine(a, c));
+}
+
+TEST(EncoderTest, EmptyTextIsZeroVector) {
+  TextEncoder encoder(32);
+  const auto v = encoder.Encode("");
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(EncoderTest, DescriptionEmbeddingsSeparateAuSets) {
+  // Descriptions with the same AU set embed identically; different sets
+  // have similarity < 1.
+  TextEncoder encoder(64);
+  AuMask a{};
+  a[0] = a[4] = true;
+  AuMask b{};
+  b[6] = b[11] = true;
+  const auto ea = encoder.Encode(RenderDescription(a));
+  const auto eb = encoder.Encode(RenderDescription(b));
+  EXPECT_NEAR(EmbeddingCosine(ea, ea), 1.0, 1e-6);
+  EXPECT_LT(EmbeddingCosine(ea, eb), 0.95);
+}
+
+TEST(IntensityTemplatesTest, QuantizeLevels) {
+  std::array<float, face::kNumAus> intensity{};
+  intensity[0] = 0.1f;
+  intensity[1] = 0.4f;
+  intensity[2] = 0.9f;
+  const auto levels = QuantizeAuLevels(intensity);
+  EXPECT_EQ(levels[0], AuLevel::kAbsent);
+  EXPECT_EQ(levels[1], AuLevel::kSlight);
+  EXPECT_EQ(levels[2], AuLevel::kStrong);
+}
+
+TEST(IntensityTemplatesTest, RoundTripWithQualifiers) {
+  AuLevels levels{};
+  levels[0] = AuLevel::kSlight;
+  levels[2] = AuLevel::kStrong;
+  levels[6] = AuLevel::kStrong;
+  const std::string text = RenderDescriptionWithIntensity(levels);
+  EXPECT_NE(text.find("(slightly)"), std::string::npos);
+  EXPECT_NE(text.find("(strongly)"), std::string::npos);
+  EXPECT_EQ(ParseDescriptionWithIntensity(text), levels);
+}
+
+TEST(IntensityTemplatesTest, LevelsToMask) {
+  AuLevels levels{};
+  levels[3] = AuLevel::kSlight;
+  levels[7] = AuLevel::kStrong;
+  const auto mask = LevelsToMask(levels);
+  EXPECT_TRUE(mask[3]);
+  EXPECT_TRUE(mask[7]);
+  EXPECT_EQ(face::AuMaskCount(mask), 2);
+}
+
+TEST(IntensityTemplatesTest, PlainDescriptionParsesAsSlight) {
+  AuMask mask{};
+  mask[4] = true;  // AU6
+  const auto levels =
+      ParseDescriptionWithIntensity(RenderDescription(mask));
+  EXPECT_EQ(levels[4], AuLevel::kSlight);
+}
+
+TEST(IntensityTemplatesTest, MaskRoundTripConsistentWithPlainParser) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    AuLevels levels{};
+    for (int j = 0; j < face::kNumAus; ++j) {
+      const int r = rng.UniformInt(3);
+      levels[j] = static_cast<AuLevel>(r);
+    }
+    const std::string text = RenderDescriptionWithIntensity(levels);
+    EXPECT_EQ(ParseDescription(text), LevelsToMask(levels));
+  }
+}
+
+}  // namespace
+}  // namespace vsd::text

@@ -1,0 +1,68 @@
+// Internal calibration harness (not part of the library deliverables):
+// prints the key Table-I rows on one UVSD holdout to tune constants.
+#include <cstdio>
+#include <string>
+#include "baselines/ding_fusion.h"
+#include "baselines/marlin.h"
+#include "baselines/zero_shot_lfm.h"
+#include "bench/harness.h"
+#include "core/evaluation.h"
+#include "cot/pipeline.h"
+#include "data/folds.h"
+using namespace vsd;
+using bench::BenchOptions;
+int main(int argc, char** argv) {
+  BenchOptions options = bench::ParseBenchArgs(argc, argv);
+  bench::BenchData data = bench::MakeBenchData(options);
+  Rng rng(options.seed);
+  auto split = data::StratifiedHoldout(data.uvsd, 0.2, &rng);
+  auto train = data.uvsd.Subset(split.train);
+  auto test = data.uvsd.Subset(split.test);
+  auto rsplit = data::StratifiedHoldout(data.rsl, 0.2, &rng);
+  auto rtrain = data.rsl.Subset(rsplit.train);
+  auto rtest = data.rsl.Subset(rsplit.test);
+
+  const bool lfms = argc > 1 && std::string(argv[1]) == "--lfms";
+  for (auto kind : {vlm::ApiModelKind::kGpt4o, vlm::ApiModelKind::kClaude35,
+                    vlm::ApiModelKind::kGemini15}) {
+    if (!lfms) break;
+    const auto& m = bench::ApiModel(kind, options);
+    baselines::ZeroShotLfm lfm(&m, vlm::ApiModelName(kind));
+    auto mu = core::EvaluateClassifier(lfm, data.uvsd);
+    auto mr = core::EvaluateClassifier(lfm, data.rsl);
+    printf("%-18s UVSD acc=%.2f f1=%.2f | RSL acc=%.2f f1=%.2f\n",
+           lfm.name().c_str(), 100*mu.accuracy, 100*mu.f1, 100*mr.accuracy, 100*mr.f1);
+  }
+  {
+    baselines::DingFusion ding(&bench::ApiModel(vlm::ApiModelKind::kGpt4o, options));
+    Rng r2(7); ding.Fit(train, &r2);
+    auto m = core::EvaluateClassifier(ding, test);
+    printf("Ding(UVSD holdout)  acc=%.2f f1=%.2f\n", 100*m.accuracy, 100*m.f1);
+  }
+
+  auto probe = [&](const char* name, cot::ChainConfig chain,
+                   const data::Dataset& tr, const data::Dataset& te,
+                   uint64_t s) {
+    auto model = bench::TrainOurs(chain, data.disfa, tr, te, options, s);
+    cot::ChainPipeline pipeline(model.get(), chain);
+    auto m = core::EvaluatePipeline(pipeline, te);
+    double jacc = 0; int own = 0, empty = 0;
+    for (const auto& smp : te.samples) {
+      auto probs = model->DescribeProbs(smp);
+      face::AuMask mask{};
+      for (int j = 0; j < 12; ++j) mask[j] = probs[j] > 0.5;
+      jacc += face::AuMaskJaccard(mask, smp.au_label);
+      own += (model->AssessProbStressed(smp, mask) >= 0.5 ? 1:0) == smp.stress_label;
+      empty += (model->AssessProbStressed(smp, face::AuMask{}) >= 0.5 ? 1:0) == smp.stress_label;
+    }
+    printf("%-22s acc=%.2f f1=%.2f | jacc=%.3f own=%.2f empty=%.2f\n",
+           name, 100*m.accuracy, 100*m.f1, jacc/te.size(),
+           100.0*own/te.size(), 100.0*empty/te.size());
+  };
+  auto chain = bench::OursChainConfig(options);
+  probe("Ours(UVSD)", chain, train, test, options.seed+1);
+  cot::ChainConfig norefine = chain; norefine.use_refinement = false;
+  probe("Ours-noRefine(UVSD)", norefine, train, test, options.seed+1);
+  probe("Ours(RSL)", chain, rtrain, rtest, options.seed+2);
+  return 0;
+}
