@@ -4,7 +4,7 @@
 //       reflection rounds,
 //   (c) number of SLIC segments in the faithfulness protocol.
 //
-// Usage: bench_ablation_extra [--quick] [--seed S]
+// Usage: bench_ablation_extra [--quick] [--seed S] [--threads N]
 #include <cstdio>
 
 #include "bench/harness.h"

@@ -4,7 +4,7 @@
 // evaluations — the paper reports 3.4 s vs 216.3+ s on its stack; the
 // *ratios* are the reproducible quantity here.
 //
-// Usage: bench_fig6 [--quick] [--seed S]
+// Usage: bench_fig6 [--quick] [--seed S] [--threads N]
 #include <chrono>
 #include <cstdio>
 

@@ -5,7 +5,7 @@
 // (BERT stand-in). The paper's claim: description similarity separates
 // the two groups better.
 //
-// Usage: bench_fig7 [--quick] [--seed S]
+// Usage: bench_fig7 [--quick] [--seed S] [--threads N]
 #include <cmath>
 #include <cstdio>
 

@@ -3,7 +3,7 @@
 // retrieval method. The paper's claim: similarity retrieval benefits from
 // larger pools while random does not.
 //
-// Usage: bench_fig8 [--quick] [--seed S]
+// Usage: bench_fig8 [--quick] [--seed S] [--threads N]
 #include <cstdio>
 
 #include "bench/harness.h"

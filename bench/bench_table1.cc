@@ -2,7 +2,7 @@
 // foundation models, supervised baselines, and Ours on UVSD-sim and
 // RSL-sim (Acc / Prec / Rec / F1, macro-averaged, k-fold CV).
 //
-// Usage: bench_table1 [--quick] [--folds N] [--seed S]
+// Usage: bench_table1 [--quick] [--folds N] [--seed S] [--threads N]
 #include <cstdio>
 #include <memory>
 

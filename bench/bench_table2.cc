@@ -4,7 +4,7 @@
 // SLIC with 64 segments, Gaussian noise on the top segments, 1000
 // evaluations for LIME/SHAP.
 //
-// Usage: bench_table2 [--quick] [--seed S]
+// Usage: bench_table2 [--quick] [--seed S] [--threads N]
 #include <cstdio>
 #include <memory>
 

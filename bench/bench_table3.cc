@@ -2,7 +2,7 @@
 // chain — "w/o Chain" (direct video->stress prompt) and "w/o learn des."
 // (chain without the Eq. 2 facial-action instruction tuning) vs Ours.
 //
-// Usage: bench_table3 [--quick] [--folds N] [--seed S]
+// Usage: bench_table3 [--quick] [--folds N] [--seed S] [--threads N]
 #include <cstdio>
 
 #include "bench/harness.h"

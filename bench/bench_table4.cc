@@ -2,7 +2,7 @@
 // Top-1/2/3 accuracy drops of the self-explained rationale for "w/o
 // Chain", "w/o learn des." and Ours.
 //
-// Usage: bench_table4 [--quick] [--seed S]
+// Usage: bench_table4 [--quick] [--seed S] [--threads N]
 #include <cstdio>
 
 #include "bench/harness.h"

@@ -3,7 +3,7 @@
 // Reflection" (refinement gates kept, but candidates come from plain
 // re-sampling instead of reflection) vs Ours.
 //
-// Usage: bench_table5 [--quick] [--folds N] [--seed S]
+// Usage: bench_table5 [--quick] [--folds N] [--seed S] [--threads N]
 #include <cstdio>
 
 #include "bench/harness.h"

@@ -2,7 +2,7 @@
 // Top-1/2/3 accuracy drops of the rationale for "w/o Refine",
 // "w/o Reflection", and Ours.
 //
-// Usage: bench_table6 [--quick] [--seed S]
+// Usage: bench_table6 [--quick] [--seed S] [--threads N]
 #include <cstdio>
 
 #include "bench/harness.h"

@@ -3,7 +3,7 @@
 // and retrieve-by-description (text embedding of the model's own
 // descriptions).
 //
-// Usage: bench_table7 [--quick] [--seed S]
+// Usage: bench_table7 [--quick] [--seed S] [--threads N]
 #include <cstdio>
 
 #include "bench/harness.h"

@@ -3,7 +3,7 @@
 // (Sec. IV-G): describe with I1, reflect and keep the new description only
 // when self-verification finds it more faithful, then assess with I2.
 //
-// Usage: bench_table8 [--quick] [--seed S]
+// Usage: bench_table8 [--quick] [--seed S] [--threads N]
 #include <cstdio>
 
 #include "bench/harness.h"

@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <mutex>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/evaluation.h"
 #include "cot/pipeline.h"
 #include "cot/trainer.h"
@@ -26,8 +28,12 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
       if (options.folds < 2) options.folds = 2;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.threads = std::atoi(argv[++i]);
+      if (options.threads < 1) options.threads = 1;
     }
   }
+  if (options.threads > 0) ThreadPool::SetGlobalThreads(options.threads);
   return options;
 }
 
@@ -46,7 +52,11 @@ BenchData MakeBenchData(const BenchOptions& options) {
 }
 
 const vlm::FoundationModel& PretrainedBase(const BenchOptions& options) {
+  // Guarded so parallel folds can share the lazily built backbone; after
+  // construction the model is only read.
+  static std::mutex mu;
   static std::map<uint64_t, std::unique_ptr<vlm::FoundationModel>> cache;
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(options.seed);
   if (it == cache.end()) {
     std::fprintf(stderr, "[bench] pretraining generalist backbone...\n");
@@ -64,8 +74,10 @@ const vlm::FoundationModel& PretrainedBase(const BenchOptions& options) {
 
 const vlm::FoundationModel& ApiModel(vlm::ApiModelKind kind,
                                      const BenchOptions& options) {
+  static std::mutex mu;
   static std::map<int, std::unique_ptr<vlm::FoundationModel>> cache;
   const int key = static_cast<int>(kind);
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(key);
   if (it == cache.end()) {
     std::fprintf(stderr, "[bench] pretraining %s...\n",
@@ -116,13 +128,15 @@ core::Metrics CrossValidate(
                                       uint64_t fold_seed)>& run_fold) {
   Rng rng(options.seed ^ 0xF01D5);
   const auto splits = data::StratifiedKFold(dataset, options.folds, &rng);
-  std::vector<core::Metrics> fold_metrics;
-  for (size_t f = 0; f < splits.size(); ++f) {
-    const data::Dataset train = dataset.Subset(splits[f].train);
-    const data::Dataset test = dataset.Subset(splits[f].test);
-    fold_metrics.push_back(
-        run_fold(train, test, options.seed + 1000 * (f + 1)));
-  }
+  // Fold-parallel: every fold's seed is derived from its index exactly as
+  // in the serial loop, and the per-fold metrics land in per-fold slots,
+  // so the aggregate is byte-identical for every thread count.
+  const std::vector<core::Metrics> fold_metrics =
+      ParallelMap<core::Metrics>(splits.size(), [&](int64_t f) {
+        const data::Dataset train = dataset.Subset(splits[f].train);
+        const data::Dataset test = dataset.Subset(splits[f].test);
+        return run_fold(train, test, options.seed + 1000 * (f + 1));
+      });
   return core::AverageMetrics(fold_metrics);
 }
 
@@ -130,11 +144,11 @@ InterpContext BuildInterpContext(
     const std::vector<const data::VideoSample*>& samples) {
   InterpContext context;
   context.samples = samples;
-  context.segmentations.reserve(samples.size());
-  for (const auto* sample : samples) {
-    context.segmentations.push_back(
-        img::Slic(sample->expressive_frame, kNumSlicSegments));
-  }
+  // Per-sample SLIC is pure; parallelize across samples.
+  context.segmentations = ParallelMap<img::Segmentation>(
+      samples.size(), [&](int64_t i) {
+        return img::Slic(samples[i]->expressive_frame, kNumSlicSegments);
+      });
   return context;
 }
 
@@ -194,21 +208,23 @@ std::vector<double> RationaleDrops(
     const BenchOptions& options) {
   InterpContext context = BuildInterpContext(samples);
   cot::ChainPipeline pipeline(&model, chain);
-  std::vector<explain::ExplainedSample> explained;
-  explained.reserve(samples.size());
-  for (size_t i = 0; i < samples.size(); ++i) {
-    const auto* sample = samples[i];
-    Rng rng(options.seed + 91 * i);
-    const auto output = pipeline.Run(*sample, &rng);
-    explain::ExplainedSample e;
-    e.image = &sample->expressive_frame;
-    e.segmentation = &context.segmentations[i];
-    e.classifier = ModelClassifier(model, *sample, chain.use_chain);
-    e.true_label = sample->stress_label;
-    e.ranked_segments = RationaleToSegments(output.highlight.ranked_aus,
-                                            context.segmentations[i]);
-    explained.push_back(std::move(e));
-  }
+  // Sample-parallel: each sample already derives its own Rng from its
+  // index, so the serial and parallel runs are identical.
+  const std::vector<explain::ExplainedSample> explained =
+      ParallelMap<explain::ExplainedSample>(
+          samples.size(), [&](int64_t i) {
+            const auto* sample = samples[i];
+            Rng rng(options.seed + 91 * i);
+            const auto output = pipeline.Run(*sample, &rng);
+            explain::ExplainedSample e;
+            e.image = &sample->expressive_frame;
+            e.segmentation = &context.segmentations[i];
+            e.classifier = ModelClassifier(model, *sample, chain.use_chain);
+            e.true_label = sample->stress_label;
+            e.ranked_segments = RationaleToSegments(
+                output.highlight.ranked_aus, context.segmentations[i]);
+            return e;
+          });
   Rng drop_rng(options.seed ^ 0xD0D0);
   return TopKAccuracyDrop(explained, {1, 2, 3}, kDisturbNoise, &drop_rng);
 }

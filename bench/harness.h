@@ -23,12 +23,18 @@ namespace vsd::bench {
 ///   --folds N      cross-validation folds (default: VSD_FOLDS env or 2;
 ///                  the paper protocol is 10)
 ///   --seed S       master seed
+///   --threads N    worker threads (default: VSD_THREADS env or 1).
+///                  Output is byte-identical for every thread count.
 struct BenchOptions {
   bool quick = false;
   int folds = 2;
   uint64_t seed = 20250706;
+  int threads = 0;  ///< 0 = keep the VSD_THREADS/global default.
 };
 
+/// Parses the shared flags. As a side effect, sizes the global thread pool
+/// (`ThreadPool::SetGlobalThreads`) when --threads is given, so every
+/// parallel loop downstream picks it up.
 BenchOptions ParseBenchArgs(int argc, char** argv);
 
 /// The two stress datasets (full-size unless quick) plus the AU dataset.

@@ -1,5 +1,12 @@
 #!/bin/sh
 # Runs every bench binary in a stable order, as `for b in build/bench/*`.
+# Extra arguments are forwarded to every harness binary, e.g.:
+#   ./run_benches.sh --quick --threads 4
+# bench_micro is google-benchmark (rejects harness flags) and runs bare.
 for b in build/bench/*; do
-  [ -f "$b" ] && [ -x "$b" ] && "$b"
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  case "$b" in
+    */bench_micro) "$b" ;;
+    *) "$b" "$@" ;;
+  esac
 done

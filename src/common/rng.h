@@ -57,7 +57,17 @@ class Rng {
   std::vector<int> SampleWithoutReplacement(int n, int k);
 
   /// Derives an independent child generator; used to give each fold /
-  /// component its own stream.
+  /// component / parallel loop iteration its own stream.
+  ///
+  /// Invariants (load-bearing for the deterministic-parallelism contract;
+  /// pinned by tests/common_test.cc and tests/explain_test.cc):
+  ///  * Fork() consumes exactly one Next() from the parent, so forking k
+  ///    children then drawing from the parent is fully deterministic and
+  ///    independent of what (or whether) the children draw.
+  ///  * Children forked at the same parent state are identical; children
+  ///    forked at successive states are mutually independent streams, and
+  ///    each is statistically independent of the parent's subsequent
+  ///    draws (the child state is re-mixed through splitmix64).
   Rng Fork();
 
  private:

@@ -1,0 +1,179 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace vsd {
+
+namespace {
+
+/// Upper bound on chunks per loop: enough granularity for any realistic
+/// core count while keeping per-chunk bookkeeping negligible. Part of the
+/// determinism contract (see NumChunks), so changing it re-partitions every
+/// loop — results stay identical, but keep it stable anyway.
+constexpr int kMaxChunks = 64;
+
+/// True while the current thread is executing chunks of some loop; nested
+/// ParallelFor calls check this and run inline.
+thread_local bool tls_in_parallel_region = false;
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+int NumChunks(int64_t n) {
+  if (n <= 0) return 0;
+  return static_cast<int>(n < kMaxChunks ? n : kMaxChunks);
+}
+
+std::pair<int64_t, int64_t> ChunkBounds(int64_t n, int chunk) {
+  const int64_t chunks = NumChunks(n);
+  return {n * chunk / chunks, n * (chunk + 1) / chunks};
+}
+
+/// One ParallelFor invocation. Counters are guarded by the pool's mu_;
+/// `errors` slots are each written by exactly one thread and read by the
+/// submitter only after the final done_chunks increment (which publishes
+/// them via mu_).
+struct ThreadPool::Work {
+  int64_t n = 0;
+  int num_chunks = 0;
+  const std::function<void(int64_t)>* fn = nullptr;
+  int next_chunk = 0;
+  int done_chunks = 0;
+  int refs = 0;  ///< Workers currently inside RunChunks on this job.
+  std::vector<std::exception_ptr> errors;
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (int t = 0; t < num_threads_ - 1; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  if (num_threads_ == 1 || tls_in_parallel_region) {
+    // Pure inline execution: the reference serial loop.
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  Work work;
+  work.n = n;
+  work.num_chunks = NumChunks(n);
+  work.fn = &fn;
+  work.errors.resize(work.num_chunks);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    work_ = &work;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunChunks(&work);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return work.done_chunks == work.num_chunks && work.refs == 0;
+    });
+    work_ = nullptr;
+  }
+  // Rethrow the error of the lowest failing chunk. Chunks run their
+  // iterations in order, so this is the exception of the lowest failing
+  // index, exactly as the inline loop would have thrown.
+  for (auto& error : work.errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::RunChunks(Work* work) {
+  tls_in_parallel_region = true;
+  while (true) {
+    int chunk = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (work->next_chunk < work->num_chunks) chunk = work->next_chunk++;
+    }
+    if (chunk < 0) break;
+    const auto [begin, end] = ChunkBounds(work->n, chunk);
+    try {
+      for (int64_t i = begin; i < end; ++i) (*work->fn)(i);
+    } catch (...) {
+      work->errors[chunk] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++work->done_chunks == work->num_chunks) done_cv_.notify_all();
+    }
+  }
+  tls_in_parallel_region = false;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    Work* work = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (work_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      work = work_;
+      ++work->refs;
+    }
+    RunChunks(work);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--work->refs == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(DefaultThreads());
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global_pool && g_global_pool->num_threads() == num_threads) return;
+  g_global_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+int ThreadPool::GlobalThreads() { return Global().num_threads(); }
+
+int ThreadPool::DefaultThreads() {
+  const char* env = std::getenv("VSD_THREADS");
+  if (env == nullptr) return 1;
+  const int threads = std::atoi(env);
+  return threads >= 1 ? threads : 1;
+}
+
+void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  ThreadPool::Global().ParallelFor(n, fn);
+}
+
+}  // namespace vsd

@@ -2,19 +2,24 @@
 
 #include <cstdlib>
 
+#include "common/thread_pool.h"
+
 namespace vsd::core {
 
 Metrics EvaluatePredictor(
     const std::function<int(const data::VideoSample&)>& predict,
     const data::Dataset& test) {
   std::vector<int> y_true;
-  std::vector<int> y_pred;
   y_true.reserve(test.size());
-  y_pred.reserve(test.size());
   for (const auto& sample : test.samples) {
     y_true.push_back(sample.stress_label);
-    y_pred.push_back(predict(sample));
   }
+  // Sample-parallel: each prediction writes its own slot, so the result is
+  // identical for every thread count. `predict` must be thread-safe (all
+  // library predictors are const inference over frozen weights).
+  const std::vector<int> y_pred = ParallelMap<int>(
+      test.size(),
+      [&](int64_t i) { return predict(test.samples[i]); });
   return ComputeMetrics(y_true, y_pred);
 }
 

@@ -1,8 +1,10 @@
 #include "explain/kernel_shap.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace vsd::explain {
 
@@ -31,19 +33,28 @@ Attribution KernelShapExplainer::Explain(
                           (static_cast<double>(s) * (d - s));
   }
 
-  std::vector<std::vector<float>> masks;
-  std::vector<double> responses;
-  masks.reserve(num_samples_);
-  for (int i = 0; i < num_samples_ - 2 && i >= 0; ++i) {
-    const int size = 1 + rng->SampleIndex(size_weights);
-    std::vector<int> chosen = rng->SampleWithoutReplacement(d, size);
+  // One child stream per sampled coalition, forked in index order from the
+  // caller's stream (the fork order is the determinism contract, pinned in
+  // tests/explain_test.cc); the coalition draw and the model query then
+  // parallelize without changing any draw.
+  const int num_coalitions = std::max(0, num_samples_ - 2);
+  std::vector<Rng> streams;
+  streams.reserve(num_coalitions);
+  for (int i = 0; i < num_coalitions; ++i) streams.push_back(rng->Fork());
+
+  std::vector<std::vector<float>> masks(num_coalitions);
+  std::vector<double> responses(num_coalitions, 0.0);
+  ParallelFor(num_coalitions, [&](int64_t i) {
+    Rng& stream = streams[i];
+    const int size = 1 + stream.SampleIndex(size_weights);
+    const std::vector<int> chosen = stream.SampleWithoutReplacement(d, size);
     std::vector<float> keep(d, 0.0f);
     for (int j : chosen) keep[j] = 1.0f;
     const img::Image perturbed = ApplySegmentMask(image, segmentation, keep);
-    responses.push_back(classifier(perturbed));
-    ++result.model_evaluations;
-    masks.push_back(std::move(keep));
-  }
+    responses[i] = classifier(perturbed);
+    masks[i] = std::move(keep);
+  });
+  result.model_evaluations += num_coalitions;
 
   // Weighted least squares for phi with intercept phi0 tied to f_empty:
   // model y - f_empty = sum_j z_j * phi_j. Sampling already followed the

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace vsd::explain {
 
@@ -14,34 +15,41 @@ Attribution LimeExplainer::Explain(const ClassifierFn& classifier,
   Attribution result;
   result.segment_scores.assign(d, 0.0);
 
-  std::vector<std::vector<float>> masks;
-  std::vector<double> responses;
-  std::vector<double> weights;
-  masks.reserve(num_samples_);
+  // One child stream per perturbation, forked in index order from the
+  // caller's stream. The fork order is the determinism contract (pinned in
+  // tests/explain_test.cc): per-index streams make the evaluation batch
+  // parallelizable while every draw stays identical to the serial run.
+  std::vector<Rng> streams;
+  streams.reserve(num_samples_);
+  for (int s = 0; s < num_samples_; ++s) streams.push_back(rng->Fork());
 
-  for (int s = 0; s < num_samples_; ++s) {
+  std::vector<std::vector<float>> masks(num_samples_);
+  std::vector<double> responses(num_samples_, 0.0);
+  std::vector<double> weights(num_samples_, 0.0);
+
+  ParallelFor(num_samples_, [&](int64_t s) {
+    Rng& stream = streams[s];
     std::vector<float> keep(d);
     int kept = 0;
     for (int j = 0; j < d; ++j) {
-      keep[j] = rng->Bernoulli(0.5) ? 1.0f : 0.0f;
+      keep[j] = stream.Bernoulli(0.5) ? 1.0f : 0.0f;
       kept += keep[j] > 0.0f;
     }
     const img::Image perturbed = ApplySegmentMask(image, segmentation, keep);
-    const double y = classifier(perturbed);
-    ++result.model_evaluations;
+    responses[s] = classifier(perturbed);
     // Exponential kernel on cosine distance to the all-ones mask:
     // cos(z, 1) = |z| / sqrt(|z| * d) = sqrt(|z| / d).
     const double cos_sim =
         kept > 0 ? std::sqrt(static_cast<double>(kept) / d) : 0.0;
     const double dist = 1.0 - cos_sim;
-    const double w =
-        std::exp(-(dist * dist) / (kernel_width_ * kernel_width_));
-    masks.push_back(std::move(keep));
-    responses.push_back(y);
-    weights.push_back(w);
-  }
+    weights[s] = std::exp(-(dist * dist) / (kernel_width_ * kernel_width_));
+    masks[s] = std::move(keep);
+  });
+  result.model_evaluations += num_samples_;
 
-  // Weighted ridge with intercept: features are [1, z_1..z_d].
+  // Weighted ridge with intercept: features are [1, z_1..z_d]. Accumulated
+  // serially in index order so the fit is bit-identical for every thread
+  // count.
   const int p = d + 1;
   std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
   std::vector<double> xty(p, 0.0);

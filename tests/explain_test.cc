@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "explain/explainer.h"
 #include "explain/faithfulness.h"
 #include "explain/kernel_shap.h"
@@ -147,6 +148,104 @@ TEST_F(ExplainerTest, ApplySegmentMaskInterpolatesToMean) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+// ---- Rng fork-order pins ----
+//
+// Each explainer forks one child stream per perturbation from the caller's
+// Rng, in index order, and (for SOBOL) draws the rotation before any
+// evaluation. This fork order is the determinism contract that keeps
+// parallel and serial runs bit-identical; a refactor that silently
+// reorders draws must fail these tests loudly, not shift every table.
+
+TEST_F(ExplainerTest, LimeConsumesExactlyOneForkPerPerturbation) {
+  auto constant = [](const img::Image&) { return 0.5; };
+  Rng rng(101);
+  LimeExplainer(37).Explain(constant, image_, segmentation_, &rng);
+  Rng mirror(101);
+  for (int s = 0; s < 37; ++s) mirror.Fork();
+  EXPECT_EQ(rng.Next(), mirror.Next())
+      << "LIME no longer consumes one Fork() per perturbation";
+}
+
+TEST_F(ExplainerTest, KernelShapConsumesExactlyOneForkPerCoalition) {
+  auto constant = [](const img::Image&) { return 0.5; };
+  Rng rng(103);
+  KernelShapExplainer(40).Explain(constant, image_, segmentation_, &rng);
+  Rng mirror(103);
+  for (int s = 0; s < 40 - 2; ++s) mirror.Fork();  // minus empty/full
+  EXPECT_EQ(rng.Next(), mirror.Next())
+      << "KernelSHAP no longer consumes one Fork() per sampled coalition";
+}
+
+TEST_F(ExplainerTest, SobolConsumesExactlyTheRotationDraws) {
+  auto constant = [](const img::Image&) { return 0.5; };
+  Rng rng(107);
+  SobolExplainer(3).Explain(constant, image_, segmentation_, &rng);
+  Rng mirror(107);
+  for (int j = 0; j < 2 * segmentation_.num_segments; ++j) mirror.Uniform();
+  EXPECT_EQ(rng.Next(), mirror.Next())
+      << "SOBOL no longer consumes exactly the 2d rotation uniforms";
+}
+
+TEST_F(ExplainerTest, LimeMasksComeFromIndexForkedStreams) {
+  // Pins the full index -> fork -> mask mapping: perturbation s must be
+  // drawn from the s-th forked child, Bernoulli(0.5) per segment in
+  // segment order. Recorded serially (threads=1) so call order == index
+  // order.
+  ThreadPool::SetGlobalThreads(1);
+  std::vector<img::Image> seen;
+  auto recorder = [&seen](const img::Image& im) {
+    seen.push_back(im);
+    return 0.5;
+  };
+  Rng rng(7);
+  LimeExplainer(6).Explain(recorder, image_, segmentation_, &rng);
+  ASSERT_EQ(seen.size(), 6u);
+  Rng mirror(7);
+  for (int s = 0; s < 6; ++s) {
+    Rng child = mirror.Fork();
+    std::vector<float> keep(segmentation_.num_segments);
+    for (int j = 0; j < segmentation_.num_segments; ++j) {
+      keep[j] = child.Bernoulli(0.5) ? 1.0f : 0.0f;
+    }
+    const img::Image expected =
+        ApplySegmentMask(image_, segmentation_, keep);
+    EXPECT_EQ(expected.pixels(), seen[s].pixels())
+        << "perturbation " << s << " not drawn from fork " << s;
+  }
+}
+
+TEST_F(ExplainerTest, KernelShapCoalitionsComeFromIndexForkedStreams) {
+  ThreadPool::SetGlobalThreads(1);
+  std::vector<img::Image> seen;
+  auto recorder = [&seen](const img::Image& im) {
+    seen.push_back(im);
+    return 0.5;
+  };
+  Rng rng(11);
+  KernelShapExplainer(8).Explain(recorder, image_, segmentation_, &rng);
+  // Call order: empty coalition, full image, then the sampled coalitions.
+  const int d = segmentation_.num_segments;
+  ASSERT_EQ(seen.size(), 8u);
+  EXPECT_EQ(seen[1].pixels(), image_.pixels());
+  std::vector<double> size_weights(d - 1);
+  for (int s = 1; s <= d - 1; ++s) {
+    size_weights[s - 1] =
+        static_cast<double>(d - 1) / (static_cast<double>(s) * (d - s));
+  }
+  Rng mirror(11);
+  for (int i = 0; i < 8 - 2; ++i) {
+    Rng child = mirror.Fork();
+    const int size = 1 + child.SampleIndex(size_weights);
+    const std::vector<int> chosen = child.SampleWithoutReplacement(d, size);
+    std::vector<float> keep(d, 0.0f);
+    for (int j : chosen) keep[j] = 1.0f;
+    const img::Image expected =
+        ApplySegmentMask(image_, segmentation_, keep);
+    EXPECT_EQ(expected.pixels(), seen[2 + i].pixels())
+        << "coalition " << i << " not drawn from fork " << i;
+  }
 }
 
 TEST(QmcSequenceTest, PointsInUnitCubeAndLowDiscrepancy) {

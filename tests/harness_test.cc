@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "data/generator.h"
 #include "face/renderer.h"
 #include "img/slic.h"
@@ -25,6 +26,17 @@ TEST(HarnessTest, ParseArgsQuickAndFolds) {
   EXPECT_TRUE(options.quick);
   EXPECT_EQ(options.folds, 5);
   EXPECT_EQ(options.seed, 9u);
+}
+
+TEST(HarnessTest, ParseArgsThreads) {
+  const char* argv[] = {"bench", "--threads", "2"};
+  BenchOptions options = ParseBenchArgs(3, const_cast<char**>(argv));
+  EXPECT_EQ(options.threads, 2);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 2);
+  const char* degenerate[] = {"bench", "--threads", "0"};
+  options = ParseBenchArgs(3, const_cast<char**>(degenerate));
+  EXPECT_EQ(options.threads, 1);
+  ThreadPool::SetGlobalThreads(1);
 }
 
 TEST(HarnessTest, ParseArgsRejectsDegenerateFolds) {

@@ -1,0 +1,196 @@
+// Golden-determinism suite for the parallelism subsystem: every parallel
+// code path (metrics evaluation, the three perturbation explainers,
+// cross-validation, interpretability plumbing) must produce BIT-IDENTICAL
+// results for every thread count. The serial (threads=1) run is the
+// reference; any divergence means scheduling leaked into the math.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/evaluation.h"
+#include "cot/chain_config.h"
+#include "cot/pipeline.h"
+#include "data/generator.h"
+#include "explain/kernel_shap.h"
+#include "explain/lime.h"
+#include "explain/sobol.h"
+#include "img/slic.h"
+#include "vlm/foundation_model.h"
+
+namespace vsd {
+namespace {
+
+/// Runs `fn` with the global pool sized to `threads`, restoring the serial
+/// pool afterwards so test order cannot leak thread counts.
+template <typename T>
+T WithThreads(int threads, const std::function<T()>& fn) {
+  ThreadPool::SetGlobalThreads(threads);
+  T result = fn();
+  ThreadPool::SetGlobalThreads(1);
+  return result;
+}
+
+void ExpectMetricsIdentical(const core::Metrics& a, const core::Metrics& b) {
+  EXPECT_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.precision, b.precision);
+  EXPECT_EQ(a.recall, b.recall);
+  EXPECT_EQ(a.f1, b.f1);
+  EXPECT_EQ(a.n, b.n);
+}
+
+/// Small untrained task model over a quick-sized dataset: inference is
+/// deterministic and cheap, which is all equivalence testing needs.
+struct ModelWorld {
+  data::Dataset dataset;
+  vlm::FoundationModel model;
+
+  ModelWorld()
+      : dataset(data::MakeUvsdSimSmall(48, 1234)),
+        model(MakeConfig()) {
+    model.PrecomputeFeatures(dataset);
+  }
+
+  static vlm::FoundationModelConfig MakeConfig() {
+    vlm::FoundationModelConfig config;
+    config.vision_dim = 12;
+    config.hidden_dim = 24;
+    config.au_feature_dim = 12;
+    config.seed = 9;
+    return config;
+  }
+};
+
+/// Parameterized over the thread counts the sweep must hold for.
+class ParallelEquivalenceTest : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override { ThreadPool::SetGlobalThreads(1); }
+};
+
+TEST_P(ParallelEquivalenceTest, EvaluatePredictorMetricsBitIdentical) {
+  ModelWorld world;
+  cot::ChainConfig chain;
+  cot::ChainPipeline pipeline(&world.model, chain);
+  const auto evaluate = [&] {
+    return core::EvaluatePipeline(pipeline, world.dataset);
+  };
+  const core::Metrics serial = WithThreads<core::Metrics>(1, evaluate);
+  const core::Metrics parallel =
+      WithThreads<core::Metrics>(GetParam(), evaluate);
+  ExpectMetricsIdentical(serial, parallel);
+  EXPECT_GT(serial.n, 0);
+}
+
+TEST_P(ParallelEquivalenceTest, ExplainerAttributionsBitIdentical) {
+  img::Image image(32, 32, 0.2f);
+  for (int y = 8; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) image.at(y, x) = 0.9f;
+  }
+  const img::Segmentation segmentation = img::Slic(image, 16, 20.0f);
+  const explain::ClassifierFn oracle = [](const img::Image& im) {
+    double sum = 0.0;
+    for (int y = 8; y < 16; ++y) {
+      for (int x = 8; x < 16; ++x) sum += im.at(y, x);
+    }
+    return sum / 64.0;
+  };
+
+  const explain::LimeExplainer lime(64);
+  const explain::KernelShapExplainer shap(64);
+  const explain::SobolExplainer sobol(4);
+  for (const explain::Explainer* explainer :
+       {static_cast<const explain::Explainer*>(&lime),
+        static_cast<const explain::Explainer*>(&shap),
+        static_cast<const explain::Explainer*>(&sobol)}) {
+    const auto explain = [&] {
+      Rng rng(77);  // fresh identical stream for both runs
+      return explainer->Explain(oracle, image, segmentation, &rng)
+          .segment_scores;
+    };
+    const std::vector<double> serial =
+        WithThreads<std::vector<double>>(1, explain);
+    const std::vector<double> parallel =
+        WithThreads<std::vector<double>>(GetParam(), explain);
+    ASSERT_EQ(serial.size(), parallel.size()) << explainer->name();
+    for (size_t j = 0; j < serial.size(); ++j) {
+      EXPECT_EQ(serial[j], parallel[j])
+          << explainer->name() << " segment " << j
+          << " differs between threads=1 and threads=" << GetParam();
+    }
+  }
+}
+
+TEST_P(ParallelEquivalenceTest, CrossValidateBitIdentical) {
+  ModelWorld world;
+  cot::ChainConfig chain;
+  cot::ChainPipeline pipeline(&world.model, chain);
+  bench::BenchOptions options;
+  options.folds = 4;
+  options.seed = 55;
+  // A fold body that itself evaluates sample-parallel, so this also covers
+  // nested parallel loops (fold-level x sample-level).
+  const auto cross_validate = [&] {
+    return bench::CrossValidate(
+        world.dataset, options,
+        [&](const data::Dataset& train, const data::Dataset& test,
+            uint64_t fold_seed) {
+          (void)train;
+          (void)fold_seed;
+          return core::EvaluatePipeline(pipeline, test);
+        });
+  };
+  const core::Metrics serial = WithThreads<core::Metrics>(1, cross_validate);
+  const core::Metrics parallel =
+      WithThreads<core::Metrics>(GetParam(), cross_validate);
+  ExpectMetricsIdentical(serial, parallel);
+  EXPECT_EQ(serial.n, world.dataset.size());
+}
+
+TEST_P(ParallelEquivalenceTest, BuildInterpContextSegmentationsBitIdentical) {
+  ModelWorld world;
+  std::vector<const data::VideoSample*> samples;
+  for (int i = 0; i < 8; ++i) samples.push_back(&world.dataset.samples[i]);
+  const auto build = [&] {
+    return bench::BuildInterpContext(samples).segmentations;
+  };
+  const auto serial = WithThreads<std::vector<img::Segmentation>>(1, build);
+  const auto parallel =
+      WithThreads<std::vector<img::Segmentation>>(GetParam(), build);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].num_segments, parallel[i].num_segments);
+    EXPECT_EQ(serial[i].labels, parallel[i].labels) << "sample " << i;
+  }
+}
+
+TEST_P(ParallelEquivalenceTest, ExplainerStreamConsumptionThreadInvariant) {
+  // The caller's Rng must advance by the same amount for every thread
+  // count, or everything downstream of an Explain call would shift.
+  img::Image image(32, 32, 0.5f);
+  const img::Segmentation segmentation = img::Slic(image, 16, 20.0f);
+  const explain::ClassifierFn constant = [](const img::Image&) {
+    return 0.5;
+  };
+  const auto next_after = [&](int threads) {
+    return WithThreads<uint64_t>(threads, [&] {
+      Rng rng(31);
+      explain::LimeExplainer(32).Explain(constant, image, segmentation,
+                                         &rng);
+      explain::KernelShapExplainer(32).Explain(constant, image, segmentation,
+                                               &rng);
+      explain::SobolExplainer(2).Explain(constant, image, segmentation,
+                                         &rng);
+      return rng.Next();
+    });
+  };
+  EXPECT_EQ(next_after(1), next_after(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadSweep, ParallelEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 8));
+
+}  // namespace
+}  // namespace vsd
