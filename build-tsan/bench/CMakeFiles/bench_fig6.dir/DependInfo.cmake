@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6.cc" "bench/CMakeFiles/bench_fig6.dir/bench_fig6.cc.o" "gcc" "bench/CMakeFiles/bench_fig6.dir/bench_fig6.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/bench/CMakeFiles/vsd_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/vsd_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cot/CMakeFiles/vsd_cot.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baselines/CMakeFiles/vsd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/explain/CMakeFiles/vsd_explain.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/vlm/CMakeFiles/vsd_vlm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/text/CMakeFiles/vsd_text.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/vsd_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/vsd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/vsd_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/face/CMakeFiles/vsd_face.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/img/CMakeFiles/vsd_img.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/vsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

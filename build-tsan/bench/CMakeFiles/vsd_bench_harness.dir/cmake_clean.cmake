@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsd_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/vsd_bench_harness.dir/harness.cc.o.d"
+  "libvsd_bench_harness.a"
+  "libvsd_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsd_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

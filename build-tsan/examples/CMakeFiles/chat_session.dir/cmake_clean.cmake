@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chat_session.dir/chat_session.cpp.o"
+  "CMakeFiles/chat_session.dir/chat_session.cpp.o.d"
+  "chat_session"
+  "chat_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chat_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clinical_screening.dir/clinical_screening.cpp.o"
+  "CMakeFiles/clinical_screening.dir/clinical_screening.cpp.o.d"
+  "clinical_screening"
+  "clinical_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clinical_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

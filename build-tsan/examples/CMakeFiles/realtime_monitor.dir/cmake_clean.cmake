@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_monitor.dir/realtime_monitor.cpp.o"
+  "CMakeFiles/realtime_monitor.dir/realtime_monitor.cpp.o.d"
+  "realtime_monitor"
+  "realtime_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

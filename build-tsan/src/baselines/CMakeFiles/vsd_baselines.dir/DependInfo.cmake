@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline.cc" "src/baselines/CMakeFiles/vsd_baselines.dir/baseline.cc.o" "gcc" "src/baselines/CMakeFiles/vsd_baselines.dir/baseline.cc.o.d"
+  "/root/repo/src/baselines/ding_fusion.cc" "src/baselines/CMakeFiles/vsd_baselines.dir/ding_fusion.cc.o" "gcc" "src/baselines/CMakeFiles/vsd_baselines.dir/ding_fusion.cc.o.d"
+  "/root/repo/src/baselines/fdassnn.cc" "src/baselines/CMakeFiles/vsd_baselines.dir/fdassnn.cc.o" "gcc" "src/baselines/CMakeFiles/vsd_baselines.dir/fdassnn.cc.o.d"
+  "/root/repo/src/baselines/gao_svm.cc" "src/baselines/CMakeFiles/vsd_baselines.dir/gao_svm.cc.o" "gcc" "src/baselines/CMakeFiles/vsd_baselines.dir/gao_svm.cc.o.d"
+  "/root/repo/src/baselines/jeon_attention.cc" "src/baselines/CMakeFiles/vsd_baselines.dir/jeon_attention.cc.o" "gcc" "src/baselines/CMakeFiles/vsd_baselines.dir/jeon_attention.cc.o.d"
+  "/root/repo/src/baselines/marlin.cc" "src/baselines/CMakeFiles/vsd_baselines.dir/marlin.cc.o" "gcc" "src/baselines/CMakeFiles/vsd_baselines.dir/marlin.cc.o.d"
+  "/root/repo/src/baselines/singh_resnet.cc" "src/baselines/CMakeFiles/vsd_baselines.dir/singh_resnet.cc.o" "gcc" "src/baselines/CMakeFiles/vsd_baselines.dir/singh_resnet.cc.o.d"
+  "/root/repo/src/baselines/tsdnet.cc" "src/baselines/CMakeFiles/vsd_baselines.dir/tsdnet.cc.o" "gcc" "src/baselines/CMakeFiles/vsd_baselines.dir/tsdnet.cc.o.d"
+  "/root/repo/src/baselines/zero_shot_lfm.cc" "src/baselines/CMakeFiles/vsd_baselines.dir/zero_shot_lfm.cc.o" "gcc" "src/baselines/CMakeFiles/vsd_baselines.dir/zero_shot_lfm.cc.o.d"
+  "/root/repo/src/baselines/zhang_emotion.cc" "src/baselines/CMakeFiles/vsd_baselines.dir/zhang_emotion.cc.o" "gcc" "src/baselines/CMakeFiles/vsd_baselines.dir/zhang_emotion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/vlm/CMakeFiles/vsd_vlm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/vsd_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/vsd_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/face/CMakeFiles/vsd_face.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/vsd_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/text/CMakeFiles/vsd_text.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/img/CMakeFiles/vsd_img.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/vsd_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

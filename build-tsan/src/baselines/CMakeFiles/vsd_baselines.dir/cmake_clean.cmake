@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsd_baselines.dir/baseline.cc.o"
+  "CMakeFiles/vsd_baselines.dir/baseline.cc.o.d"
+  "CMakeFiles/vsd_baselines.dir/ding_fusion.cc.o"
+  "CMakeFiles/vsd_baselines.dir/ding_fusion.cc.o.d"
+  "CMakeFiles/vsd_baselines.dir/fdassnn.cc.o"
+  "CMakeFiles/vsd_baselines.dir/fdassnn.cc.o.d"
+  "CMakeFiles/vsd_baselines.dir/gao_svm.cc.o"
+  "CMakeFiles/vsd_baselines.dir/gao_svm.cc.o.d"
+  "CMakeFiles/vsd_baselines.dir/jeon_attention.cc.o"
+  "CMakeFiles/vsd_baselines.dir/jeon_attention.cc.o.d"
+  "CMakeFiles/vsd_baselines.dir/marlin.cc.o"
+  "CMakeFiles/vsd_baselines.dir/marlin.cc.o.d"
+  "CMakeFiles/vsd_baselines.dir/singh_resnet.cc.o"
+  "CMakeFiles/vsd_baselines.dir/singh_resnet.cc.o.d"
+  "CMakeFiles/vsd_baselines.dir/tsdnet.cc.o"
+  "CMakeFiles/vsd_baselines.dir/tsdnet.cc.o.d"
+  "CMakeFiles/vsd_baselines.dir/zero_shot_lfm.cc.o"
+  "CMakeFiles/vsd_baselines.dir/zero_shot_lfm.cc.o.d"
+  "CMakeFiles/vsd_baselines.dir/zhang_emotion.cc.o"
+  "CMakeFiles/vsd_baselines.dir/zhang_emotion.cc.o.d"
+  "libvsd_baselines.a"
+  "libvsd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsd_common.dir/logging.cc.o"
+  "CMakeFiles/vsd_common.dir/logging.cc.o.d"
+  "CMakeFiles/vsd_common.dir/math_util.cc.o"
+  "CMakeFiles/vsd_common.dir/math_util.cc.o.d"
+  "CMakeFiles/vsd_common.dir/rng.cc.o"
+  "CMakeFiles/vsd_common.dir/rng.cc.o.d"
+  "CMakeFiles/vsd_common.dir/status.cc.o"
+  "CMakeFiles/vsd_common.dir/status.cc.o.d"
+  "CMakeFiles/vsd_common.dir/string_util.cc.o"
+  "CMakeFiles/vsd_common.dir/string_util.cc.o.d"
+  "CMakeFiles/vsd_common.dir/table.cc.o"
+  "CMakeFiles/vsd_common.dir/table.cc.o.d"
+  "CMakeFiles/vsd_common.dir/thread_pool.cc.o"
+  "CMakeFiles/vsd_common.dir/thread_pool.cc.o.d"
+  "libvsd_common.a"
+  "libvsd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

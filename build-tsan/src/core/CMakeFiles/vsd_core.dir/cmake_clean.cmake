@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsd_core.dir/evaluation.cc.o"
+  "CMakeFiles/vsd_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/vsd_core.dir/metrics.cc.o"
+  "CMakeFiles/vsd_core.dir/metrics.cc.o.d"
+  "CMakeFiles/vsd_core.dir/stress_detector.cc.o"
+  "CMakeFiles/vsd_core.dir/stress_detector.cc.o.d"
+  "libvsd_core.a"
+  "libvsd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsd_cot.dir/icl.cc.o"
+  "CMakeFiles/vsd_cot.dir/icl.cc.o.d"
+  "CMakeFiles/vsd_cot.dir/pipeline.cc.o"
+  "CMakeFiles/vsd_cot.dir/pipeline.cc.o.d"
+  "CMakeFiles/vsd_cot.dir/refinement.cc.o"
+  "CMakeFiles/vsd_cot.dir/refinement.cc.o.d"
+  "CMakeFiles/vsd_cot.dir/trainer.cc.o"
+  "CMakeFiles/vsd_cot.dir/trainer.cc.o.d"
+  "libvsd_cot.a"
+  "libvsd_cot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsd_cot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/clip.cc" "src/data/CMakeFiles/vsd_data.dir/clip.cc.o" "gcc" "src/data/CMakeFiles/vsd_data.dir/clip.cc.o.d"
+  "/root/repo/src/data/folds.cc" "src/data/CMakeFiles/vsd_data.dir/folds.cc.o" "gcc" "src/data/CMakeFiles/vsd_data.dir/folds.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/vsd_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/vsd_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/sample.cc" "src/data/CMakeFiles/vsd_data.dir/sample.cc.o" "gcc" "src/data/CMakeFiles/vsd_data.dir/sample.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/face/CMakeFiles/vsd_face.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/img/CMakeFiles/vsd_img.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/vsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

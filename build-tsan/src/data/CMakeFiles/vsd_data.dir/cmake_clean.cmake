@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsd_data.dir/clip.cc.o"
+  "CMakeFiles/vsd_data.dir/clip.cc.o.d"
+  "CMakeFiles/vsd_data.dir/folds.cc.o"
+  "CMakeFiles/vsd_data.dir/folds.cc.o.d"
+  "CMakeFiles/vsd_data.dir/generator.cc.o"
+  "CMakeFiles/vsd_data.dir/generator.cc.o.d"
+  "CMakeFiles/vsd_data.dir/sample.cc.o"
+  "CMakeFiles/vsd_data.dir/sample.cc.o.d"
+  "libvsd_data.a"
+  "libvsd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explain/explainer.cc" "src/explain/CMakeFiles/vsd_explain.dir/explainer.cc.o" "gcc" "src/explain/CMakeFiles/vsd_explain.dir/explainer.cc.o.d"
+  "/root/repo/src/explain/faithfulness.cc" "src/explain/CMakeFiles/vsd_explain.dir/faithfulness.cc.o" "gcc" "src/explain/CMakeFiles/vsd_explain.dir/faithfulness.cc.o.d"
+  "/root/repo/src/explain/kernel_shap.cc" "src/explain/CMakeFiles/vsd_explain.dir/kernel_shap.cc.o" "gcc" "src/explain/CMakeFiles/vsd_explain.dir/kernel_shap.cc.o.d"
+  "/root/repo/src/explain/lime.cc" "src/explain/CMakeFiles/vsd_explain.dir/lime.cc.o" "gcc" "src/explain/CMakeFiles/vsd_explain.dir/lime.cc.o.d"
+  "/root/repo/src/explain/occlusion.cc" "src/explain/CMakeFiles/vsd_explain.dir/occlusion.cc.o" "gcc" "src/explain/CMakeFiles/vsd_explain.dir/occlusion.cc.o.d"
+  "/root/repo/src/explain/sobol.cc" "src/explain/CMakeFiles/vsd_explain.dir/sobol.cc.o" "gcc" "src/explain/CMakeFiles/vsd_explain.dir/sobol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/img/CMakeFiles/vsd_img.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/vsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsd_explain.dir/explainer.cc.o"
+  "CMakeFiles/vsd_explain.dir/explainer.cc.o.d"
+  "CMakeFiles/vsd_explain.dir/faithfulness.cc.o"
+  "CMakeFiles/vsd_explain.dir/faithfulness.cc.o.d"
+  "CMakeFiles/vsd_explain.dir/kernel_shap.cc.o"
+  "CMakeFiles/vsd_explain.dir/kernel_shap.cc.o.d"
+  "CMakeFiles/vsd_explain.dir/lime.cc.o"
+  "CMakeFiles/vsd_explain.dir/lime.cc.o.d"
+  "CMakeFiles/vsd_explain.dir/occlusion.cc.o"
+  "CMakeFiles/vsd_explain.dir/occlusion.cc.o.d"
+  "CMakeFiles/vsd_explain.dir/sobol.cc.o"
+  "CMakeFiles/vsd_explain.dir/sobol.cc.o.d"
+  "libvsd_explain.a"
+  "libvsd_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsd_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsd_face.dir/au.cc.o"
+  "CMakeFiles/vsd_face.dir/au.cc.o.d"
+  "CMakeFiles/vsd_face.dir/landmarks.cc.o"
+  "CMakeFiles/vsd_face.dir/landmarks.cc.o.d"
+  "CMakeFiles/vsd_face.dir/renderer.cc.o"
+  "CMakeFiles/vsd_face.dir/renderer.cc.o.d"
+  "libvsd_face.a"
+  "libvsd_face.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsd_face.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/img/image.cc" "src/img/CMakeFiles/vsd_img.dir/image.cc.o" "gcc" "src/img/CMakeFiles/vsd_img.dir/image.cc.o.d"
+  "/root/repo/src/img/pgm.cc" "src/img/CMakeFiles/vsd_img.dir/pgm.cc.o" "gcc" "src/img/CMakeFiles/vsd_img.dir/pgm.cc.o.d"
+  "/root/repo/src/img/slic.cc" "src/img/CMakeFiles/vsd_img.dir/slic.cc.o" "gcc" "src/img/CMakeFiles/vsd_img.dir/slic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/vsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

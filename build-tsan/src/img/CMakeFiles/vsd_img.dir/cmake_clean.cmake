@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsd_img.dir/image.cc.o"
+  "CMakeFiles/vsd_img.dir/image.cc.o.d"
+  "CMakeFiles/vsd_img.dir/pgm.cc.o"
+  "CMakeFiles/vsd_img.dir/pgm.cc.o.d"
+  "CMakeFiles/vsd_img.dir/slic.cc.o"
+  "CMakeFiles/vsd_img.dir/slic.cc.o.d"
+  "libvsd_img.a"
+  "libvsd_img.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsd_img.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsd_nn.dir/layers.cc.o"
+  "CMakeFiles/vsd_nn.dir/layers.cc.o.d"
+  "CMakeFiles/vsd_nn.dir/module.cc.o"
+  "CMakeFiles/vsd_nn.dir/module.cc.o.d"
+  "CMakeFiles/vsd_nn.dir/optimizer.cc.o"
+  "CMakeFiles/vsd_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/vsd_nn.dir/serialize.cc.o"
+  "CMakeFiles/vsd_nn.dir/serialize.cc.o.d"
+  "libvsd_nn.a"
+  "libvsd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

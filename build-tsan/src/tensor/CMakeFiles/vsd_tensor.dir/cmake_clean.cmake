@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsd_tensor.dir/autograd.cc.o"
+  "CMakeFiles/vsd_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/vsd_tensor.dir/tensor.cc.o"
+  "CMakeFiles/vsd_tensor.dir/tensor.cc.o.d"
+  "libvsd_tensor.a"
+  "libvsd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

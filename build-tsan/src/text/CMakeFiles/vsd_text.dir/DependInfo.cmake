@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/encoder.cc" "src/text/CMakeFiles/vsd_text.dir/encoder.cc.o" "gcc" "src/text/CMakeFiles/vsd_text.dir/encoder.cc.o.d"
+  "/root/repo/src/text/instructions.cc" "src/text/CMakeFiles/vsd_text.dir/instructions.cc.o" "gcc" "src/text/CMakeFiles/vsd_text.dir/instructions.cc.o.d"
+  "/root/repo/src/text/templates.cc" "src/text/CMakeFiles/vsd_text.dir/templates.cc.o" "gcc" "src/text/CMakeFiles/vsd_text.dir/templates.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/vsd_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/vsd_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/face/CMakeFiles/vsd_face.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/vsd_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/img/CMakeFiles/vsd_img.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsd_text.dir/encoder.cc.o"
+  "CMakeFiles/vsd_text.dir/encoder.cc.o.d"
+  "CMakeFiles/vsd_text.dir/instructions.cc.o"
+  "CMakeFiles/vsd_text.dir/instructions.cc.o.d"
+  "CMakeFiles/vsd_text.dir/templates.cc.o"
+  "CMakeFiles/vsd_text.dir/templates.cc.o.d"
+  "CMakeFiles/vsd_text.dir/tokenizer.cc.o"
+  "CMakeFiles/vsd_text.dir/tokenizer.cc.o.d"
+  "libvsd_text.a"
+  "libvsd_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsd_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvsd_text.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsd_vlm.dir/api_models.cc.o"
+  "CMakeFiles/vsd_vlm.dir/api_models.cc.o.d"
+  "CMakeFiles/vsd_vlm.dir/foundation_model.cc.o"
+  "CMakeFiles/vsd_vlm.dir/foundation_model.cc.o.d"
+  "CMakeFiles/vsd_vlm.dir/vision.cc.o"
+  "CMakeFiles/vsd_vlm.dir/vision.cc.o.d"
+  "libvsd_vlm.a"
+  "libvsd_vlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsd_vlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/face_test.dir/face_test.cc.o"
+  "CMakeFiles/face_test.dir/face_test.cc.o.d"
+  "face_test"
+  "face_test.pdb"
+  "face_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/face_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

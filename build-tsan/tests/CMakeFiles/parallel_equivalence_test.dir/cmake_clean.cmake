@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_equivalence_test.dir/parallel_equivalence_test.cc.o"
+  "CMakeFiles/parallel_equivalence_test.dir/parallel_equivalence_test.cc.o.d"
+  "parallel_equivalence_test"
+  "parallel_equivalence_test.pdb"
+  "parallel_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

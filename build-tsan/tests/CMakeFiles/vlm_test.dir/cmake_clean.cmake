@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlm_test.dir/vlm_test.cc.o"
+  "CMakeFiles/vlm_test.dir/vlm_test.cc.o.d"
+  "vlm_test"
+  "vlm_test.pdb"
+  "vlm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/thread_pool_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/autograd_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/nn_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/img_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/face_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/data_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/text_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/vlm_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cot_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/explain_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/harness_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parallel_equivalence_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/consistency_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_saliency.dir/render_saliency.cc.o"
+  "CMakeFiles/render_saliency.dir/render_saliency.cc.o.d"
+  "render_saliency"
+  "render_saliency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_saliency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
