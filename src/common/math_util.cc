@@ -114,7 +114,8 @@ bool SolveLinearSystem(std::vector<std::vector<double>>* a,
     const double inv = 1.0 / m[col][col];
     for (int row = col + 1; row < n; ++row) {
       const double factor = m[row][col] * inv;
-      if (factor == 0.0) continue;
+      // Exact zero skip: only elides arithmetic that would be a no-op.
+      if (factor == 0.0) continue;  // vsd-lint: allow(float-eq)
       for (int k = col; k < n; ++k) m[row][k] -= factor * m[col][k];
       rhs[row] -= factor * rhs[col];
     }

@@ -14,8 +14,10 @@ namespace vsd {
 /// Mirrors `arrow::Result<T>` / `absl::StatusOr<T>`. Accessing the value of
 /// an errored result aborts the process (library code must check `ok()` or
 /// use `VSD_ASSIGN_OR_RETURN`).
+/// Like `Status`, the class itself is `[[nodiscard]]`: a dropped
+/// `Result<T>` is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -33,30 +35,30 @@ class Result {
   Result(Result&&) = default;
   Result& operator=(Result&&) = default;
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
 
   /// Returns OK when a value is present, the stored error otherwise.
-  const Status& status() const {
+  [[nodiscard]] const Status& status() const {
     static const Status kOk = Status::OK();
     return ok() ? kOk : status_;
   }
 
   /// Returns the contained value; aborts if this result holds an error.
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     CheckOk();
     return *value_;
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     CheckOk();
     return *value_;
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     CheckOk();
     return std::move(*value_);
   }
 
   /// Returns the value or `fallback` when errored.
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     return ok() ? *value_ : std::move(fallback);
   }
 

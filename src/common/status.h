@@ -24,7 +24,12 @@ enum class StatusCode {
 ///
 /// `Status::OK()` is the singleton success value. Error statuses carry a
 /// code and a human-readable message. The class is cheap to copy.
-class Status {
+///
+/// `[[nodiscard]]` on the class makes silently dropping a returned Status a
+/// compile error under `-Werror` (see vsd_lint and docs/INTERNALS.md):
+/// callers must propagate, handle, or explicitly `(void)`-discard with a
+/// reason.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -61,12 +66,12 @@ class Status {
     return Status(StatusCode::kIoError, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Renders "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;

@@ -59,7 +59,8 @@ Metrics AverageMetrics(const std::vector<Metrics>& folds) {
   if (folds.empty()) return avg;
   double total = 0.0;
   for (const auto& fold : folds) total += fold.n;
-  if (total == 0.0) return avg;
+  // Exact division-by-zero guard: total is a sum of integer counts.
+  if (total == 0.0) return avg;  // vsd-lint: allow(float-eq)
   for (const auto& fold : folds) {
     const double w = fold.n / total;
     avg.accuracy += w * fold.accuracy;

@@ -1,0 +1,242 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace vsd::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Longest-match punctuator set. Only operators the rules care about need to
+// be grouped correctly; everything else may fall through to single chars.
+const char* const kPuncts3[] = {"<<=", ">>=", "...", "->*", "<=>"};
+const char* const kPuncts2[] = {"::", "->", "==", "!=", "<=", ">=", "&&",
+                                "||", "++", "--", "+=", "-=", "*=", "/=",
+                                "%=", "&=", "|=", "^=", "<<", ">>"};
+
+// Parses "vsd-lint: allow(rule-a, rule-b)" out of a comment body, if present.
+void ParseSuppression(const std::string& comment, int line, LexResult* out) {
+  const std::string kTag = "vsd-lint:";
+  size_t tag = comment.find(kTag);
+  if (tag == std::string::npos) return;
+  size_t allow = comment.find("allow", tag + kTag.size());
+  if (allow == std::string::npos) return;
+  size_t open = comment.find('(', allow);
+  if (open == std::string::npos) return;
+  size_t close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  std::string rules = comment.substr(open + 1, close - open - 1);
+  std::string cur;
+  for (size_t i = 0; i <= rules.size(); ++i) {
+    char c = i < rules.size() ? rules[i] : ',';
+    if (c == ',' ) {
+      if (!cur.empty()) out->suppressions[line].insert(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur += c;
+    }
+  }
+}
+
+}  // namespace
+
+LexResult Lex(const std::string& source) {
+  LexResult out;
+  size_t i = 0;
+  const size_t n = source.size();
+  int line = 1;
+  bool at_line_start = true;  // Only whitespace seen since the last newline.
+
+  auto push = [&](TokenKind kind, std::string text, bool is_float = false) {
+    out.tokens.push_back(Token{kind, std::move(text), line, is_float});
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment: may carry a suppression annotation.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      size_t end = source.find('\n', i);
+      if (end == std::string::npos) end = n;
+      ParseSuppression(source.substr(i + 2, end - i - 2), line, &out);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      int start_line = line;
+      size_t end = source.find("*/", i + 2);
+      if (end == std::string::npos) end = n; else end += 2;
+      std::string body = source.substr(i, end - i);
+      ParseSuppression(body, start_line, &out);
+      for (char bc : body) {
+        if (bc == '\n') ++line;
+      }
+      i = end;
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on the line; folds continuations.
+    if (c == '#' && at_line_start) {
+      int start_line = line;
+      std::string text;
+      while (i < n) {
+        char d = source[i];
+        if (d == '\\' && i + 1 < n && source[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          text += ' ';
+          continue;
+        }
+        if (d == '\n') break;
+        // A trailing // comment is not part of the directive.
+        if (d == '/' && i + 1 < n &&
+            (source[i + 1] == '/' || source[i + 1] == '*')) {
+          break;
+        }
+        text += d;
+        ++i;
+      }
+      // Trim trailing whitespace.
+      while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+        text.pop_back();
+      }
+      out.directives.push_back(PpDirective{start_line, std::move(text)});
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      size_t paren = source.find('(', i + 2);
+      if (paren != std::string::npos) {
+        std::string delim = source.substr(i + 2, paren - i - 2);
+        std::string closer = ")" + delim + "\"";
+        size_t end = source.find(closer, paren + 1);
+        if (end == std::string::npos) end = n; else end += closer.size();
+        for (size_t k = i; k < end; ++k) {
+          if (source[k] == '\n') ++line;
+        }
+        push(TokenKind::kString, "");
+        i = end;
+        continue;
+      }
+    }
+
+    // String / char literal with escapes.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      std::string text;
+      ++i;
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\\' && i + 1 < n) {
+          text += source[i];
+          text += source[i + 1];
+          i += 2;
+          continue;
+        }
+        if (source[i] == '\n') ++line;  // Unterminated; keep line count sane.
+        text += source[i];
+        ++i;
+      }
+      if (i < n) ++i;  // Closing quote.
+      push(quote == '"' ? TokenKind::kString : TokenKind::kChar, std::move(text));
+      continue;
+    }
+
+    // Number: digit, or '.' followed by digit.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      std::string text;
+      bool hex = c == '0' && i + 1 < n && (source[i + 1] == 'x' || source[i + 1] == 'X');
+      while (i < n) {
+        char d = source[i];
+        bool take = std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
+                    d == '\'';
+        // Exponent signs: 1e-3, 0x1p+2.
+        if ((d == '+' || d == '-') && !text.empty()) {
+          char prev = text.back();
+          take = prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P';
+        }
+        if (!take) break;
+        text += d;
+        ++i;
+      }
+      bool is_float = false;
+      if (!hex) {
+        for (char d : text) {
+          if (d == '.' || d == 'e' || d == 'E' || d == 'f' || d == 'F') {
+            is_float = true;
+            break;
+          }
+        }
+      } else {
+        for (char d : text) {
+          if (d == '.' || d == 'p' || d == 'P') {
+            is_float = true;
+            break;
+          }
+        }
+      }
+      push(TokenKind::kNumber, std::move(text), is_float);
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      std::string text;
+      while (i < n && IsIdentChar(source[i])) {
+        text += source[i];
+        ++i;
+      }
+      push(TokenKind::kIdentifier, std::move(text));
+      continue;
+    }
+
+    // Punctuator, longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts3) {
+      if (source.compare(i, 3, p) == 0) {
+        push(TokenKind::kPunct, p);
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* p : kPuncts2) {
+      if (source.compare(i, 2, p) == 0) {
+        push(TokenKind::kPunct, p);
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    push(TokenKind::kPunct, std::string(1, c));
+    ++i;
+  }
+
+  push(TokenKind::kEof, "");
+  return out;
+}
+
+}  // namespace vsd::lint

@@ -1,0 +1,53 @@
+#ifndef VSD_LINT_LEXER_H_
+#define VSD_LINT_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vsd::lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< Identifiers and keywords (no distinction needed here).
+  kNumber,      ///< Integer or floating literal, suffixes included.
+  kString,      ///< String literal (quotes stripped), incl. raw strings.
+  kChar,        ///< Character literal.
+  kPunct,       ///< Operator / punctuator, longest-match (e.g. "==", "::").
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int line = 0;          ///< 1-based line of the token's first character.
+  bool is_float = false; ///< For kNumber: literal has '.', exponent, or f/F.
+};
+
+/// A preprocessor directive, captured as one trimmed line ("#include <x>",
+/// "#pragma once", ...). Continuation lines are folded in.
+struct PpDirective {
+  int line = 0;
+  std::string text;
+};
+
+/// Output of `Lex`. Comments and preprocessor lines never become tokens;
+/// comments feed `suppressions`, preprocessor lines feed `directives`.
+struct LexResult {
+  std::vector<Token> tokens;           ///< Ends with a kEof token.
+  std::vector<PpDirective> directives;
+  /// Line -> rule names named in a `// vsd-lint: allow(rule, ...)` comment
+  /// on that line. A suppression covers its own line and the next line, so
+  /// it works both trailing an offending statement and on the line above.
+  std::map<int, std::set<std::string>> suppressions;
+};
+
+/// Tokenizes C++ source. This is a lexer, not a parser: it understands
+/// comments, string/char literals (including raw strings), numbers, and
+/// multi-character punctuators well enough that rule code can pattern-match
+/// token sequences without being fooled by the contents of literals.
+LexResult Lex(const std::string& source);
+
+}  // namespace vsd::lint
+
+#endif  // VSD_LINT_LEXER_H_

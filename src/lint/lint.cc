@@ -1,0 +1,472 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "lint/lexer.h"
+
+namespace vsd::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsHeaderPath(const std::string& path) { return EndsWith(path, ".h"); }
+
+struct FileCtx {
+  const std::string& path;
+  const LexResult& lex;
+  std::vector<Finding>* findings;
+
+  void Report(int line, const char* rule, std::string message) const {
+    findings->push_back(Finding{path, line, rule, std::move(message)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// raw-rand: the determinism contract (docs/INTERNALS.md) requires every
+// stochastic component to draw from an explicit vsd::Rng. Any use of the
+// <cstdlib>/<random> machinery outside src/common/rng.* introduces a second,
+// unseeded entropy source and breaks bit-reproducibility.
+// ---------------------------------------------------------------------------
+void CheckRawRand(const FileCtx& ctx) {
+  if (StartsWith(ctx.path, "src/common/rng.")) return;
+  static const std::set<std::string> kBanned = {
+      "rand",          "srand",          "rand_r",
+      "random_device", "mt19937",        "mt19937_64",
+      "minstd_rand",   "minstd_rand0",   "default_random_engine",
+      "random_shuffle", "ranlux24_base", "ranlux48_base",
+      "ranlux24",      "ranlux48",       "knuth_b",
+  };
+  const auto& toks = ctx.lex.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    if (kBanned.find(toks[i].text) == kBanned.end()) continue;
+    // Member access (config.rand, obj->rand) is some other class's member,
+    // not the C library; `std::rand` / `::rand` / bare `rand` all still hit.
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      continue;
+    }
+    ctx.Report(toks[i].line, "raw-rand",
+               "'" + toks[i].text +
+                   "' bypasses vsd::Rng; all randomness must flow through "
+                   "src/common/rng.* so runs stay bit-reproducible");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// rng-fork: drawing from an Rng that was captured by reference inside a
+// ParallelFor/ParallelMap body is both a data race (Rng::Next mutates state)
+// and nondeterministic (draw order depends on scheduling). The sanctioned
+// pattern forks one child stream per iteration index *before* the loop and
+// indexes it inside (streams[i].Uniform()), or declares a body-local Rng.
+// ---------------------------------------------------------------------------
+void CheckRngFork(const FileCtx& ctx) {
+  static const std::set<std::string> kDrawMethods = {
+      "Next",        "Uniform",  "UniformInt",
+      "Normal",      "Bernoulli", "Shuffle",
+      "SampleIndex", "SampleWithoutReplacement", "Fork",
+  };
+  const auto& toks = ctx.lex.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        (toks[i].text != "ParallelFor" && toks[i].text != "ParallelMap")) {
+      continue;
+    }
+    // Skip optional template arguments: ParallelMap<T>(...).
+    size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == "<") {
+      int depth = 1;
+      ++j;
+      while (j < toks.size() && depth > 0) {
+        if (toks[j].text == "<") ++depth;
+        else if (toks[j].text == ">") --depth;
+        else if (toks[j].text == ">>") depth -= 2;
+        ++j;
+      }
+    }
+    if (j >= toks.size() || toks[j].text != "(") continue;
+    // Find the matching close paren: [open, close) is the call's extent.
+    size_t open = j;
+    int depth = 1;
+    size_t close = open + 1;
+    while (close < toks.size() && depth > 0) {
+      if (toks[close].text == "(") ++depth;
+      else if (toks[close].text == ")") --depth;
+      if (depth == 0) break;
+      ++close;
+    }
+
+    // Identifiers declared inside the call extent (Rng r / Rng& r / auto r)
+    // are per-iteration locals and safe to draw from.
+    std::set<std::string> locals;
+    for (size_t k = open + 1; k + 1 < close; ++k) {
+      if (toks[k].kind != TokenKind::kIdentifier ||
+          (toks[k].text != "Rng" && toks[k].text != "auto")) {
+        continue;
+      }
+      size_t m = k + 1;
+      while (m < close &&
+             (toks[m].text == "&" || toks[m].text == "*" ||
+              toks[m].text == "const")) {
+        ++m;
+      }
+      if (m < close && toks[m].kind == TokenKind::kIdentifier) {
+        locals.insert(toks[m].text);
+      }
+    }
+
+    for (size_t k = open + 2; k + 1 < close; ++k) {
+      if (toks[k].kind != TokenKind::kIdentifier ||
+          kDrawMethods.find(toks[k].text) == kDrawMethods.end()) {
+        continue;
+      }
+      const std::string& access = toks[k - 1].text;
+      if (access != "." && access != "->") continue;
+      if (k + 1 >= close || toks[k + 1].text != "(") continue;
+      const Token& recv = toks[k - 2];
+      // streams[i].Uniform() / MakeRng(i).Next(): the receiver is a
+      // per-index expression, which is exactly the sanctioned pattern.
+      if (recv.text == "]" || recv.text == ")") continue;
+      if (recv.kind != TokenKind::kIdentifier) continue;
+      // Qualified receivers (obj.rng.Next) still end in an identifier, and
+      // a shared nested member is just as racy, so fall through for those.
+      if (locals.count(recv.text)) continue;
+      ctx.Report(toks[k].line, "rng-fork",
+                 "'" + recv.text + "." + toks[k].text +
+                     "()' inside a ParallelFor/ParallelMap body draws from a "
+                     "shared Rng (data race + scheduling-dependent results); "
+                     "Fork() per-index streams before the loop or declare a "
+                     "body-local Rng");
+    }
+    i = open;  // Continue after the call head; nested calls re-scan inside.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// float-eq: exact ==/!= on floating-point values inside the metric and math
+// kernels is almost always a tolerance bug that shifts reported tables.
+// Scoped to src/core/metrics.* and src/common/math_util.*; legitimate exact
+// guards (e.g. `total == 0.0` before dividing) carry an explicit
+// `// vsd-lint: allow(float-eq)` with a reason.
+// ---------------------------------------------------------------------------
+void CheckFloatEq(const FileCtx& ctx) {
+  if (!StartsWith(ctx.path, "src/core/metrics.") &&
+      !StartsWith(ctx.path, "src/common/math_util.")) {
+    return;
+  }
+  const auto& toks = ctx.lex.tokens;
+  // Identifiers declared in this file with type double/float.
+  std::set<std::string> float_vars;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        (toks[i].text != "double" && toks[i].text != "float")) {
+      continue;
+    }
+    size_t m = i + 1;
+    while (m < toks.size() &&
+           (toks[m].text == "&" || toks[m].text == "*" ||
+            toks[m].text == "const")) {
+      ++m;
+    }
+    if (m < toks.size() && toks[m].kind == TokenKind::kIdentifier) {
+      float_vars.insert(toks[m].text);
+    }
+  }
+  auto is_floaty = [&](const Token& t) {
+    if (t.kind == TokenKind::kNumber) return t.is_float;
+    if (t.kind == TokenKind::kIdentifier) return float_vars.count(t.text) > 0;
+    return false;
+  };
+  for (size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct ||
+        (toks[i].text != "==" && toks[i].text != "!=")) {
+      continue;
+    }
+    if (is_floaty(toks[i - 1]) || is_floaty(toks[i + 1])) {
+      ctx.Report(toks[i].line, "float-eq",
+                 "exact '" + toks[i].text +
+                     "' on a floating-point value; compare against a "
+                     "tolerance (see math_util) or suppress with a reason if "
+                     "the exact comparison is intentional");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// header-guard: every header starts with #pragma once or a matching
+// #ifndef/#define include-guard pair (the repo convention: VSD_<PATH>_H_).
+// ---------------------------------------------------------------------------
+void CheckHeaderGuard(const FileCtx& ctx) {
+  if (!IsHeaderPath(ctx.path)) return;
+  const auto& dirs = ctx.lex.directives;
+  if (!dirs.empty() && dirs[0].text == "#pragma once") return;
+  if (dirs.size() >= 2 && StartsWith(dirs[0].text, "#ifndef") &&
+      StartsWith(dirs[1].text, "#define")) {
+    std::istringstream a(dirs[0].text), b(dirs[1].text);
+    std::string kw_a, macro_a, kw_b, macro_b;
+    a >> kw_a >> macro_a;
+    b >> kw_b >> macro_b;
+    if (!macro_a.empty() && macro_a == macro_b) return;
+    ctx.Report(dirs[1].line, "header-guard",
+               "include guard #define '" + macro_b +
+                   "' does not match #ifndef '" + macro_a + "'");
+    return;
+  }
+  ctx.Report(dirs.empty() ? 1 : dirs[0].line, "header-guard",
+             "header must begin with '#pragma once' or an "
+             "#ifndef/#define include guard");
+}
+
+// ---------------------------------------------------------------------------
+// include-order: within a contiguous include block (no blank line or other
+// directive in between), all includes are of one kind (<...> or "...") and
+// sorted alphabetically. Blank lines separate groups, matching the repo
+// style: own header / <system block> / "project block".
+// ---------------------------------------------------------------------------
+void CheckIncludeOrder(const FileCtx& ctx) {
+  struct Inc {
+    int line;
+    char kind;  // '<' or '"'
+    std::string target;
+  };
+  // Split includes into groups of directly adjacent lines.
+  std::vector<std::vector<Inc>> groups;
+  int prev_line = -10;
+  bool prev_was_include = false;
+  for (const auto& d : ctx.lex.directives) {
+    if (!StartsWith(d.text, "#include")) {
+      prev_was_include = false;
+      continue;
+    }
+    size_t open = d.text.find_first_of("<\"", 8);
+    if (open == std::string::npos) {
+      prev_was_include = false;
+      continue;  // Macro include; out of scope.
+    }
+    char kind = d.text[open];
+    char closer = kind == '<' ? '>' : '"';
+    size_t end = d.text.find(closer, open + 1);
+    if (end == std::string::npos) end = d.text.size();
+    Inc inc{d.line, kind, d.text.substr(open + 1, end - open - 1)};
+    if (!prev_was_include || d.line != prev_line + 1 || groups.empty()) {
+      groups.emplace_back();
+    }
+    groups.back().push_back(std::move(inc));
+    prev_line = d.line;
+    prev_was_include = true;
+  }
+  for (const auto& g : groups) {
+    for (size_t i = 1; i < g.size(); ++i) {
+      if (g[i].kind != g[0].kind) {
+        ctx.Report(g[i].line, "include-order",
+                   "include block mixes <...> and \"...\" includes; separate "
+                   "system and project includes with a blank line");
+        break;
+      }
+    }
+    for (size_t i = 1; i < g.size(); ++i) {
+      if (g[i].kind == g[i - 1].kind && g[i].target < g[i - 1].target) {
+        ctx.Report(g[i].line, "include-order",
+                   "'" + g[i].target + "' breaks alphabetical order (after '" +
+                       g[i - 1].target + "')");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter: iterating an unordered container in code that produces
+// results (metrics, explanations, chains, baselines, benches) makes output
+// depend on hash-table layout — libstdc++ version, insertion order, even
+// ASLR for pointer keys. Result paths must iterate ordered containers or
+// sorted snapshots.
+// ---------------------------------------------------------------------------
+void CheckUnorderedIter(const FileCtx& ctx) {
+  static const char* const kResultPaths[] = {
+      "src/core/", "src/explain/", "src/cot/",
+      "src/baselines/", "src/vlm/", "bench/",
+  };
+  bool in_scope = false;
+  for (const char* p : kResultPaths) in_scope = in_scope || StartsWith(ctx.path, p);
+  if (!in_scope) return;
+
+  const auto& toks = ctx.lex.tokens;
+  // Identifiers declared in this file as std::unordered_{map,set}<...>.
+  std::set<std::string> unordered_vars;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        (toks[i].text != "unordered_map" && toks[i].text != "unordered_set" &&
+         toks[i].text != "unordered_multimap" &&
+         toks[i].text != "unordered_multiset")) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (j >= toks.size() || toks[j].text != "<") continue;
+    int depth = 1;
+    ++j;
+    while (j < toks.size() && depth > 0) {
+      if (toks[j].text == "<") ++depth;
+      else if (toks[j].text == ">") --depth;
+      else if (toks[j].text == ">>") depth -= 2;
+      ++j;
+    }
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            toks[j].text == "const")) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier) {
+      unordered_vars.insert(toks[j].text);
+    }
+  }
+  if (unordered_vars.empty()) return;
+
+  // Range-for whose range expression names an unordered container.
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier || toks[i].text != "for" ||
+        toks[i + 1].text != "(") {
+      continue;
+    }
+    size_t open = i + 1;
+    int depth = 1;
+    size_t close = open + 1;
+    size_t colon = 0;
+    while (close < toks.size() && depth > 0) {
+      if (toks[close].text == "(") ++depth;
+      else if (toks[close].text == ")") --depth;
+      if (depth == 0) break;
+      if (depth == 1 && toks[close].text == ":" && colon == 0) colon = close;
+      ++close;
+    }
+    if (colon == 0) continue;  // Classic for loop.
+    for (size_t k = colon + 1; k < close; ++k) {
+      if (toks[k].kind == TokenKind::kIdentifier &&
+          unordered_vars.count(toks[k].text)) {
+        ctx.Report(toks[k].line, "unordered-iter",
+                   "iterating unordered container '" + toks[k].text +
+                       "' in a result-producing path; hash-table order is "
+                       "not deterministic across platforms — use an ordered "
+                       "container or a sorted snapshot");
+        break;
+      }
+    }
+  }
+  // Explicit iterator walks: var.begin() / var.cbegin().
+  for (size_t i = 2; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        (toks[i].text != "begin" && toks[i].text != "cbegin")) {
+      continue;
+    }
+    if (toks[i - 1].text != "." && toks[i - 1].text != "->") continue;
+    if (toks[i + 1].text != "(") continue;
+    const Token& recv = toks[i - 2];
+    if (recv.kind == TokenKind::kIdentifier && unordered_vars.count(recv.text)) {
+      ctx.Report(toks[i].line, "unordered-iter",
+                 "iterator over unordered container '" + recv.text +
+                     "' in a result-producing path; hash-table order is not "
+                     "deterministic");
+    }
+  }
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+const std::vector<std::string>& AllRules() {
+  static const std::vector<std::string> kRules = {
+      "raw-rand",     "rng-fork",      "float-eq",
+      "header-guard", "include-order", "unordered-iter",
+  };
+  return kRules;
+}
+
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content) {
+  LexResult lex = Lex(content);
+  std::vector<Finding> findings;
+  FileCtx ctx{path, lex, &findings};
+  CheckRawRand(ctx);
+  CheckRngFork(ctx);
+  CheckFloatEq(ctx);
+  CheckHeaderGuard(ctx);
+  CheckIncludeOrder(ctx);
+  CheckUnorderedIter(ctx);
+
+  // A `// vsd-lint: allow(rule)` comment suppresses findings on its own
+  // line and on the following line.
+  std::vector<Finding> kept;
+  for (auto& f : findings) {
+    bool suppressed = false;
+    for (int line : {f.line, f.line - 1}) {
+      auto it = lex.suppressions.find(line);
+      if (it != lex.suppressions.end() && it->second.count(f.rule)) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(f));
+  }
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return kept;
+}
+
+std::vector<Finding> LintTree(const std::string& root,
+                              const std::vector<std::string>& subdirs) {
+  std::vector<std::string> files;
+  for (const std::string& sub : subdirs) {
+    fs::path dir = fs::path(root) / sub;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory() &&
+          StartsWith(it->path().filename().string(), "build")) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      files.push_back(fs::relative(it->path(), root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& rel : files) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      findings.push_back(Finding{rel, 0, "io-error", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<Finding> file_findings = LintContent(rel, buf.str());
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+}  // namespace vsd::lint

@@ -1,0 +1,49 @@
+#ifndef VSD_LINT_LINT_H_
+#define VSD_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace vsd::lint {
+
+/// One diagnostic. `rule` is the stable rule name used both in output and
+/// in `// vsd-lint: allow(<rule>)` suppression comments.
+struct Finding {
+  std::string file;  ///< Repo-relative path as given to the linter.
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  /// "file:line: [rule] message" — the grep/IDE-clickable form.
+  std::string ToString() const;
+};
+
+/// Rule names (see docs/INTERNALS.md "Static analysis & sanitizers"):
+///  * raw-rand        — std:: random machinery outside src/common/rng.*
+///  * rng-fork        — shared Rng drawn from inside a ParallelFor body
+///  * float-eq        — ==/!= on floating-point in metrics/math_util paths
+///  * header-guard    — header missing #pragma once / include guard
+///  * include-order   — include group mixes <>/"" kinds or is unsorted
+///  * unordered-iter  — iteration over unordered containers in result paths
+///
+/// All rule names, for CLI validation and tests.
+const std::vector<std::string>& AllRules();
+
+/// Lints one file whose contents are already in memory. `path` should be
+/// repo-relative with '/' separators: several rules are scoped by path
+/// (e.g. float-eq only fires under src/core/metrics.* and
+/// src/common/math_util.*; raw-rand is exempt in src/common/rng.*).
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content);
+
+/// Walks `root` and lints every *.h / *.cc file under the given
+/// subdirectories (repo-relative, e.g. {"src", "bench", "tools", "tests"}).
+/// Directories named build* are skipped. Files are visited in sorted order
+/// so output is deterministic. Unreadable files produce a finding with rule
+/// "io-error" rather than aborting the walk.
+std::vector<Finding> LintTree(const std::string& root,
+                              const std::vector<std::string>& subdirs);
+
+}  // namespace vsd::lint
+
+#endif  // VSD_LINT_LINT_H_

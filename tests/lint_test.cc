@@ -1,0 +1,281 @@
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace vsd::lint {
+namespace {
+
+// Rule names reported for linting `src` as file `path`.
+std::vector<std::string> Rules(const std::string& path,
+                               const std::string& src) {
+  std::vector<std::string> rules;
+  for (const Finding& f : LintContent(path, src)) rules.push_back(f.rule);
+  return rules;
+}
+
+bool HasRule(const std::vector<std::string>& rules, const std::string& rule) {
+  for (const auto& r : rules) {
+    if (r == rule) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- lexer ----
+
+TEST(LexerTest, TokenizesIdentifiersNumbersAndPuncts) {
+  LexResult lex = Lex("int x = 42; double y = 1.5e-3;");
+  ASSERT_GE(lex.tokens.size(), 11u);
+  EXPECT_EQ(lex.tokens[0].text, "int");
+  EXPECT_EQ(lex.tokens[3].text, "42");
+  EXPECT_FALSE(lex.tokens[3].is_float);
+  EXPECT_EQ(lex.tokens[8].text, "1.5e-3");
+  EXPECT_TRUE(lex.tokens[8].is_float);
+}
+
+TEST(LexerTest, BannedNamesInsideLiteralsAndCommentsAreNotTokens) {
+  LexResult lex = Lex(
+      "const char* s = \"std::rand()\";\n"
+      "// std::rand in a comment\n"
+      "/* srand too */\n"
+      "auto r = R\"(mt19937 inside raw string)\";\n");
+  for (const Token& t : lex.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "srand");
+    EXPECT_NE(t.text, "mt19937");
+  }
+}
+
+TEST(LexerTest, TracksLinesAcrossCommentsStringsAndContinuations) {
+  LexResult lex = Lex("/* a\nb */\n\"x\ny\"\n#define M \\\n  1\nint z;\n");
+  // `int` is on line 7: block comment spans 1-2, string literal 3-4,
+  // continued #define 5-6.
+  ASSERT_FALSE(lex.tokens.empty());
+  EXPECT_EQ(lex.tokens[lex.tokens.size() - 4].text, "int");
+  EXPECT_EQ(lex.tokens[lex.tokens.size() - 4].line, 7);
+  ASSERT_EQ(lex.directives.size(), 1u);
+  EXPECT_EQ(lex.directives[0].text, "#define M    1");
+}
+
+TEST(LexerTest, ParsesSuppressionComments) {
+  LexResult lex = Lex("int a;  // vsd-lint: allow(float-eq, raw-rand)\n");
+  ASSERT_EQ(lex.suppressions.count(1), 1u);
+  EXPECT_EQ(lex.suppressions[1].count("float-eq"), 1u);
+  EXPECT_EQ(lex.suppressions[1].count("raw-rand"), 1u);
+}
+
+// ------------------------------------------------------------- raw-rand ----
+
+TEST(RawRandRule, FlagsStdRandSrandAndEngines) {
+  EXPECT_TRUE(HasRule(Rules("src/cot/x.cc", "int v = std::rand();"),
+                      "raw-rand"));
+  EXPECT_TRUE(HasRule(Rules("src/cot/x.cc", "srand(42);"), "raw-rand"));
+  EXPECT_TRUE(HasRule(
+      Rules("src/cot/x.cc", "std::mt19937 gen; std::random_device rd;"),
+      "raw-rand"));
+}
+
+TEST(RawRandRule, AllowsRngImplementationAndMemberAccess) {
+  EXPECT_TRUE(Rules("src/common/rng.cc", "int v = std::rand();").empty());
+  // A member named `rand` on some config object is not the C library.
+  EXPECT_FALSE(
+      HasRule(Rules("src/cot/x.cc", "int v = cfg.rand;"), "raw-rand"));
+  EXPECT_FALSE(
+      HasRule(Rules("src/cot/x.cc", "int v = cfg->rand;"), "raw-rand"));
+}
+
+TEST(RawRandRule, CleanCodeUsingVsdRngPasses) {
+  EXPECT_TRUE(Rules("src/cot/x.cc",
+                    "double D(Rng& rng) { return rng.Uniform(); }")
+                  .empty());
+}
+
+// ------------------------------------------------------------- rng-fork ----
+
+TEST(RngForkRule, FlagsSharedRngDrawInsideParallelFor) {
+  const std::string bad = R"cc(
+    void F(Rng& rng, std::vector<double>* out) {
+      ParallelFor(8, [&](int64_t i) { (*out)[i] = rng.Uniform(); });
+    }
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/explain/x.cc", bad), "rng-fork"));
+}
+
+TEST(RngForkRule, FlagsPointerDrawAndForkInsideBody) {
+  const std::string bad_ptr = R"cc(
+    ParallelFor(n, [&](int64_t i) { out[i] = rng->Next(); });
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/explain/x.cc", bad_ptr), "rng-fork"));
+  // Fork() mutates the parent, so even forking *inside* the body races.
+  const std::string bad_fork = R"cc(
+    ParallelFor(n, [&](int64_t i) { Rng child = rng.Fork(); });
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/explain/x.cc", bad_fork), "rng-fork"));
+}
+
+TEST(RngForkRule, AllowsPreForkedStreamsAndBodyLocals) {
+  const std::string good = R"cc(
+    void F(Rng* rng, std::vector<double>* out) {
+      std::vector<Rng> streams;
+      for (int s = 0; s < 8; ++s) streams.push_back(rng->Fork());
+      ParallelFor(8, [&](int64_t i) { (*out)[i] = streams[i].Uniform(); });
+      ParallelFor(8, [&](int64_t i) {
+        Rng local(1234 + i);
+        (*out)[i] = local.Normal();
+      });
+      const std::vector<double> v = ParallelMap<double>(8, [&](int64_t i) {
+        Rng& s = streams[i];
+        return s.Uniform();
+      });
+    }
+  )cc";
+  EXPECT_TRUE(Rules("src/explain/x.cc", good).empty());
+}
+
+// ------------------------------------------------------------- float-eq ----
+
+TEST(FloatEqRule, FlagsLiteralAndDeclaredDoubleComparisons) {
+  EXPECT_TRUE(HasRule(
+      Rules("src/core/metrics.cc", "bool b = x == 0.5;"), "float-eq"));
+  EXPECT_TRUE(HasRule(
+      Rules("src/common/math_util.cc", "double t = F(); bool b = t != u;"),
+      "float-eq"));
+}
+
+TEST(FloatEqRule, ScopedToMetricAndMathPaths) {
+  // Same code outside the metric kernels is not this rule's business.
+  EXPECT_TRUE(Rules("src/cot/pipeline.cc", "bool b = x == 0.5;").empty());
+  // Integer comparisons inside the kernels are fine.
+  EXPECT_TRUE(
+      Rules("src/core/metrics.cc", "bool b = y_true[i] == y_pred[i];")
+          .empty());
+  EXPECT_TRUE(
+      Rules("src/core/metrics.cc", "bool b = a.size() != b.size();").empty());
+}
+
+// --------------------------------------------------------- header-guard ----
+
+TEST(HeaderGuardRule, FlagsMissingAndMismatchedGuards) {
+  EXPECT_TRUE(
+      HasRule(Rules("src/cot/x.h", "int F();\n"), "header-guard"));
+  EXPECT_TRUE(HasRule(
+      Rules("src/cot/x.h", "#ifndef A_H_\n#define B_H_\n#endif\n"),
+      "header-guard"));
+}
+
+TEST(HeaderGuardRule, AcceptsPragmaOnceAndMatchingGuard) {
+  EXPECT_TRUE(Rules("src/cot/x.h", "#pragma once\nint F();\n").empty());
+  EXPECT_TRUE(
+      Rules("src/cot/x.h",
+            "#ifndef VSD_COT_X_H_\n#define VSD_COT_X_H_\nint F();\n#endif\n")
+          .empty());
+  // Source files need no guard.
+  EXPECT_TRUE(Rules("src/cot/x.cc", "int F() { return 1; }\n").empty());
+}
+
+// -------------------------------------------------------- include-order ----
+
+TEST(IncludeOrderRule, FlagsMixedKindsAndUnsortedGroups) {
+  EXPECT_TRUE(HasRule(
+      Rules("src/cot/x.cc", "#include <vector>\n#include \"cot/x.h\"\n"),
+      "include-order"));
+  EXPECT_TRUE(HasRule(
+      Rules("src/cot/x.cc", "#include <vector>\n#include <cmath>\n"),
+      "include-order"));
+}
+
+TEST(IncludeOrderRule, AcceptsBlankLineSeparatedSortedGroups) {
+  const std::string good =
+      "#include \"cot/x.h\"\n\n#include <cmath>\n#include <vector>\n\n"
+      "#include \"common/rng.h\"\n#include \"cot/refinement.h\"\n";
+  EXPECT_TRUE(Rules("src/cot/x.cc", good).empty());
+}
+
+// ------------------------------------------------------- unordered-iter ----
+
+TEST(UnorderedIterRule, FlagsRangeForAndBeginInResultPaths) {
+  const std::string bad = R"cc(
+    std::unordered_map<int, double> scores;
+    void Dump(std::vector<double>* out) {
+      for (const auto& kv : scores) out->push_back(kv.second);
+    }
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/core/x.cc", bad), "unordered-iter"));
+  const std::string bad_begin = R"cc(
+    std::unordered_set<int> ids;
+    auto it = ids.begin();
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("bench/x.cc", bad_begin), "unordered-iter"));
+}
+
+TEST(UnorderedIterRule, AllowsLookupsOrderedMapsAndNonResultPaths) {
+  const std::string lookups = R"cc(
+    std::unordered_map<int, double> cache;
+    double Get(int k) { auto it = cache.find(k); return it->second; }
+  )cc";
+  EXPECT_TRUE(Rules("src/core/x.cc", lookups).empty());
+  const std::string ordered = R"cc(
+    std::map<int, double> scores;
+    void Dump(std::vector<double>* out) {
+      for (const auto& kv : scores) out->push_back(kv.second);
+    }
+  )cc";
+  EXPECT_TRUE(Rules("src/core/x.cc", ordered).empty());
+  const std::string non_result = R"cc(
+    std::unordered_set<int> visited;
+    void Walk() { for (int v : visited) Use(v); }
+  )cc";
+  EXPECT_TRUE(Rules("src/tensor/x.cc", non_result).empty());
+}
+
+// --------------------------------------------------------- suppressions ----
+
+TEST(SuppressionTest, TrailingAndPrecedingCommentsSuppress) {
+  EXPECT_TRUE(
+      Rules("src/cot/x.cc",
+            "int v = std::rand();  // vsd-lint: allow(raw-rand) legacy\n")
+          .empty());
+  EXPECT_TRUE(Rules("src/cot/x.cc",
+                    "// vsd-lint: allow(raw-rand) reason here\n"
+                    "int v = std::rand();\n")
+                  .empty());
+}
+
+TEST(SuppressionTest, OnlyNamedRuleIsSuppressed) {
+  const std::string src =
+      "int v = std::rand();  // vsd-lint: allow(float-eq)\n";
+  EXPECT_TRUE(HasRule(Rules("src/cot/x.cc", src), "raw-rand"));
+}
+
+// ---------------------------------------------------------------- misc -----
+
+TEST(FindingTest, ToStringIsClickable) {
+  Finding f{"src/cot/x.cc", 12, "raw-rand", "msg"};
+  EXPECT_EQ(f.ToString(), "src/cot/x.cc:12: [raw-rand] msg");
+}
+
+TEST(AllRulesTest, NamesAreStable) {
+  const std::vector<std::string> expected = {
+      "raw-rand",     "rng-fork",      "float-eq",
+      "header-guard", "include-order", "unordered-iter",
+  };
+  EXPECT_EQ(AllRules(), expected);
+}
+
+// The enforcement test: the real tree must lint clean. New code that trips
+// a rule either gets fixed or carries an explicit, reasoned suppression.
+TEST(MetaTest, RepoSourceTreeIsLintClean) {
+  const std::vector<Finding> findings =
+      LintTree(VSD_SOURCE_DIR, {"src", "bench", "tools", "tests"});
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.ToString();
+  }
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace
+}  // namespace vsd::lint

@@ -6,9 +6,9 @@
 #include <fstream>
 
 #include "common/rng.h"
+#include "data/generator.h"
 #include "img/pgm.h"
 #include "nn/layers.h"
-#include "data/generator.h"
 #include "vlm/foundation_model.h"
 
 namespace vsd {

@@ -2,6 +2,7 @@
 // prints the key Table-I rows on one UVSD holdout to tune constants.
 #include <cstdio>
 #include <string>
+
 #include "baselines/ding_fusion.h"
 #include "baselines/marlin.h"
 #include "baselines/zero_shot_lfm.h"

@@ -1,0 +1,57 @@
+// vsd_lint: repo-specific static analysis for the vsd codebase.
+//
+// Enforces the determinism and error-handling invariants the metrics tables
+// depend on (see docs/INTERNALS.md, "Static analysis & sanitizers"):
+// no raw std:: randomness outside src/common/rng.*, no shared-Rng draws
+// inside ParallelFor bodies, no exact float comparison in metric kernels,
+// header hygiene, and no unordered-container iteration in result paths.
+//
+// Usage:
+//   vsd_lint [--root DIR] [SUBDIR...]
+//
+// With no SUBDIRs, lints src bench tools tests under --root (default: the
+// current directory). Exit code 0 = clean, 1 = findings, 2 = usage error.
+// Suppress a finding with `// vsd-lint: allow(<rule>)` on the offending
+// line or the line above (always include a reason in the comment).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> subdirs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const std::string& rule : vsd::lint::AllRules()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: vsd_lint [--root DIR] [--list-rules] [SUBDIR...]\n");
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "vsd_lint: unknown flag '%s'\n", argv[i]);
+      return 2;
+    } else {
+      subdirs.push_back(argv[i]);
+    }
+  }
+  if (subdirs.empty()) subdirs = {"src", "bench", "tools", "tests"};
+
+  const std::vector<vsd::lint::Finding> findings =
+      vsd::lint::LintTree(root, subdirs);
+  for (const auto& f : findings) {
+    std::printf("%s\n", f.ToString().c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "vsd_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
