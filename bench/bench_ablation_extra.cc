@@ -5,6 +5,7 @@
 //   (c) number of SLIC segments in the faithfulness protocol.
 //
 // Usage: bench_ablation_extra [--quick] [--seed S] [--threads N]
+//                             [--batch N]
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -21,6 +22,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchOptions options = ParseBenchArgs(argc, argv);
+  PerfTimer timer;
   std::printf("=== Extension ablations (%s) ===\n",
               options.quick ? "quick" : "full");
   // These sweeps use the smaller RSL-sim to keep the grid affordable.
@@ -114,6 +116,8 @@ int Main(int argc, char** argv) {
                 table.ToString().c_str());
     (void)table.WriteCsv("ablation_segments.csv");
   }
+  WriteBenchPerfJson("ablation_extra", timer.Seconds(), test.size(),
+                     options);
   return 0;
 }
 

@@ -5,7 +5,7 @@
 // (BERT stand-in). The paper's claim: description similarity separates
 // the two groups better.
 //
-// Usage: bench_fig7 [--quick] [--seed S] [--threads N]
+// Usage: bench_fig7 [--quick] [--seed S] [--threads N] [--batch N]
 #include <cmath>
 #include <cstdio>
 
@@ -22,6 +22,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchOptions options = ParseBenchArgs(argc, argv);
+  PerfTimer timer;
   std::printf("=== Figure 7: similarity separation of helpful vs unhelpful"
               " examples (%s) ===\n",
               options.quick ? "quick" : "full");
@@ -97,6 +98,8 @@ int Main(int argc, char** argv) {
   std::printf("helpful=%zu unhelpful=%zu probes\n", helpful_vision.size(),
               unhelpful_vision.size());
   (void)table.WriteCsv("fig7.csv");
+  WriteBenchPerfJson("fig7", timer.Seconds(),
+                     static_cast<int64_t>(query_ids.size()), options);
   return 0;
 }
 

@@ -3,7 +3,7 @@
 // retrieval method. The paper's claim: similarity retrieval benefits from
 // larger pools while random does not.
 //
-// Usage: bench_fig8 [--quick] [--seed S] [--threads N]
+// Usage: bench_fig8 [--quick] [--seed S] [--threads N] [--batch N]
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -19,6 +19,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchOptions options = ParseBenchArgs(argc, argv);
+  PerfTimer timer;
   std::printf("=== Figure 8: retrieval pool size sweep on RSL (%s) ===\n",
               options.quick ? "quick" : "full");
   BenchData data = MakeBenchData(options);
@@ -67,6 +68,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n%s\n", table.ToString().c_str());
   (void)table.WriteCsv("fig8.csv");
+  WriteBenchPerfJson("fig8", timer.Seconds(), test.size(), options);
   return 0;
 }
 

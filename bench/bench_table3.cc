@@ -3,6 +3,7 @@
 // (chain without the Eq. 2 facial-action instruction tuning) vs Ours.
 //
 // Usage: bench_table3 [--quick] [--folds N] [--seed S] [--threads N]
+//                     [--batch N]
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -30,6 +31,7 @@ core::Metrics EvaluateVariant(const cot::ChainConfig& chain,
 
 int Main(int argc, char** argv) {
   const BenchOptions options = ParseBenchArgs(argc, argv);
+  PerfTimer timer;
   std::printf("=== Table III: chain-reasoning ablation (%s, %d-fold) ===\n",
               options.quick ? "quick" : "full", options.folds);
   BenchData data = MakeBenchData(options);
@@ -57,6 +59,8 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n%s\n", table.ToString().c_str());
   (void)table.WriteCsv("table3.csv");
+  WriteBenchPerfJson("table3", timer.Seconds(),
+                     data.uvsd.size() + data.rsl.size(), options);
   return 0;
 }
 

@@ -2,7 +2,7 @@
 // Top-1/2/3 accuracy drops of the self-explained rationale for "w/o
 // Chain", "w/o learn des." and Ours.
 //
-// Usage: bench_table4 [--quick] [--seed S] [--threads N]
+// Usage: bench_table4 [--quick] [--seed S] [--threads N] [--batch N]
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -15,6 +15,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchOptions options = ParseBenchArgs(argc, argv);
+  PerfTimer timer;
   std::printf("=== Table IV: rationale ablation on chain reasoning (%s)"
               " ===\n",
               options.quick ? "quick" : "full");
@@ -62,6 +63,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n%s\n", table.ToString().c_str());
   (void)table.WriteCsv("table4.csv");
+  WriteBenchPerfJson("table4", timer.Seconds(), 2 * eval_samples, options);
   return 0;
 }
 

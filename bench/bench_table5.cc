@@ -4,6 +4,7 @@
 // re-sampling instead of reflection) vs Ours.
 //
 // Usage: bench_table5 [--quick] [--folds N] [--seed S] [--threads N]
+//                     [--batch N]
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -31,6 +32,7 @@ core::Metrics EvaluateVariant(const cot::ChainConfig& chain,
 
 int Main(int argc, char** argv) {
   const BenchOptions options = ParseBenchArgs(argc, argv);
+  PerfTimer timer;
   std::printf("=== Table V: self-refine ablation (%s, %d-fold) ===\n",
               options.quick ? "quick" : "full", options.folds);
   BenchData data = MakeBenchData(options);
@@ -58,6 +60,8 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n%s\n", table.ToString().c_str());
   (void)table.WriteCsv("table5.csv");
+  WriteBenchPerfJson("table5", timer.Seconds(),
+                     data.uvsd.size() + data.rsl.size(), options);
   return 0;
 }
 

@@ -2,7 +2,7 @@
 // Top-1/2/3 accuracy drops of the rationale for "w/o Refine",
 // "w/o Reflection", and Ours.
 //
-// Usage: bench_table6 [--quick] [--seed S] [--threads N]
+// Usage: bench_table6 [--quick] [--seed S] [--threads N] [--batch N]
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -15,6 +15,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchOptions options = ParseBenchArgs(argc, argv);
+  PerfTimer timer;
   std::printf("=== Table VI: rationale ablation on self-refine learning"
               " (%s) ===\n",
               options.quick ? "quick" : "full");
@@ -62,6 +63,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n%s\n", table.ToString().c_str());
   (void)table.WriteCsv("table6.csv");
+  WriteBenchPerfJson("table6", timer.Seconds(), 2 * eval_samples, options);
   return 0;
 }
 

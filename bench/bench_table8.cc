@@ -3,7 +3,7 @@
 // (Sec. IV-G): describe with I1, reflect and keep the new description only
 // when self-verification finds it more faithful, then assess with I2.
 //
-// Usage: bench_table8 [--quick] [--seed S] [--threads N]
+// Usage: bench_table8 [--quick] [--seed S] [--threads N] [--batch N]
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -17,6 +17,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchOptions options = ParseBenchArgs(argc, argv);
+  PerfTimer timer;
   std::printf("=== Table VIII: off-the-shelf LFMs + our test-time scheme"
               " (%s) ===\n",
               options.quick ? "quick" : "full");
@@ -66,6 +67,8 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n%s\n", table.ToString().c_str());
   (void)table.WriteCsv("table8.csv");
+  WriteBenchPerfJson("table8", timer.Seconds(),
+                     data.uvsd.size() + data.rsl.size(), options);
   return 0;
 }
 

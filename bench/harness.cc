@@ -4,7 +4,10 @@
 #include <cstring>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
+#include <utility>
 
+#include "common/batching.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "core/evaluation.h"
@@ -31,10 +34,43 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       options.threads = std::atoi(argv[++i]);
       if (options.threads < 1) options.threads = 1;
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      options.batch = std::atoi(argv[++i]);
+      if (options.batch < 1) options.batch = 1;
     }
   }
   if (options.threads > 0) ThreadPool::SetGlobalThreads(options.threads);
+  if (options.batch > 0) SetDefaultBatchSize(options.batch);
   return options;
+}
+
+void WriteBenchPerfJson(const std::string& name, double wall_seconds,
+                        int64_t samples, const BenchOptions& options) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return;
+  }
+  const double rate =
+      wall_seconds > 0.0 ? static_cast<double>(samples) / wall_seconds : 0.0;
+  std::fprintf(file,
+               "{\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"quick\": %s,\n"
+               "  \"folds\": %d,\n"
+               "  \"seed\": %llu,\n"
+               "  \"threads\": %d,\n"
+               "  \"batch_size\": %d,\n"
+               "  \"samples\": %lld,\n"
+               "  \"wall_time_s\": %.6f,\n"
+               "  \"samples_per_sec\": %.3f\n"
+               "}\n",
+               name.c_str(), options.quick ? "true" : "false", options.folds,
+               static_cast<unsigned long long>(options.seed),
+               ThreadPool::GlobalThreads(), DefaultBatchSize(),
+               static_cast<long long>(samples), wall_seconds, rate);
+  std::fclose(file);
 }
 
 BenchData MakeBenchData(const BenchOptions& options) {
@@ -52,11 +88,19 @@ BenchData MakeBenchData(const BenchOptions& options) {
 }
 
 const vlm::FoundationModel& PretrainedBase(const BenchOptions& options) {
-  // Guarded so parallel folds can share the lazily built backbone; after
-  // construction the model is only read.
-  static std::mutex mu;
+  // Reader/writer guarded so parallel folds share the lazily built backbone
+  // without serializing on the hot path: cache hits take the shared lock
+  // (after construction the model is only read), and only a miss upgrades
+  // to the exclusive lock, re-checking in case another thread built it
+  // while we waited.
+  static std::shared_mutex mu;
   static std::map<uint64_t, std::unique_ptr<vlm::FoundationModel>> cache;
-  std::lock_guard<std::mutex> lock(mu);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu);
+    auto it = cache.find(options.seed);
+    if (it != cache.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu);
   auto it = cache.find(options.seed);
   if (it == cache.end()) {
     std::fprintf(stderr, "[bench] pretraining generalist backbone...\n");
@@ -74,10 +118,16 @@ const vlm::FoundationModel& PretrainedBase(const BenchOptions& options) {
 
 const vlm::FoundationModel& ApiModel(vlm::ApiModelKind kind,
                                      const BenchOptions& options) {
-  static std::mutex mu;
+  // Same reader/writer discipline as PretrainedBase.
+  static std::shared_mutex mu;
   static std::map<int, std::unique_ptr<vlm::FoundationModel>> cache;
   const int key = static_cast<int>(kind);
-  std::lock_guard<std::mutex> lock(mu);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu);
   auto it = cache.find(key);
   if (it == cache.end()) {
     std::fprintf(stderr, "[bench] pretraining %s...\n",
@@ -169,6 +219,26 @@ explain::ClassifierFn ModelClassifier(const vlm::FoundationModel& model,
   };
 }
 
+explain::BatchClassifierFn ModelBatchClassifier(
+    const vlm::FoundationModel& model, const data::VideoSample& sample,
+    bool use_chain) {
+  face::AuMask description{};
+  if (use_chain) {
+    const auto probs = model.DescribeProbs(sample);
+    for (int j = 0; j < face::kNumAus; ++j) description[j] = probs[j] > 0.5;
+  }
+  const img::Image neutral = sample.neutral_frame;
+  return [&model, description,
+          neutral](std::span<const img::Image> frames) {
+    std::vector<const img::Image*> expressive;
+    expressive.reserve(frames.size());
+    for (const auto& frame : frames) expressive.push_back(&frame);
+    // Shared-neutral batch: the neutral frame is encoded once per call.
+    return model.AssessProbStressedWithFramesBatch(expressive, neutral,
+                                                   description);
+  };
+}
+
 std::vector<int> RationaleToSegments(const std::vector<int>& rationale,
                                      const img::Segmentation& segmentation) {
   std::vector<int> segments;
@@ -208,23 +278,40 @@ std::vector<double> RationaleDrops(
     const BenchOptions& options) {
   InterpContext context = BuildInterpContext(samples);
   cot::ChainPipeline pipeline(&model, chain);
-  // Sample-parallel: each sample already derives its own Rng from its
-  // index, so the serial and parallel runs are identical.
-  const std::vector<explain::ExplainedSample> explained =
-      ParallelMap<explain::ExplainedSample>(
-          samples.size(), [&](int64_t i) {
-            const auto* sample = samples[i];
-            Rng rng(options.seed + 91 * i);
-            const auto output = pipeline.Run(*sample, &rng);
-            explain::ExplainedSample e;
-            e.image = &sample->expressive_frame;
-            e.segmentation = &context.segmentations[i];
-            e.classifier = ModelClassifier(model, *sample, chain.use_chain);
-            e.true_label = sample->stress_label;
-            e.ranked_segments = RationaleToSegments(
-                output.highlight.ranked_aus, context.segmentations[i]);
-            return e;
-          });
+  const int64_t n = static_cast<int64_t>(samples.size());
+  const int batch_size = DefaultBatchSize();
+  std::vector<explain::ExplainedSample> explained(n);
+  // Batch-parallel chain runs: each sample still derives its own Rng from
+  // its index (the exact streams of the per-sample loop), and each batch
+  // writes its own index range, so the drops are bit-identical for every
+  // batch size and thread count.
+  ParallelFor(NumBatches(n, batch_size), [&](int64_t b) {
+    const auto [begin, end] = BatchBounds(n, batch_size, b);
+    std::vector<const data::VideoSample*> batch(samples.begin() + begin,
+                                                samples.begin() + end);
+    std::vector<Rng> rngs;
+    rngs.reserve(end - begin);
+    for (int64_t i = begin; i < end; ++i) {
+      rngs.emplace_back(options.seed + 91 * i);
+    }
+    std::vector<Rng*> rng_ptrs;
+    rng_ptrs.reserve(rngs.size());
+    for (auto& rng : rngs) rng_ptrs.push_back(&rng);
+    const std::vector<cot::ChainOutput> outputs =
+        pipeline.RunBatch(batch, rng_ptrs);
+    for (int64_t i = begin; i < end; ++i) {
+      const auto* sample = samples[i];
+      explain::ExplainedSample e;
+      e.image = &sample->expressive_frame;
+      e.segmentation = &context.segmentations[i];
+      e.classifier = ModelClassifier(model, *sample, chain.use_chain);
+      e.true_label = sample->stress_label;
+      e.ranked_segments =
+          RationaleToSegments(outputs[i - begin].highlight.ranked_aus,
+                              context.segmentations[i]);
+      explained[i] = std::move(e);
+    }
+  });
   Rng drop_rng(options.seed ^ 0xD0D0);
   return TopKAccuracyDrop(explained, {1, 2, 3}, kDisturbNoise, &drop_rng);
 }

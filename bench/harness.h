@@ -1,6 +1,7 @@
 #ifndef VSD_BENCH_HARNESS_H_
 #define VSD_BENCH_HARNESS_H_
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
@@ -25,17 +26,42 @@ namespace vsd::bench {
 ///   --seed S       master seed
 ///   --threads N    worker threads (default: VSD_THREADS env or 1).
 ///                  Output is byte-identical for every thread count.
+///   --batch N      inference batch size (default: VSD_BATCH env or 32).
+///                  Output is byte-identical for every batch size.
 struct BenchOptions {
   bool quick = false;
   int folds = 2;
   uint64_t seed = 20250706;
   int threads = 0;  ///< 0 = keep the VSD_THREADS/global default.
+  int batch = 0;    ///< 0 = keep the VSD_BATCH/global default.
 };
 
 /// Parses the shared flags. As a side effect, sizes the global thread pool
-/// (`ThreadPool::SetGlobalThreads`) when --threads is given, so every
-/// parallel loop downstream picks it up.
+/// (`ThreadPool::SetGlobalThreads`) when --threads is given and the process
+/// batch size (`SetDefaultBatchSize`) when --batch is given, so every
+/// parallel loop and batched forward downstream picks them up.
 BenchOptions ParseBenchArgs(int argc, char** argv);
+
+/// Wall-clock timer for the machine-readable perf sidecars.
+class PerfTimer {
+ public:
+  PerfTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Writes `BENCH_<name>.json` next to the CSVs: wall time, throughput, and
+/// the batch/thread configuration, so perf runs are machine-comparable.
+/// `samples` is the number of sample evaluations the bench is sized by
+/// (dataset rows scored, not model forwards).
+void WriteBenchPerfJson(const std::string& name, double wall_seconds,
+                        int64_t samples, const BenchOptions& options);
 
 /// The two stress datasets (full-size unless quick) plus the AU dataset.
 struct BenchData {
@@ -94,6 +120,14 @@ InterpContext BuildInterpContext(
 explain::ClassifierFn ModelClassifier(const vlm::FoundationModel& model,
                                       const data::VideoSample& sample,
                                       bool use_chain);
+
+/// Batched `ModelClassifier`: one shared-neutral
+/// `AssessProbStressedWithFramesBatch` forward per perturbation batch.
+/// Entry i is bit-identical to the `ModelClassifier` probability for the
+/// same frame, so explainers may use either interchangeably.
+explain::BatchClassifierFn ModelBatchClassifier(
+    const vlm::FoundationModel& model, const data::VideoSample& sample,
+    bool use_chain);
 
 /// Maps an ordered AU rationale to ranked SLIC segments: each cue selects
 /// the not-yet-used segment overlapping its facial region the most (the

@@ -1,6 +1,7 @@
 #ifndef VSD_BASELINES_BASELINE_H_
 #define VSD_BASELINES_BASELINE_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,9 +26,35 @@ class StressClassifier {
   virtual double PredictProbStressed(
       const data::VideoSample& sample) const = 0;
 
+  /// p(stressed) for a batch. The default loops over
+  /// `PredictProbStressed`; network baselines override it with a single
+  /// batched forward. Entry i must stay bit-identical to
+  /// `PredictProbStressed(*batch[i])` at every batch size — the batched
+  /// path is a throughput knob, never a semantics knob.
+  virtual std::vector<double> PredictProbStressedBatch(
+      std::span<const data::VideoSample* const> batch) const {
+    std::vector<double> probs;
+    probs.reserve(batch.size());
+    for (const data::VideoSample* sample : batch) {
+      probs.push_back(PredictProbStressed(*sample));
+    }
+    return probs;
+  }
+
   /// Hard decision (threshold 0.5).
   int Predict(const data::VideoSample& sample) const {
     return PredictProbStressed(sample) >= 0.5 ? 1 : 0;
+  }
+
+  /// Batched hard decisions (threshold 0.5 on the batched probabilities).
+  std::vector<int> PredictBatch(
+      std::span<const data::VideoSample* const> batch) const {
+    const std::vector<double> probs = PredictProbStressedBatch(batch);
+    std::vector<int> labels(probs.size());
+    for (size_t i = 0; i < probs.size(); ++i) {
+      labels[i] = probs[i] >= 0.5 ? 1 : 0;
+    }
+    return labels;
   }
 };
 

@@ -19,12 +19,26 @@ DingFusion::DingFusion(const vlm::FoundationModel* vlm, int epochs)
 
 std::vector<float> DingFusion::Features(
     const data::VideoSample& sample) const {
-  std::vector<float> features = vlm_->VideoFeature(sample).ToVector();
+  const data::VideoSample* one[] = {&sample};
+  return FeatureRows(one).ToVector();
+}
+
+tensor::Tensor DingFusion::FeatureRows(
+    std::span<const data::VideoSample* const> batch) const {
+  const int n = static_cast<int>(batch.size());
+  const int vdim = 2 * vlm_->config().vision_dim;
+  Tensor rows({n, feature_dim_});
+  Tensor video = vlm_->VideoFeatureRows(batch);
   // World-knowledge channel: the frozen VLM's facial-action description
   // probabilities.
-  const auto probs = vlm_->DescribeProbs(sample);
-  for (double p : probs) features.push_back(static_cast<float>(p));
-  return features;
+  const auto probs = vlm_->DescribeProbsBatch(batch);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < vdim; ++j) rows.at(i, j) = video.at(i, j);
+    for (int k = 0; k < face::kNumAus; ++k) {
+      rows.at(i, vdim + k) = static_cast<float>(probs[i][k]);
+    }
+  }
+  return rows;
 }
 
 void DingFusion::Fit(const data::Dataset& train, Rng* rng) {
@@ -63,11 +77,20 @@ void DingFusion::Fit(const data::Dataset& train, Rng* rng) {
 
 double DingFusion::PredictProbStressed(
     const data::VideoSample& sample) const {
-  const auto f = Features(sample);
-  Tensor x({1, feature_dim_});
-  for (int j = 0; j < feature_dim_; ++j) x.at(0, j) = f[j];
-  Var logits = fusion_->Forward(Var(x));
-  return vsd::Sigmoid(logits.value().at(0, 1) - logits.value().at(0, 0));
+  const data::VideoSample* one[] = {&sample};
+  return PredictProbStressedBatch(one).front();
+}
+
+std::vector<double> DingFusion::PredictProbStressedBatch(
+    std::span<const data::VideoSample* const> batch) const {
+  Var logits = fusion_->Forward(Var(FeatureRows(batch)));
+  std::vector<double> probs(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int row = static_cast<int>(i);
+    probs[i] = vsd::Sigmoid(logits.value().at(row, 1) -
+                            logits.value().at(row, 0));
+  }
+  return probs;
 }
 
 }  // namespace vsd::baselines

@@ -27,9 +27,14 @@ class DingFusion : public StressClassifier {
   std::string name() const override { return "Ding et al."; }
   void Fit(const data::Dataset& train, Rng* rng) override;
   double PredictProbStressed(const data::VideoSample& sample) const override;
+  /// Batched VLM feature/description extraction + one fusion forward.
+  std::vector<double> PredictProbStressedBatch(
+      std::span<const data::VideoSample* const> batch) const override;
 
  private:
   std::vector<float> Features(const data::VideoSample& sample) const;
+  tensor::Tensor FeatureRows(
+      std::span<const data::VideoSample* const> batch) const;
 
   const vlm::FoundationModel* vlm_;
   int epochs_;

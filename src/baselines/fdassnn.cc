@@ -54,11 +54,27 @@ void Fdassnn::Fit(const data::Dataset& train, Rng* rng) {
 }
 
 double Fdassnn::PredictProbStressed(const data::VideoSample& sample) const {
-  const auto f = Features(sample);
-  Tensor x({1, 2 * face::kNumAus});
-  for (size_t j = 0; j < f.size(); ++j) x.at(0, static_cast<int>(j)) = f[j];
-  nn::Var logits = mlp_->Forward(nn::Var(x));
-  return vsd::Sigmoid(logits.value().at(0, 1) - logits.value().at(0, 0));
+  const data::VideoSample* one[] = {&sample};
+  return PredictProbStressedBatch(one).front();
+}
+
+std::vector<double> Fdassnn::PredictProbStressedBatch(
+    std::span<const data::VideoSample* const> batch) const {
+  const int n = static_cast<int>(batch.size());
+  Tensor xs({n, 2 * face::kNumAus});
+  for (int i = 0; i < n; ++i) {
+    const auto f = Features(*batch[i]);
+    for (size_t j = 0; j < f.size(); ++j) {
+      xs.at(i, static_cast<int>(j)) = f[j];
+    }
+  }
+  nn::Var logits = mlp_->Forward(nn::Var(xs));
+  std::vector<double> probs(batch.size());
+  for (int i = 0; i < n; ++i) {
+    probs[i] = vsd::Sigmoid(logits.value().at(i, 1) -
+                            logits.value().at(i, 0));
+  }
+  return probs;
 }
 
 }  // namespace vsd::baselines

@@ -22,6 +22,9 @@ class Fdassnn : public StressClassifier {
   std::string name() const override { return "FDASSNN"; }
   void Fit(const data::Dataset& train, Rng* rng) override;
   double PredictProbStressed(const data::VideoSample& sample) const override;
+  /// One MLP forward over the stacked AU-feature rows of the batch.
+  std::vector<double> PredictProbStressedBatch(
+      std::span<const data::VideoSample* const> batch) const override;
 
  private:
   std::vector<float> Features(const data::VideoSample& sample) const;

@@ -20,6 +20,9 @@ class JeonAttention : public StressClassifier {
   std::string name() const override { return "Jeon et al."; }
   void Fit(const data::Dataset& train, Rng* rng) override;
   double PredictProbStressed(const data::VideoSample& sample) const override;
+  /// One attention-fused forward over the whole batch.
+  std::vector<double> PredictProbStressedBatch(
+      std::span<const data::VideoSample* const> batch) const override;
 
  private:
   nn::Var Forward(const std::vector<const data::VideoSample*>& batch) const;

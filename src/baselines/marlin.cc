@@ -109,8 +109,20 @@ Var Marlin::PairLogits(
 }
 
 double Marlin::PredictProbStressed(const data::VideoSample& sample) const {
-  Var logits = PairLogits({&sample});
-  return vsd::Sigmoid(logits.value().at(0, 1) - logits.value().at(0, 0));
+  const data::VideoSample* one[] = {&sample};
+  return PredictProbStressedBatch(one).front();
+}
+
+std::vector<double> Marlin::PredictProbStressedBatch(
+    std::span<const data::VideoSample* const> batch) const {
+  Var logits = PairLogits({batch.begin(), batch.end()});
+  std::vector<double> probs(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int row = static_cast<int>(i);
+    probs[i] = vsd::Sigmoid(logits.value().at(row, 1) -
+                            logits.value().at(row, 0));
+  }
+  return probs;
 }
 
 }  // namespace vsd::baselines

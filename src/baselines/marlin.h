@@ -22,6 +22,9 @@ class Marlin : public StressClassifier {
   std::string name() const override { return "MARLIN"; }
   void Fit(const data::Dataset& train, Rng* rng) override;
   double PredictProbStressed(const data::VideoSample& sample) const override;
+  /// One encoder forward over the batch's interleaved frame pairs.
+  std::vector<double> PredictProbStressedBatch(
+      std::span<const data::VideoSample* const> batch) const override;
 
  private:
   nn::Var PairLogits(const std::vector<const data::VideoSample*>& batch)

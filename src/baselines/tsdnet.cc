@@ -94,8 +94,20 @@ void Tsdnet::Fit(const data::Dataset& train, Rng* rng) {
 }
 
 double Tsdnet::PredictProbStressed(const data::VideoSample& sample) const {
-  Var logits = Forward({&sample});
-  return vsd::Sigmoid(logits.value().at(0, 1) - logits.value().at(0, 0));
+  const data::VideoSample* one[] = {&sample};
+  return PredictProbStressedBatch(one).front();
+}
+
+std::vector<double> Tsdnet::PredictProbStressedBatch(
+    std::span<const data::VideoSample* const> batch) const {
+  Var logits = Forward({batch.begin(), batch.end()});
+  std::vector<double> probs(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int row = static_cast<int>(i);
+    probs[i] = vsd::Sigmoid(logits.value().at(row, 1) -
+                            logits.value().at(row, 0));
+  }
+  return probs;
 }
 
 }  // namespace vsd::baselines

@@ -1,5 +1,6 @@
 #include "baselines/zero_shot_lfm.h"
 
+#include "common/batching.h"
 #include "common/logging.h"
 
 namespace vsd::baselines {
@@ -12,9 +13,31 @@ ZeroShotLfm::ZeroShotLfm(const vlm::FoundationModel* model,
 
 double ZeroShotLfm::PredictProbStressed(
     const data::VideoSample& sample) const {
-  // Direct prompt, no description context (the Table I protocol).
-  return model_->AssessProbStressedWithFrames(
-      sample.expressive_frame, sample.neutral_frame, face::AuMask{});
+  const data::VideoSample* one[] = {&sample};
+  return PredictProbStressedBatch(one).front();
+}
+
+std::vector<double> ZeroShotLfm::PredictProbStressedBatch(
+    std::span<const data::VideoSample* const> batch) const {
+  // Direct prompt, no description context (the Table I protocol). Chunked
+  // so one oversized batch cannot blow up the packed-image tensor.
+  const int64_t n = static_cast<int64_t>(batch.size());
+  const int batch_size = DefaultBatchSize();
+  std::vector<double> probs(batch.size());
+  for (int64_t b = 0; b < NumBatches(n, batch_size); ++b) {
+    const auto [begin, end] = BatchBounds(n, batch_size, b);
+    std::vector<const img::Image*> expressive;
+    std::vector<const img::Image*> neutral;
+    for (int64_t i = begin; i < end; ++i) {
+      expressive.push_back(&batch[i]->expressive_frame);
+      neutral.push_back(&batch[i]->neutral_frame);
+    }
+    const std::vector<double> chunk =
+        model_->AssessProbStressedWithFramesBatch(expressive, neutral,
+                                                  face::AuMask{});
+    for (int64_t i = begin; i < end; ++i) probs[i] = chunk[i - begin];
+  }
+  return probs;
 }
 
 }  // namespace vsd::baselines

@@ -21,6 +21,9 @@ class ZeroShotLfm : public StressClassifier {
   std::string name() const override { return display_name_; }
   void Fit(const data::Dataset& train, Rng* rng) override {}  // zero-shot
   double PredictProbStressed(const data::VideoSample& sample) const override;
+  /// One batched frame-pair assess forward for the direct prompt.
+  std::vector<double> PredictProbStressedBatch(
+      std::span<const data::VideoSample* const> batch) const override;
 
  private:
   const vlm::FoundationModel* model_;

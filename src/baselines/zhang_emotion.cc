@@ -1,5 +1,6 @@
 #include "baselines/zhang_emotion.h"
 
+#include "common/batching.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 
@@ -13,23 +14,46 @@ ZhangEmotionRule::ZhangEmotionRule(
 
 double ZhangEmotionRule::NegativityScore(
     const data::VideoSample& sample) const {
+  const data::VideoSample* one[] = {&sample};
+  return NegativityScoreBatch(one).front();
+}
+
+std::vector<double> ZhangEmotionRule::NegativityScoreBatch(
+    std::span<const data::VideoSample* const> batch) const {
   // Per-frame negative-emotion probability from the frozen emotion model;
   // the expressive frame carries double weight (it is the "emotion peak"
-  // frame the rule keys on).
-  const double p_expressive = emotion_model_->AssessProbStressedWithFrames(
-      sample.expressive_frame, sample.expressive_frame, face::AuMask{});
-  const double p_neutral = emotion_model_->AssessProbStressedWithFrames(
-      sample.neutral_frame, sample.neutral_frame, face::AuMask{});
-  return (2.0 * p_expressive + p_neutral) / 3.0;
+  // frame the rule keys on). Chunked so one oversized batch cannot blow
+  // up the packed-image tensor.
+  const int64_t n = static_cast<int64_t>(batch.size());
+  const int batch_size = DefaultBatchSize();
+  std::vector<double> scores(batch.size());
+  for (int64_t b = 0; b < NumBatches(n, batch_size); ++b) {
+    const auto [begin, end] = BatchBounds(n, batch_size, b);
+    std::vector<const img::Image*> expressive;
+    std::vector<const img::Image*> neutral;
+    for (int64_t i = begin; i < end; ++i) {
+      expressive.push_back(&batch[i]->expressive_frame);
+      neutral.push_back(&batch[i]->neutral_frame);
+    }
+    const std::vector<double> p_expressive =
+        emotion_model_->AssessProbStressedWithFramesBatch(
+            expressive, expressive, face::AuMask{});
+    const std::vector<double> p_neutral =
+        emotion_model_->AssessProbStressedWithFramesBatch(
+            neutral, neutral, face::AuMask{});
+    for (int64_t i = begin; i < end; ++i) {
+      scores[i] = (2.0 * p_expressive[i - begin] + p_neutral[i - begin]) / 3.0;
+    }
+  }
+  return scores;
 }
 
 void ZhangEmotionRule::Fit(const data::Dataset& train, Rng* rng) {
   // Only the ratio threshold is calibrated (grid search on train).
-  std::vector<double> scores;
-  scores.reserve(train.size());
-  for (const auto& sample : train.samples) {
-    scores.push_back(NegativityScore(sample));
-  }
+  std::vector<const data::VideoSample*> samples;
+  samples.reserve(train.samples.size());
+  for (const auto& sample : train.samples) samples.push_back(&sample);
+  const std::vector<double> scores = NegativityScoreBatch(samples);
   double best_threshold = 2.0 / 3.0;
   int best_correct = -1;
   for (double threshold = 0.2; threshold <= 0.8; threshold += 0.02) {
@@ -49,6 +73,13 @@ void ZhangEmotionRule::Fit(const data::Dataset& train, Rng* rng) {
 double ZhangEmotionRule::PredictProbStressed(
     const data::VideoSample& sample) const {
   return vsd::Sigmoid(8.0 * (NegativityScore(sample) - threshold_));
+}
+
+std::vector<double> ZhangEmotionRule::PredictProbStressedBatch(
+    std::span<const data::VideoSample* const> batch) const {
+  std::vector<double> probs = NegativityScoreBatch(batch);
+  for (double& p : probs) p = vsd::Sigmoid(8.0 * (p - threshold_));
+  return probs;
 }
 
 }  // namespace vsd::baselines

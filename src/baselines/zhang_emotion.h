@@ -23,9 +23,15 @@ class ZhangEmotionRule : public StressClassifier {
   std::string name() const override { return "Zhang et al."; }
   void Fit(const data::Dataset& train, Rng* rng) override;
   double PredictProbStressed(const data::VideoSample& sample) const override;
+  /// Two batched frame-pair forwards (expressive peak + neutral) instead
+  /// of two per sample, chunked at `DefaultBatchSize()`.
+  std::vector<double> PredictProbStressedBatch(
+      std::span<const data::VideoSample* const> batch) const override;
 
  private:
   double NegativityScore(const data::VideoSample& sample) const;
+  std::vector<double> NegativityScoreBatch(
+      std::span<const data::VideoSample* const> batch) const;
 
   const vlm::FoundationModel* emotion_model_;
   double threshold_ = 2.0 / 3.0;

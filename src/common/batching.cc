@@ -1,0 +1,65 @@
+#include "common/batching.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace vsd {
+
+namespace {
+
+constexpr int kFallbackBatchSize = 32;
+
+int EnvBatchSize() {
+  const char* env = std::getenv("VSD_BATCH");
+  if (env == nullptr) return kFallbackBatchSize;
+  const int parsed = std::atoi(env);
+  return parsed >= 1 ? parsed : kFallbackBatchSize;
+}
+
+/// 0 = unset (fall back to the environment); set once by
+/// SetDefaultBatchSize. Atomic so concurrent readers (parallel loops that
+/// consult the default) are race-free; writes happen on the main thread
+/// before batched work starts.
+std::atomic<int>& OverrideSlot() {
+  static std::atomic<int> override_batch{0};
+  return override_batch;
+}
+
+}  // namespace
+
+int DefaultBatchSize() {
+  const int override_batch = OverrideSlot().load(std::memory_order_relaxed);
+  if (override_batch >= 1) return override_batch;
+  static const int env_batch = EnvBatchSize();
+  return env_batch;
+}
+
+void SetDefaultBatchSize(int batch_size) {
+  OverrideSlot().store(batch_size >= 1 ? batch_size : 1,
+                       std::memory_order_relaxed);
+}
+
+int ResolveBatchSize(int batch_size) {
+  return batch_size >= 1 ? batch_size : DefaultBatchSize();
+}
+
+int64_t NumBatches(int64_t n, int batch_size) {
+  VSD_CHECK(batch_size >= 1) << "batch size must be >= 1";
+  if (n <= 0) return 0;
+  return (n + batch_size - 1) / batch_size;
+}
+
+std::pair<int64_t, int64_t> BatchBounds(int64_t n, int batch_size,
+                                        int64_t batch) {
+  VSD_CHECK(batch_size >= 1) << "batch size must be >= 1";
+  VSD_CHECK(batch >= 0 && batch < NumBatches(n, batch_size))
+      << "batch index out of range";
+  const int64_t begin = batch * batch_size;
+  const int64_t end = std::min<int64_t>(n, begin + batch_size);
+  return {begin, end};
+}
+
+}  // namespace vsd

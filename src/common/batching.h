@@ -1,0 +1,48 @@
+#ifndef VSD_COMMON_BATCHING_H_
+#define VSD_COMMON_BATCHING_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace vsd {
+
+/// \brief Process-wide inference batch size, the sibling of the global
+/// thread pool: `--batch N` (benches) or the `VSD_BATCH` environment
+/// variable sizes it once, and every batched forward downstream — pipeline
+/// prediction, baseline batches, explainer perturbation evaluation —
+/// picks it up.
+///
+/// Batch size is a pure throughput knob. Every batched op in the forward
+/// path (im2col, MatMul, elementwise maps, LayerNorm rows) computes row i
+/// from row i alone with a fixed accumulation order, so grouping N samples
+/// into one forward produces bit-identical results to N batch-of-1 runs.
+/// `tests/batch_equivalence_test.cc` pins this for batch sizes
+/// {1, 2, 7, 32} x thread counts {1, 4}.
+
+/// Current default batch size: the last `SetDefaultBatchSize` value, else
+/// the VSD_BATCH environment variable, else 32. Always >= 1.
+int DefaultBatchSize();
+
+/// Overrides the default batch size (clamped to >= 1). Call from the main
+/// thread before batched work starts (benches do this in ParseBenchArgs).
+void SetDefaultBatchSize(int batch_size);
+
+/// `batch_size` when positive, else `DefaultBatchSize()`. The idiom for
+/// APIs with a `batch_size = 0` default parameter.
+int ResolveBatchSize(int batch_size);
+
+/// Number of batches an `n`-element workload splits into at `batch_size`
+/// (ceil division; 0 when n <= 0). Depends only on (n, batch_size), never
+/// on the thread count, mirroring the `NumChunks` determinism contract.
+int64_t NumBatches(int64_t n, int batch_size);
+
+/// Half-open element range [begin, end) of batch `batch` (in
+/// [0, NumBatches(n, batch_size))). Batches are contiguous, disjoint, and
+/// cover [0, n) exactly; all but the last have exactly `batch_size`
+/// elements.
+std::pair<int64_t, int64_t> BatchBounds(int64_t n, int batch_size,
+                                        int64_t batch);
+
+}  // namespace vsd
+
+#endif  // VSD_COMMON_BATCHING_H_

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/batching.h"
 #include "common/thread_pool.h"
 
 namespace vsd::core {
@@ -23,22 +24,48 @@ Metrics EvaluatePredictor(
   return ComputeMetrics(y_true, y_pred);
 }
 
+Metrics EvaluatePredictorBatched(const BatchPredictorFn& predict,
+                                 const data::Dataset& test,
+                                 int batch_size) {
+  std::vector<int> y_true;
+  y_true.reserve(test.size());
+  for (const auto& sample : test.samples) {
+    y_true.push_back(sample.stress_label);
+  }
+  const int64_t n = test.size();
+  const int resolved = ResolveBatchSize(batch_size);
+  std::vector<int> y_pred(test.size(), 0);
+  // Batch-parallel: each batch writes its own index range, so the result
+  // is identical for every (batch size, thread count) pair.
+  ParallelFor(NumBatches(n, resolved), [&](int64_t b) {
+    const auto [begin, end] = BatchBounds(n, resolved, b);
+    std::vector<const data::VideoSample*> batch;
+    batch.reserve(end - begin);
+    for (int64_t i = begin; i < end; ++i) {
+      batch.push_back(&test.samples[i]);
+    }
+    const std::vector<int> labels = predict(batch);
+    for (int64_t i = begin; i < end; ++i) y_pred[i] = labels[i - begin];
+  });
+  return ComputeMetrics(y_true, y_pred);
+}
+
 Metrics EvaluateClassifier(const baselines::StressClassifier& classifier,
-                           const data::Dataset& test) {
-  return EvaluatePredictor(
-      [&classifier](const data::VideoSample& sample) {
-        return classifier.Predict(sample);
+                           const data::Dataset& test, int batch_size) {
+  return EvaluatePredictorBatched(
+      [&classifier](std::span<const data::VideoSample* const> batch) {
+        return classifier.PredictBatch(batch);
       },
-      test);
+      test, batch_size);
 }
 
 Metrics EvaluatePipeline(const cot::ChainPipeline& pipeline,
-                         const data::Dataset& test) {
-  return EvaluatePredictor(
-      [&pipeline](const data::VideoSample& sample) {
-        return pipeline.PredictLabel(sample);
+                         const data::Dataset& test, int batch_size) {
+  return EvaluatePredictorBatched(
+      [&pipeline](std::span<const data::VideoSample* const> batch) {
+        return pipeline.PredictLabelBatch(batch);
       },
-      test);
+      test, batch_size);
 }
 
 int NumFoldsFromEnv(int fallback) {

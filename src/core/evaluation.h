@@ -2,6 +2,8 @@
 #define VSD_CORE_EVALUATION_H_
 
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "baselines/baseline.h"
 #include "core/metrics.h"
@@ -16,13 +18,28 @@ Metrics EvaluatePredictor(
     const std::function<int(const data::VideoSample&)>& predict,
     const data::Dataset& test);
 
-/// Evaluates a Table-I style classifier.
-Metrics EvaluateClassifier(const baselines::StressClassifier& classifier,
-                           const data::Dataset& test);
+/// A batched label predictor: one label per sample pointer, entry i
+/// bit-identical to the per-sample prediction of `*batch[i]`.
+using BatchPredictorFn = std::function<std::vector<int>(
+    std::span<const data::VideoSample* const>)>;
 
-/// Evaluates a trained chain pipeline.
+/// Evaluates a batched predictor: the test set is split into batches of
+/// `batch_size` (`ResolveBatchSize`: 0 = the process default) which run in
+/// parallel across the pool, each answered by one `predict` call. Metrics
+/// are bit-identical to `EvaluatePredictor` for every batch size and
+/// thread count.
+Metrics EvaluatePredictorBatched(const BatchPredictorFn& predict,
+                                 const data::Dataset& test,
+                                 int batch_size = 0);
+
+/// Evaluates a Table-I style classifier (batched through `PredictBatch`).
+Metrics EvaluateClassifier(const baselines::StressClassifier& classifier,
+                           const data::Dataset& test, int batch_size = 0);
+
+/// Evaluates a trained chain pipeline (batched through
+/// `PredictLabelBatch`).
 Metrics EvaluatePipeline(const cot::ChainPipeline& pipeline,
-                         const data::Dataset& test);
+                         const data::Dataset& test, int batch_size = 0);
 
 /// Number of evaluation folds: reads the VSD_FOLDS environment variable
 /// (default `fallback`, the value used by the benches; the paper protocol

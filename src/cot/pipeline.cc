@@ -20,40 +20,93 @@ ChainPipeline::ChainPipeline(const vlm::FoundationModel* model,
 
 AuMask ChainPipeline::GreedyDescription(
     const data::VideoSample& sample) const {
-  AuMask mask{};
-  if (!config_.use_chain) return mask;
-  const auto probs = model_->DescribeProbs(sample);
-  for (int j = 0; j < face::kNumAus; ++j) mask[j] = probs[j] > 0.5;
-  return mask;
+  const data::VideoSample* one[] = {&sample};
+  return GreedyDescriptionBatch(one).front();
+}
+
+std::vector<AuMask> ChainPipeline::GreedyDescriptionBatch(
+    vlm::FoundationModel::SampleSpan batch) const {
+  std::vector<AuMask> masks(batch.size());
+  if (!config_.use_chain) return masks;
+  const auto probs = model_->DescribeProbsBatch(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    for (int j = 0; j < face::kNumAus; ++j) masks[i][j] = probs[i][j] > 0.5;
+  }
+  return masks;
 }
 
 ChainOutput ChainPipeline::Run(const data::VideoSample& sample,
                                Rng* rng) const {
-  ChainOutput out;
-  const AuMask description = GreedyDescription(sample);
-  out.describe.mask = description;
-  out.describe.text = text::RenderDescription(description);
-  out.describe.log_prob = model_->DescriptionLogProb(sample, description);
-  out.assess = model_->Assess(sample, description, /*temperature=*/0.0,
-                              nullptr);
-  out.highlight = model_->Highlight(sample, description, out.assess.label,
-                                    config_.rationale_length,
-                                    rng != nullptr
-                                        ? config_.highlight_temperature
-                                        : 0.0,
-                                    rng);
-  return out;
+  const data::VideoSample* one[] = {&sample};
+  Rng* rngs[] = {rng};
+  return RunBatch(one, std::span<Rng* const>(rngs)).front();
+}
+
+std::vector<ChainOutput> ChainPipeline::RunBatch(
+    vlm::FoundationModel::SampleSpan batch,
+    std::span<Rng* const> rngs) const {
+  VSD_CHECK(rngs.empty() || rngs.size() == batch.size())
+      << "RunBatch rng mismatch";
+  const std::vector<AuMask> descriptions = GreedyDescriptionBatch(batch);
+  const std::vector<double> log_probs =
+      model_->DescriptionLogProbBatch(batch, descriptions);
+  const std::vector<vlm::AssessResult> assessments =
+      model_->AssessBatch(batch, descriptions, /*temperature=*/0.0, {});
+  std::vector<int> labels(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) labels[i] = assessments[i].label;
+  // A null per-sample stream makes Highlight greedy (argmax) regardless of
+  // temperature, so passing the sampling temperature alongside null
+  // streams reproduces the single-sample `rng == nullptr ? 0.0 : ...`
+  // selection exactly.
+  const std::vector<vlm::HighlightResult> highlights = model_->HighlightBatch(
+      batch, descriptions, labels, config_.rationale_length,
+      rngs.empty() ? 0.0 : config_.highlight_temperature, rngs);
+  std::vector<ChainOutput> outs(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    outs[i].describe.mask = descriptions[i];
+    outs[i].describe.text = text::RenderDescription(descriptions[i]);
+    outs[i].describe.log_prob = log_probs[i];
+    outs[i].assess = assessments[i];
+    outs[i].highlight = highlights[i];
+  }
+  return outs;
+}
+
+std::vector<ChainOutput> ChainPipeline::RunBatch(
+    vlm::FoundationModel::SampleSpan batch, Rng* rng) const {
+  if (rng == nullptr) return RunBatch(batch, std::span<Rng* const>());
+  std::vector<Rng> streams;
+  streams.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) streams.push_back(rng->Fork());
+  std::vector<Rng*> stream_ptrs(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) stream_ptrs[i] = &streams[i];
+  return RunBatch(batch, stream_ptrs);
 }
 
 int ChainPipeline::PredictLabel(const data::VideoSample& sample) const {
-  const AuMask description = GreedyDescription(sample);
-  return model_->Assess(sample, description, 0.0, nullptr).label;
+  const data::VideoSample* one[] = {&sample};
+  return PredictLabelBatch(one).front();
 }
 
 double ChainPipeline::PredictProbStressed(
     const data::VideoSample& sample) const {
-  const AuMask description = GreedyDescription(sample);
-  return model_->AssessProbStressed(sample, description);
+  const data::VideoSample* one[] = {&sample};
+  return PredictBatch(one).front();
+}
+
+std::vector<double> ChainPipeline::PredictBatch(
+    vlm::FoundationModel::SampleSpan batch) const {
+  return model_->AssessProbStressedBatch(batch,
+                                         GreedyDescriptionBatch(batch));
+}
+
+std::vector<int> ChainPipeline::PredictLabelBatch(
+    vlm::FoundationModel::SampleSpan batch) const {
+  const std::vector<vlm::AssessResult> assessments = model_->AssessBatch(
+      batch, GreedyDescriptionBatch(batch), /*temperature=*/0.0, {});
+  std::vector<int> labels(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) labels[i] = assessments[i].label;
+  return labels;
 }
 
 ChainOutput ChainPipeline::RunWithExample(const data::VideoSample& sample,

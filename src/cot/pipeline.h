@@ -1,7 +1,9 @@
 #ifndef VSD_COT_PIPELINE_H_
 #define VSD_COT_PIPELINE_H_
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "cot/chain_config.h"
 #include "data/sample.h"
@@ -36,6 +38,32 @@ class ChainPipeline {
   int PredictLabel(const data::VideoSample& sample) const;
   double PredictProbStressed(const data::VideoSample& sample) const;
 
+  // ---- Batched inference ----
+  //
+  // Stage-wise chain execution: one Describe forward, one Assess forward,
+  // one Highlight forward for the whole batch instead of three per sample.
+  // Entry i of every batched result is bit-identical to the corresponding
+  // single-sample call (the singles above are batch-of-1 delegations).
+
+  /// Batched chain runs. `rngs` holds one highlight stream per sample
+  /// (empty = fully greedy for every sample). Entry i is bit-identical to
+  /// `Run(*batch[i], rngs[i])`.
+  std::vector<ChainOutput> RunBatch(vlm::FoundationModel::SampleSpan batch,
+                                    std::span<Rng* const> rngs) const;
+
+  /// Convenience RunBatch that forks one child stream per sample from
+  /// `rng` in index order (null = greedy for every sample).
+  std::vector<ChainOutput> RunBatch(vlm::FoundationModel::SampleSpan batch,
+                                    Rng* rng) const;
+
+  /// Batched PredictProbStressed: p_F(stressed) per sample.
+  std::vector<double> PredictBatch(
+      vlm::FoundationModel::SampleSpan batch) const;
+
+  /// Batched PredictLabel.
+  std::vector<int> PredictLabelBatch(
+      vlm::FoundationModel::SampleSpan batch) const;
+
   /// Chain run with an in-context example (Sec. IV-F): the example's label
   /// and (normalized) similarity shift the assessment.
   ChainOutput RunWithExample(const data::VideoSample& sample,
@@ -56,6 +84,10 @@ class ChainPipeline {
  private:
   /// Greedy description: AUs with p > 0.5 (empty when chain is off).
   face::AuMask GreedyDescription(const data::VideoSample& sample) const;
+  /// Batched greedy descriptions (all empty when chain is off, in which
+  /// case the describe head is not queried at all).
+  std::vector<face::AuMask> GreedyDescriptionBatch(
+      vlm::FoundationModel::SampleSpan batch) const;
 
   const vlm::FoundationModel* model_;
   ChainConfig config_;

@@ -2,10 +2,21 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace vsd::explain {
+
+BatchClassifierFn ToBatchClassifier(ClassifierFn classifier) {
+  return [classifier =
+              std::move(classifier)](std::span<const img::Image> images) {
+    std::vector<double> probs;
+    probs.reserve(images.size());
+    for (const img::Image& image : images) probs.push_back(classifier(image));
+    return probs;
+  };
+}
 
 std::vector<int> Attribution::RankedSegments() const {
   std::vector<int> order(segment_scores.size());

@@ -2,6 +2,7 @@
 #define VSD_EXPLAIN_EXPLAINER_H_
 
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,17 @@ namespace vsd::explain {
 /// perturbed) expressive frame. The non-perturbed inputs (neutral frame,
 /// description, ...) are closed over by the caller.
 using ClassifierFn = std::function<double(const img::Image&)>;
+
+/// Batched black-box classifier: p(stressed) per image, entry i
+/// bit-identical to the single-image call on `images[i]`. This is the
+/// explainers' native query surface — perturbation sets are evaluated one
+/// batch forward at a time instead of one image at a time.
+using BatchClassifierFn =
+    std::function<std::vector<double>(std::span<const img::Image>)>;
+
+/// Wraps a single-image classifier as a (looping) batch classifier; the
+/// back-compat adapter behind `Explainer::Explain(ClassifierFn, ...)`.
+BatchClassifierFn ToBatchClassifier(ClassifierFn classifier);
 
 /// Attribution over superpixel segments, higher = more important.
 struct Attribution {
@@ -37,10 +49,23 @@ class Explainer {
   virtual std::string name() const = 0;
 
   /// Explains `classifier` at `image` over the given segmentation.
-  virtual Attribution Explain(const ClassifierFn& classifier,
+  /// Perturbations are generated per-index (one forked stream each) and
+  /// evaluated in batches of `DefaultBatchSize()`, so attributions are
+  /// bit-identical at every batch size and thread count.
+  virtual Attribution Explain(const BatchClassifierFn& classifier,
                               const img::Image& image,
                               const img::Segmentation& segmentation,
                               Rng* rng) const = 0;
+
+  /// Back-compat single-image entry point: adapts `classifier` with
+  /// `ToBatchClassifier` and runs the batched overload. Derived classes
+  /// re-expose it with `using Explainer::Explain;`.
+  Attribution Explain(const ClassifierFn& classifier,
+                      const img::Image& image,
+                      const img::Segmentation& segmentation,
+                      Rng* rng) const {
+    return Explain(ToBatchClassifier(classifier), image, segmentation, rng);
+  }
 };
 
 /// Replaces every masked-out segment (mask bit 0) by the image mean; the

@@ -3,23 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/batching.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
 
 namespace vsd::explain {
 
 Attribution KernelShapExplainer::Explain(
-    const ClassifierFn& classifier, const img::Image& image,
+    const BatchClassifierFn& classifier, const img::Image& image,
     const img::Segmentation& segmentation, Rng* rng) const {
   const int d = segmentation.num_segments;
   Attribution result;
   result.segment_scores.assign(d, 0.0);
   if (d < 2) return result;
 
-  // Base values: empty and full coalitions.
-  const double f_empty = classifier(
+  // Base values: empty and full coalitions, one two-image batch.
+  std::vector<img::Image> anchors;
+  anchors.push_back(
       ApplySegmentMask(image, segmentation, std::vector<float>(d, 0.0f)));
-  const double f_full = classifier(image);
+  anchors.push_back(image);
+  const std::vector<double> anchor_probs = classifier(anchors);
+  const double f_empty = anchor_probs[0];
+  const double f_full = anchor_probs[1];
   result.model_evaluations += 2;
 
   // Shapley-kernel weights by coalition size s in [1, d-1]:
@@ -44,15 +49,25 @@ Attribution KernelShapExplainer::Explain(
 
   std::vector<std::vector<float>> masks(num_coalitions);
   std::vector<double> responses(num_coalitions, 0.0);
-  ParallelFor(num_coalitions, [&](int64_t i) {
-    Rng& stream = streams[i];
-    const int size = 1 + stream.SampleIndex(size_weights);
-    const std::vector<int> chosen = stream.SampleWithoutReplacement(d, size);
-    std::vector<float> keep(d, 0.0f);
-    for (int j : chosen) keep[j] = 1.0f;
-    const img::Image perturbed = ApplySegmentMask(image, segmentation, keep);
-    responses[i] = classifier(perturbed);
-    masks[i] = std::move(keep);
+  const int batch_size = DefaultBatchSize();
+  ParallelFor(NumBatches(num_coalitions, batch_size), [&](int64_t b) {
+    const auto [begin, end] = BatchBounds(num_coalitions, batch_size, b);
+    std::vector<img::Image> perturbed;
+    perturbed.reserve(end - begin);
+    for (int64_t i = begin; i < end; ++i) {
+      Rng& stream = streams[i];
+      const int size = 1 + stream.SampleIndex(size_weights);
+      const std::vector<int> chosen =
+          stream.SampleWithoutReplacement(d, size);
+      std::vector<float> keep(d, 0.0f);
+      for (int j : chosen) keep[j] = 1.0f;
+      perturbed.push_back(ApplySegmentMask(image, segmentation, keep));
+      masks[i] = std::move(keep);
+    }
+    const std::vector<double> batch_responses = classifier(perturbed);
+    for (int64_t i = begin; i < end; ++i) {
+      responses[i] = batch_responses[i - begin];
+    }
   });
   result.model_evaluations += num_coalitions;
 

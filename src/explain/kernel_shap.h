@@ -21,7 +21,8 @@ class KernelShapExplainer : public Explainer {
 
   std::string name() const override { return "SHAP"; }
 
-  Attribution Explain(const ClassifierFn& classifier,
+  using Explainer::Explain;
+  Attribution Explain(const BatchClassifierFn& classifier,
                       const img::Image& image,
                       const img::Segmentation& segmentation,
                       Rng* rng) const override;

@@ -2,12 +2,13 @@
 
 #include <cmath>
 
+#include "common/batching.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
 
 namespace vsd::explain {
 
-Attribution LimeExplainer::Explain(const ClassifierFn& classifier,
+Attribution LimeExplainer::Explain(const BatchClassifierFn& classifier,
                                    const img::Image& image,
                                    const img::Segmentation& segmentation,
                                    Rng* rng) const {
@@ -27,23 +28,35 @@ Attribution LimeExplainer::Explain(const ClassifierFn& classifier,
   std::vector<double> responses(num_samples_, 0.0);
   std::vector<double> weights(num_samples_, 0.0);
 
-  ParallelFor(num_samples_, [&](int64_t s) {
-    Rng& stream = streams[s];
-    std::vector<float> keep(d);
-    int kept = 0;
-    for (int j = 0; j < d; ++j) {
-      keep[j] = stream.Bernoulli(0.5) ? 1.0f : 0.0f;
-      kept += keep[j] > 0.0f;
+  // Batches parallelize across the pool; within a batch the perturbed
+  // images are generated from their per-index streams and evaluated in a
+  // single classifier call.
+  const int batch_size = DefaultBatchSize();
+  ParallelFor(NumBatches(num_samples_, batch_size), [&](int64_t b) {
+    const auto [begin, end] = BatchBounds(num_samples_, batch_size, b);
+    std::vector<img::Image> perturbed;
+    perturbed.reserve(end - begin);
+    for (int64_t s = begin; s < end; ++s) {
+      Rng& stream = streams[s];
+      std::vector<float> keep(d);
+      int kept = 0;
+      for (int j = 0; j < d; ++j) {
+        keep[j] = stream.Bernoulli(0.5) ? 1.0f : 0.0f;
+        kept += keep[j] > 0.0f;
+      }
+      perturbed.push_back(ApplySegmentMask(image, segmentation, keep));
+      // Exponential kernel on cosine distance to the all-ones mask:
+      // cos(z, 1) = |z| / sqrt(|z| * d) = sqrt(|z| / d).
+      const double cos_sim =
+          kept > 0 ? std::sqrt(static_cast<double>(kept) / d) : 0.0;
+      const double dist = 1.0 - cos_sim;
+      weights[s] = std::exp(-(dist * dist) / (kernel_width_ * kernel_width_));
+      masks[s] = std::move(keep);
     }
-    const img::Image perturbed = ApplySegmentMask(image, segmentation, keep);
-    responses[s] = classifier(perturbed);
-    // Exponential kernel on cosine distance to the all-ones mask:
-    // cos(z, 1) = |z| / sqrt(|z| * d) = sqrt(|z| / d).
-    const double cos_sim =
-        kept > 0 ? std::sqrt(static_cast<double>(kept) / d) : 0.0;
-    const double dist = 1.0 - cos_sim;
-    weights[s] = std::exp(-(dist * dist) / (kernel_width_ * kernel_width_));
-    masks[s] = std::move(keep);
+    const std::vector<double> batch_responses = classifier(perturbed);
+    for (int64_t s = begin; s < end; ++s) {
+      responses[s] = batch_responses[s - begin];
+    }
   });
   result.model_evaluations += num_samples_;
 

@@ -23,7 +23,8 @@ class LimeExplainer : public Explainer {
 
   std::string name() const override { return "LIME"; }
 
-  Attribution Explain(const ClassifierFn& classifier,
+  using Explainer::Explain;
+  Attribution Explain(const BatchClassifierFn& classifier,
                       const img::Image& image,
                       const img::Segmentation& segmentation,
                       Rng* rng) const override;

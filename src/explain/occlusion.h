@@ -13,7 +13,8 @@ class OcclusionExplainer : public Explainer {
  public:
   std::string name() const override { return "Occlusion"; }
 
-  Attribution Explain(const ClassifierFn& classifier,
+  using Explainer::Explain;
+  Attribution Explain(const BatchClassifierFn& classifier,
                       const img::Image& image,
                       const img::Segmentation& segmentation,
                       Rng* rng) const override;

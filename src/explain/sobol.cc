@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/batching.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 
@@ -51,7 +52,7 @@ std::vector<double> QmcSequence::Point(int64_t index) const {
   return point;
 }
 
-Attribution SobolExplainer::Explain(const ClassifierFn& classifier,
+Attribution SobolExplainer::Explain(const BatchClassifierFn& classifier,
                                     const img::Image& image,
                                     const img::Segmentation& segmentation,
                                     Rng* rng) const {
@@ -81,12 +82,28 @@ Attribution SobolExplainer::Explain(const ClassifierFn& classifier,
   // All rng draws happened above (the rotation), so the evaluation batches
   // below are rng-free and parallelize without touching any stream; per-
   // dimension accumulation stays serial in index order, keeping the
-  // estimates bit-identical for every thread count.
+  // estimates bit-identical for every thread count and batch size.
+  const int batch_size = DefaultBatchSize();
+  auto evaluate_rows =
+      [&](const std::vector<std::vector<float>>& rows) {
+        std::vector<double> f(rows.size());
+        const int64_t total = static_cast<int64_t>(rows.size());
+        ParallelFor(NumBatches(total, batch_size), [&](int64_t b) {
+          const auto [begin, end] = BatchBounds(total, batch_size, b);
+          std::vector<img::Image> perturbed;
+          perturbed.reserve(end - begin);
+          for (int64_t i = begin; i < end; ++i) {
+            perturbed.push_back(
+                ApplySegmentMask(image, segmentation, rows[i]));
+          }
+          const std::vector<double> batch_f = classifier(perturbed);
+          for (int64_t i = begin; i < end; ++i) f[i] = batch_f[i - begin];
+        });
+        return f;
+      };
 
   // f(A) evaluations.
-  const std::vector<double> f_a = ParallelMap<double>(n, [&](int64_t i) {
-    return classifier(ApplySegmentMask(image, segmentation, a_rows[i]));
-  });
+  const std::vector<double> f_a = evaluate_rows(a_rows);
   result.model_evaluations += n;
   double mean = 0.0;
   for (int i = 0; i < n; ++i) mean += f_a[i];
@@ -95,21 +112,18 @@ Attribution SobolExplainer::Explain(const ClassifierFn& classifier,
   for (int i = 0; i < n; ++i) variance += (f_a[i] - mean) * (f_a[i] - mean);
   variance = variance / std::max(1, n - 1);
   // f(B) evaluations enter the variance pool for stability.
-  const std::vector<double> f_b = ParallelMap<double>(n, [&](int64_t i) {
-    return classifier(ApplySegmentMask(image, segmentation, b_rows[i]));
-  });
+  const std::vector<double> f_b = evaluate_rows(b_rows);
   result.model_evaluations += n;
   (void)f_b;  // budgeted per the estimator's N*(d+2) protocol
 
   // Jansen total-order estimator: ST_j = E[(f(A) - f(A_B^j))^2] / (2 Var).
   ParallelFor(d, [&](int64_t j) {
+    std::vector<std::vector<float>> rows = a_rows;
+    for (int i = 0; i < n; ++i) rows[i][j] = b_rows[i][j];
+    const std::vector<double> f_ab = evaluate_rows(rows);
     double acc = 0.0;
     for (int i = 0; i < n; ++i) {
-      std::vector<float> row = a_rows[i];
-      row[j] = b_rows[i][j];
-      const double f_ab =
-          classifier(ApplySegmentMask(image, segmentation, row));
-      acc += (f_a[i] - f_ab) * (f_a[i] - f_ab);
+      acc += (f_a[i] - f_ab[i]) * (f_a[i] - f_ab[i]);
     }
     result.segment_scores[j] =
         variance > 1e-12 ? acc / (2.0 * n * variance) : 0.0;

@@ -41,7 +41,8 @@ class SobolExplainer : public Explainer {
 
   std::string name() const override { return "SOBOL"; }
 
-  Attribution Explain(const ClassifierFn& classifier,
+  using Explainer::Explain;
+  Attribution Explain(const BatchClassifierFn& classifier,
                       const img::Image& image,
                       const img::Segmentation& segmentation,
                       Rng* rng) const override;

@@ -382,6 +382,94 @@ void CheckUnorderedIter(const FileCtx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// per-sample-predict: calling a single-sample predict entry point from a
+// loop in the bench or core-evaluation layers forfeits the batched spine —
+// one model forward per batch collapses back into one forward per sample.
+// Route the loop through PredictBatch/PredictLabelBatch/
+// EvaluatePredictorBatched instead; genuinely per-sample protocols (e.g.
+// retrieval that threads one rng stream across samples) carry an explicit
+// `// vsd-lint: allow(per-sample-predict)` with a reason.
+// ---------------------------------------------------------------------------
+void CheckPerSamplePredict(const FileCtx& ctx) {
+  if (!StartsWith(ctx.path, "bench/") && !StartsWith(ctx.path, "src/core/")) {
+    return;
+  }
+  static const std::set<std::string> kSingleCalls = {
+      "Predict", "PredictLabel", "PredictProbStressed",
+  };
+  const auto& toks = ctx.lex.tokens;
+
+  auto matching = [&](size_t open, const char* opener, const char* closer) {
+    int depth = 1;
+    size_t k = open + 1;
+    while (k < toks.size() && depth > 0) {
+      if (toks[k].text == opener) ++depth;
+      else if (toks[k].text == closer) --depth;
+      if (depth == 0) break;
+      ++k;
+    }
+    return k;
+  };
+
+  // Loop extents: for/while statements (header + braced body) and the
+  // per-index callables handed to ParallelFor/ParallelMap/
+  // EvaluatePredictor (each is a per-sample loop in disguise).
+  std::vector<std::pair<size_t, size_t>> extents;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    const bool is_loop = toks[i].text == "for" || toks[i].text == "while";
+    const bool is_call = toks[i].text == "ParallelFor" ||
+                         toks[i].text == "ParallelMap" ||
+                         toks[i].text == "EvaluatePredictor";
+    if (!is_loop && !is_call) continue;
+    size_t j = i + 1;
+    // Skip optional template arguments: ParallelMap<T>(...).
+    if (is_call && j < toks.size() && toks[j].text == "<") {
+      int depth = 1;
+      ++j;
+      while (j < toks.size() && depth > 0) {
+        if (toks[j].text == "<") ++depth;
+        else if (toks[j].text == ">") --depth;
+        else if (toks[j].text == ">>") depth -= 2;
+        ++j;
+      }
+    }
+    if (j >= toks.size() || toks[j].text != "(") continue;
+    size_t end = matching(j, "(", ")");
+    if (is_loop && end + 1 < toks.size() && toks[end + 1].text == "{") {
+      end = matching(end + 1, "{", "}");
+    }
+    extents.emplace_back(j, end);
+  }
+  if (extents.empty()) return;
+
+  for (size_t k = 2; k + 1 < toks.size(); ++k) {
+    if (toks[k].kind != TokenKind::kIdentifier ||
+        kSingleCalls.find(toks[k].text) == kSingleCalls.end()) {
+      continue;
+    }
+    const std::string& access = toks[k - 1].text;
+    if (access != "." && access != "->") continue;
+    if (toks[k + 1].text != "(") continue;
+    bool in_loop = false;
+    for (const auto& [begin, end] : extents) {
+      if (k > begin && k < end) {
+        in_loop = true;
+        break;
+      }
+    }
+    if (!in_loop) continue;
+    ctx.Report(toks[k].line, "per-sample-predict",
+               "'" + toks[k].text +
+                   "()' called per sample inside a loop; use the batched "
+                   "entry points (PredictBatch/PredictLabelBatch/"
+                   "EvaluatePredictorBatched) so inference runs one forward "
+                   "per batch, or suppress with a reason if the protocol is "
+                   "inherently per-sample");
+  }
+}
+
 }  // namespace
 
 std::string Finding::ToString() const {
@@ -390,8 +478,9 @@ std::string Finding::ToString() const {
 
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
-      "raw-rand",     "rng-fork",      "float-eq",
-      "header-guard", "include-order", "unordered-iter",
+      "raw-rand",       "rng-fork",      "float-eq",
+      "header-guard",   "include-order", "unordered-iter",
+      "per-sample-predict",
   };
   return kRules;
 }
@@ -407,6 +496,7 @@ std::vector<Finding> LintContent(const std::string& path,
   CheckHeaderGuard(ctx);
   CheckIncludeOrder(ctx);
   CheckUnorderedIter(ctx);
+  CheckPerSamplePredict(ctx);
 
   // A `// vsd-lint: allow(rule)` comment suppresses findings on its own
   // line and on the following line.

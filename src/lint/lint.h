@@ -25,6 +25,7 @@ struct Finding {
 ///  * header-guard    — header missing #pragma once / include guard
 ///  * include-order   — include group mixes <>/"" kinds or is unsorted
 ///  * unordered-iter  — iteration over unordered containers in result paths
+///  * per-sample-predict — single-sample predict call looped in bench/core
 ///
 /// All rule names, for CLI validation and tests.
 const std::vector<std::string>& AllRules();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/batching.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/string_util.h"
@@ -52,10 +53,50 @@ Tensor FoundationModel::VideoFeature(const data::VideoSample& sample) const {
   return vision_->EmbedPair(sample.expressive_frame, sample.neutral_frame);
 }
 
+Tensor FoundationModel::VideoFeatureRows(SampleSpan batch) const {
+  const int n = static_cast<int>(batch.size());
+  const int dim = 2 * config_.vision_dim;
+  Tensor rows({n, dim});
+  std::vector<int> miss_rows;
+  std::vector<const img::Image*> miss_expressive;
+  std::vector<const img::Image*> miss_neutral;
+  for (int i = 0; i < n; ++i) {
+    auto it = feature_cache_.find(batch[i]->id);
+    if (it != feature_cache_.end()) {
+      for (int j = 0; j < dim; ++j) rows.at(i, j) = it->second.at(j);
+    } else {
+      miss_rows.push_back(i);
+      miss_expressive.push_back(&batch[i]->expressive_frame);
+      miss_neutral.push_back(&batch[i]->neutral_frame);
+    }
+  }
+  if (!miss_rows.empty()) {
+    Tensor embedded = vision_->EmbedPairs(miss_expressive, miss_neutral);
+    for (size_t m = 0; m < miss_rows.size(); ++m) {
+      for (int j = 0; j < dim; ++j) {
+        rows.at(miss_rows[m], j) = embedded.at(static_cast<int>(m), j);
+      }
+    }
+  }
+  return rows;
+}
+
 void FoundationModel::PrecomputeFeatures(const data::Dataset& dataset) {
-  for (const auto& sample : dataset.samples) {
-    feature_cache_[sample.id] =
-        vision_->EmbedPair(sample.expressive_frame, sample.neutral_frame);
+  const int64_t n = static_cast<int64_t>(dataset.samples.size());
+  const int batch_size = DefaultBatchSize();
+  for (int64_t b = 0; b < NumBatches(n, batch_size); ++b) {
+    const auto [begin, end] = BatchBounds(n, batch_size, b);
+    std::vector<const img::Image*> expressive;
+    std::vector<const img::Image*> neutral;
+    for (int64_t i = begin; i < end; ++i) {
+      expressive.push_back(&dataset.samples[i].expressive_frame);
+      neutral.push_back(&dataset.samples[i].neutral_frame);
+    }
+    Tensor rows = vision_->EmbedPairs(expressive, neutral);
+    for (int64_t i = begin; i < end; ++i) {
+      feature_cache_[dataset.samples[i].id] =
+          rows.Row(static_cast<int>(i - begin));
+    }
   }
 }
 
@@ -104,8 +145,12 @@ double FoundationModel::EffectiveBias(const AuMask& description) const {
 }
 
 Var FoundationModel::HiddenFor(const data::VideoSample& sample) const {
-  Tensor feature = VideoFeature(sample);
-  return TrunkForward(Var(feature.Reshape({1, feature.size()})));
+  const data::VideoSample* one[] = {&sample};
+  return HiddenForBatch(one);
+}
+
+Var FoundationModel::HiddenForBatch(SampleSpan batch) const {
+  return TrunkForward(Var(VideoFeatureRows(batch)));
 }
 
 Var FoundationModel::MaskRows(const std::vector<AuMask>& masks) {
@@ -131,10 +176,19 @@ Var FoundationModel::OneHotRows(const std::vector<int>& labels,
 
 std::vector<double> FoundationModel::DescribeProbs(
     const data::VideoSample& sample) const {
-  Var logits = DescribeLogitsVar(HiddenFor(sample));
-  std::vector<double> probs(kNumAus);
-  for (int j = 0; j < kNumAus; ++j) {
-    probs[j] = vsd::Sigmoid(logits.value().at(0, j));
+  const data::VideoSample* one[] = {&sample};
+  return DescribeProbsBatch(one).front();
+}
+
+std::vector<std::vector<double>> FoundationModel::DescribeProbsBatch(
+    SampleSpan batch) const {
+  Var logits = DescribeLogitsVar(HiddenForBatch(batch));
+  std::vector<std::vector<double>> probs(batch.size(),
+                                         std::vector<double>(kNumAus));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    for (int j = 0; j < kNumAus; ++j) {
+      probs[i][j] = vsd::Sigmoid(logits.value().at(static_cast<int>(i), j));
+    }
   }
   return probs;
 }
@@ -142,66 +196,174 @@ std::vector<double> FoundationModel::DescribeProbs(
 DescribeResult FoundationModel::Describe(const data::VideoSample& sample,
                                          double temperature,
                                          Rng* rng) const {
-  Var logits = DescribeLogitsVar(HiddenFor(sample));
+  const data::VideoSample* one[] = {&sample};
+  Rng* rngs[] = {rng};
+  return DescribeBatch(one, temperature, rngs).front();
+}
+
+std::vector<DescribeResult> FoundationModel::DescribeBatch(
+    SampleSpan batch, double temperature, std::span<Rng* const> rngs) const {
+  VSD_CHECK(rngs.size() == batch.size()) << "DescribeBatch rng mismatch";
+  Var logits = DescribeLogitsVar(HiddenForBatch(batch));
   const double t = std::max(temperature, 1e-3);
-  DescribeResult result;
-  for (int j = 0; j < kNumAus; ++j) {
-    const double z = logits.value().at(0, j);
-    const bool active = rng->Bernoulli(vsd::Sigmoid(z / t));
-    result.mask[j] = active;
-    // Likelihood is reported at the model's native temperature (T=1).
-    result.log_prob +=
-        active ? std::log(std::max(vsd::Sigmoid(z), 1e-12))
-               : std::log(std::max(vsd::Sigmoid(-z), 1e-12));
+  std::vector<DescribeResult> results(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    DescribeResult& result = results[i];
+    for (int j = 0; j < kNumAus; ++j) {
+      const double z = logits.value().at(static_cast<int>(i), j);
+      const bool active = rngs[i]->Bernoulli(vsd::Sigmoid(z / t));
+      result.mask[j] = active;
+      // Likelihood is reported at the model's native temperature (T=1).
+      result.log_prob +=
+          active ? std::log(std::max(vsd::Sigmoid(z), 1e-12))
+                 : std::log(std::max(vsd::Sigmoid(-z), 1e-12));
+    }
+    result.text = text::RenderDescription(result.mask);
   }
-  result.text = text::RenderDescription(result.mask);
-  return result;
+  return results;
 }
 
 double FoundationModel::DescriptionLogProb(const data::VideoSample& sample,
                                            const AuMask& mask) const {
-  Var logits = DescribeLogitsVar(HiddenFor(sample));
-  double log_prob = 0.0;
-  for (int j = 0; j < kNumAus; ++j) {
-    const double z = logits.value().at(0, j);
-    log_prob += mask[j] ? std::log(std::max(vsd::Sigmoid(z), 1e-12))
-                        : std::log(std::max(vsd::Sigmoid(-z), 1e-12));
+  const data::VideoSample* one[] = {&sample};
+  const AuMask masks[] = {mask};
+  return DescriptionLogProbBatch(one, masks).front();
+}
+
+std::vector<double> FoundationModel::DescriptionLogProbBatch(
+    SampleSpan batch, std::span<const AuMask> masks) const {
+  VSD_CHECK(masks.size() == batch.size())
+      << "DescriptionLogProbBatch mask mismatch";
+  Var logits = DescribeLogitsVar(HiddenForBatch(batch));
+  std::vector<double> log_probs(batch.size(), 0.0);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    for (int j = 0; j < kNumAus; ++j) {
+      const double z = logits.value().at(static_cast<int>(i), j);
+      log_probs[i] += masks[i][j]
+                          ? std::log(std::max(vsd::Sigmoid(z), 1e-12))
+                          : std::log(std::max(vsd::Sigmoid(-z), 1e-12));
+    }
   }
-  return log_prob;
+  return log_probs;
 }
 
 AssessResult FoundationModel::Assess(const data::VideoSample& sample,
                                      const AuMask& description,
                                      double temperature, Rng* rng) const {
-  Var logits = AssessLogitsVar(HiddenFor(sample), MaskRows({description}));
-  const double margin = logits.value().at(0, 1) - logits.value().at(0, 0) +
-                        EffectiveBias(description);
-  AssessResult result;
-  result.prob_stressed = vsd::Sigmoid(margin);
-  if (temperature <= 0.0 || rng == nullptr) {
-    result.label = result.prob_stressed >= 0.5 ? 1 : 0;
-  } else {
-    result.label = rng->Bernoulli(vsd::Sigmoid(margin / temperature)) ? 1 : 0;
+  const data::VideoSample* one[] = {&sample};
+  const AuMask descriptions[] = {description};
+  Rng* rngs[] = {rng};
+  return AssessBatch(one, descriptions, temperature, rngs).front();
+}
+
+std::vector<AssessResult> FoundationModel::AssessBatch(
+    SampleSpan batch, std::span<const AuMask> descriptions,
+    double temperature, std::span<Rng* const> rngs) const {
+  VSD_CHECK(descriptions.size() == batch.size())
+      << "AssessBatch description mismatch";
+  VSD_CHECK(rngs.empty() || rngs.size() == batch.size())
+      << "AssessBatch rng mismatch";
+  Var logits = AssessLogitsVar(
+      HiddenForBatch(batch),
+      MaskRows({descriptions.begin(), descriptions.end()}));
+  std::vector<AssessResult> results(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int row = static_cast<int>(i);
+    const double margin = logits.value().at(row, 1) -
+                          logits.value().at(row, 0) +
+                          EffectiveBias(descriptions[i]);
+    AssessResult& result = results[i];
+    result.prob_stressed = vsd::Sigmoid(margin);
+    Rng* rng = rngs.empty() ? nullptr : rngs[i];
+    if (temperature <= 0.0 || rng == nullptr) {
+      result.label = result.prob_stressed >= 0.5 ? 1 : 0;
+    } else {
+      result.label =
+          rng->Bernoulli(vsd::Sigmoid(margin / temperature)) ? 1 : 0;
+    }
+    result.text = text::RenderAssessment(result.label);
   }
-  result.text = text::RenderAssessment(result.label);
-  return result;
+  return results;
 }
 
 double FoundationModel::AssessProbStressed(
     const data::VideoSample& sample, const AuMask& description) const {
-  Var logits = AssessLogitsVar(HiddenFor(sample), MaskRows({description}));
-  return vsd::Sigmoid(logits.value().at(0, 1) - logits.value().at(0, 0) +
-                      EffectiveBias(description));
+  const data::VideoSample* one[] = {&sample};
+  const AuMask descriptions[] = {description};
+  return AssessProbStressedBatch(one, descriptions).front();
+}
+
+std::vector<double> FoundationModel::AssessProbStressedBatch(
+    SampleSpan batch, std::span<const AuMask> descriptions) const {
+  VSD_CHECK(descriptions.size() == batch.size())
+      << "AssessProbStressedBatch description mismatch";
+  Var logits = AssessLogitsVar(
+      HiddenForBatch(batch),
+      MaskRows({descriptions.begin(), descriptions.end()}));
+  std::vector<double> probs(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int row = static_cast<int>(i);
+    probs[i] = vsd::Sigmoid(logits.value().at(row, 1) -
+                            logits.value().at(row, 0) +
+                            EffectiveBias(descriptions[i]));
+  }
+  return probs;
 }
 
 double FoundationModel::AssessProbStressedWithFrames(
     const img::Image& expressive, const img::Image& neutral,
     const AuMask& description) const {
-  Tensor feature = vision_->EmbedPair(expressive, neutral);
-  Var hidden = TrunkForward(Var(feature.Reshape({1, feature.size()})));
-  Var logits = AssessLogitsVar(hidden, MaskRows({description}));
-  return vsd::Sigmoid(logits.value().at(0, 1) - logits.value().at(0, 0) +
-                      EffectiveBias(description));
+  const img::Image* e[] = {&expressive};
+  const img::Image* l[] = {&neutral};
+  return AssessProbStressedWithFramesBatch(e, l, description).front();
+}
+
+std::vector<double> FoundationModel::AssessProbStressedWithFramesBatch(
+    std::span<const img::Image* const> expressive,
+    std::span<const img::Image* const> neutral,
+    const AuMask& description) const {
+  const int n = static_cast<int>(expressive.size());
+  Var hidden = TrunkForward(Var(vision_->EmbedPairs(expressive, neutral)));
+  Var logits = AssessLogitsVar(
+      hidden, MaskRows(std::vector<AuMask>(expressive.size(), description)));
+  std::vector<double> probs(expressive.size());
+  for (int i = 0; i < n; ++i) {
+    probs[i] = vsd::Sigmoid(logits.value().at(i, 1) -
+                            logits.value().at(i, 0) +
+                            EffectiveBias(description));
+  }
+  return probs;
+}
+
+std::vector<double> FoundationModel::AssessProbStressedWithFramesBatch(
+    std::span<const img::Image* const> expressive,
+    const img::Image& neutral, const AuMask& description) const {
+  const int n = static_cast<int>(expressive.size());
+  // Encode the N expressive frames plus the shared neutral frame once, in
+  // one packed forward. Embedding rows are input-row independent, so each
+  // pair feature is bit-identical to EmbedPair(expressive[i], neutral).
+  std::vector<const img::Image*> images(expressive.begin(),
+                                        expressive.end());
+  images.push_back(&neutral);
+  Tensor encoded = vision_->EncodeBatch(images);
+  const int dim = config_.vision_dim;
+  Tensor rows({n, 2 * dim});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      rows.at(i, j) = encoded.at(i, j);
+      rows.at(i, dim + j) = encoded.at(n, j);
+    }
+  }
+  Var hidden = TrunkForward(Var(rows));
+  Var logits = AssessLogitsVar(
+      hidden, MaskRows(std::vector<AuMask>(expressive.size(), description)));
+  std::vector<double> probs(expressive.size());
+  for (int i = 0; i < n; ++i) {
+    probs[i] = vsd::Sigmoid(logits.value().at(i, 1) -
+                            logits.value().at(i, 0) +
+                            EffectiveBias(description));
+  }
+  return probs;
 }
 
 AssessResult FoundationModel::AssessWithExample(
@@ -229,13 +391,14 @@ AssessResult FoundationModel::AssessWithExample(
   return result;
 }
 
-HighlightResult FoundationModel::Highlight(const data::VideoSample& sample,
-                                           const AuMask& description,
-                                           int assessment, int top_m,
-                                           double temperature,
-                                           Rng* rng) const {
-  Var logits = HighlightLogitsVar(HiddenFor(sample), MaskRows({description}),
-                                  OneHotRows({assessment}, 2));
+namespace {
+
+/// Plackett-Luce sampling without replacement over the described AU set
+/// (all AUs when the description is empty), reading row `row` of the
+/// batched highlight logits. rng == nullptr means greedy argmax.
+HighlightResult SampleRationale(const Var& logits, int row,
+                                const AuMask& description, int top_m,
+                                double temperature, Rng* rng) {
   std::vector<int> candidates = face::AuMaskToIndices(description);
   if (candidates.empty()) {
     candidates.resize(kNumAus);
@@ -243,16 +406,17 @@ HighlightResult FoundationModel::Highlight(const data::VideoSample& sample,
   }
   const double t = std::max(temperature, 1e-3);
   HighlightResult result;
-  // Plackett-Luce sampling without replacement over the candidate set.
   std::vector<int> remaining = candidates;
   const int picks = std::min<int>(top_m, static_cast<int>(remaining.size()));
   for (int step = 0; step < picks; ++step) {
     std::vector<double> weights(remaining.size());
     double max_z = -1e30;
-    for (int i : remaining) max_z = std::max(max_z, (double)logits.value().at(0, i));
+    for (int i : remaining) {
+      max_z = std::max(max_z, (double)logits.value().at(row, i));
+    }
     for (size_t i = 0; i < remaining.size(); ++i) {
       weights[i] =
-          std::exp((logits.value().at(0, remaining[i]) - max_z) / t);
+          std::exp((logits.value().at(row, remaining[i]) - max_z) / t);
     }
     int pick;
     if (rng == nullptr) {
@@ -266,6 +430,45 @@ HighlightResult FoundationModel::Highlight(const data::VideoSample& sample,
   }
   result.text = text::RenderRationale(result.ranked_aus);
   return result;
+}
+
+}  // namespace
+
+HighlightResult FoundationModel::Highlight(const data::VideoSample& sample,
+                                           const AuMask& description,
+                                           int assessment, int top_m,
+                                           double temperature,
+                                           Rng* rng) const {
+  const data::VideoSample* one[] = {&sample};
+  const AuMask descriptions[] = {description};
+  const int assessments[] = {assessment};
+  Rng* rngs[] = {rng};
+  return HighlightBatch(one, descriptions, assessments, top_m, temperature,
+                        rngs)
+      .front();
+}
+
+std::vector<HighlightResult> FoundationModel::HighlightBatch(
+    SampleSpan batch, std::span<const AuMask> descriptions,
+    std::span<const int> assessments, int top_m, double temperature,
+    std::span<Rng* const> rngs) const {
+  VSD_CHECK(descriptions.size() == batch.size() &&
+            assessments.size() == batch.size())
+      << "HighlightBatch input mismatch";
+  VSD_CHECK(rngs.empty() || rngs.size() == batch.size())
+      << "HighlightBatch rng mismatch";
+  Var logits = HighlightLogitsVar(
+      HiddenForBatch(batch),
+      MaskRows({descriptions.begin(), descriptions.end()}),
+      OneHotRows({assessments.begin(), assessments.end()}, 2));
+  std::vector<HighlightResult> results;
+  results.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    results.push_back(SampleRationale(logits, static_cast<int>(i),
+                                      descriptions[i], top_m, temperature,
+                                      rngs.empty() ? nullptr : rngs[i]));
+  }
+  return results;
 }
 
 DescribeResult FoundationModel::ReflectDescribe(

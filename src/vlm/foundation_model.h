@@ -2,6 +2,7 @@
 #define VSD_VLM_FOUNDATION_MODEL_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -73,6 +74,9 @@ struct HighlightResult {
 /// frozen, so per-video features can be cached with PrecomputeFeatures().
 class FoundationModel : public nn::Module {
  public:
+  /// Read-only batch of samples for the batched inference entry points.
+  using SampleSpan = std::span<const data::VideoSample* const>;
+
   explicit FoundationModel(const FoundationModelConfig& config);
 
   const FoundationModelConfig& config() const { return config_; }
@@ -87,8 +91,16 @@ class FoundationModel : public nn::Module {
   /// feature cache when present.
   tensor::Tensor VideoFeature(const data::VideoSample& sample) const;
 
+  /// [N, 2*vision_dim] embeddings of a batch of samples. Cache hits are
+  /// copied; all misses are embedded in a single EmbedPairs forward (the
+  /// cache is not mutated — this is the const inference path). Row i is
+  /// bit-identical to `VideoFeature(*batch[i])`.
+  tensor::Tensor VideoFeatureRows(SampleSpan batch) const;
+
   /// Fills the feature cache for every sample (call after the vision tower
-  /// is frozen). Keyed by sample id.
+  /// is frozen). Keyed by sample id. Embeds in chunks of
+  /// `DefaultBatchSize()`; the cached features are bit-identical to
+  /// per-sample embedding.
   void PrecomputeFeatures(const data::Dataset& dataset);
   void ClearFeatureCache();
 
@@ -172,6 +184,60 @@ class FoundationModel : public nn::Module {
   int SelectVideoForDescription(
       const std::vector<const data::VideoSample*>& candidates,
       const face::AuMask& description, double temperature, Rng* rng) const;
+
+  // ---- Inference (batched) ----
+  //
+  // One trunk/head forward per batch instead of per sample. Every op in
+  // the forward path computes output row i from input row i alone, so
+  // entry i of each batched result is bit-identical to the corresponding
+  // single-sample call — the single-sample methods above are literally
+  // batch-of-1 delegations. Sampling methods take one Rng per sample so
+  // the draw sequence per sample matches the sequential path exactly.
+
+  /// Batched trunk forward over `VideoFeatureRows(batch)`.
+  nn::Var HiddenForBatch(SampleSpan batch) const;
+
+  /// Per-AU activation probabilities for each sample.
+  std::vector<std::vector<double>> DescribeProbsBatch(SampleSpan batch) const;
+
+  /// Samples one description per sample from `rngs[i]` (all non-null).
+  std::vector<DescribeResult> DescribeBatch(SampleSpan batch,
+                                            double temperature,
+                                            std::span<Rng* const> rngs) const;
+
+  /// Exact log p_F(E_i | V_i, I1) for each (sample, mask) pair.
+  std::vector<double> DescriptionLogProbBatch(
+      SampleSpan batch, std::span<const face::AuMask> masks) const;
+
+  /// Batched Assess. `rngs` is either empty (greedy for every sample, the
+  /// `rng == nullptr` single-sample path) or one entry per sample.
+  std::vector<AssessResult> AssessBatch(
+      SampleSpan batch, std::span<const face::AuMask> descriptions,
+      double temperature, std::span<Rng* const> rngs) const;
+
+  /// p_F(A_i = stressed | V_i, E_i, I2) for each sample.
+  std::vector<double> AssessProbStressedBatch(
+      SampleSpan batch, std::span<const face::AuMask> descriptions) const;
+
+  /// Batched AssessProbStressedWithFrames over N explicit frame pairs.
+  std::vector<double> AssessProbStressedWithFramesBatch(
+      std::span<const img::Image* const> expressive,
+      std::span<const img::Image* const> neutral,
+      const face::AuMask& description) const;
+
+  /// Batched AssessProbStressedWithFrames where all N expressive frames
+  /// share one neutral frame (the explainer perturbation hot path): the
+  /// neutral frame is encoded once for the whole batch.
+  std::vector<double> AssessProbStressedWithFramesBatch(
+      std::span<const img::Image* const> expressive,
+      const img::Image& neutral, const face::AuMask& description) const;
+
+  /// Batched Highlight: one highlight-head forward, then per-sample
+  /// Plackett-Luce sampling from `rngs[i]` (empty = greedy for all).
+  std::vector<HighlightResult> HighlightBatch(
+      SampleSpan batch, std::span<const face::AuMask> descriptions,
+      std::span<const int> assessments, int top_m, double temperature,
+      std::span<Rng* const> rngs) const;
 
   // ---- Training losses ----
 

@@ -51,22 +51,54 @@ Tensor VisionTower::PackImages(
   return packed;
 }
 
-Tensor VisionTower::Embed(const img::Image& image) const {
-  Tensor packed = PackImages({&image});
+Tensor VisionTower::EncodeBatch(
+    std::span<const img::Image* const> images) const {
+  const int n = static_cast<int>(images.size());
+  Tensor packed = PackImages({images.begin(), images.end()});
   Var out = Forward(Var(packed));
-  return out.value().Row(0);
+  Tensor rows({n, embed_dim_});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < embed_dim_; ++j) {
+      rows.at(i, j) = out.value().at(i, j);
+    }
+  }
+  return rows;
+}
+
+Tensor VisionTower::EmbedPairs(
+    std::span<const img::Image* const> expressive,
+    std::span<const img::Image* const> neutral) const {
+  VSD_CHECK(expressive.size() == neutral.size()) << "EmbedPairs size";
+  const int n = static_cast<int>(expressive.size());
+  // One packed forward over the 2N frames, (f_e, f_l) interleaved so that
+  // rows (2i, 2i+1) hold sample i's pair.
+  std::vector<const img::Image*> frames;
+  frames.reserve(2 * static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    frames.push_back(expressive[i]);
+    frames.push_back(neutral[i]);
+  }
+  Var out = Forward(Var(PackImages(frames)));
+  Tensor pairs({n, 2 * embed_dim_});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < embed_dim_; ++j) {
+      pairs.at(i, j) = out.value().at(2 * i, j);
+      pairs.at(i, embed_dim_ + j) = out.value().at(2 * i + 1, j);
+    }
+  }
+  return pairs;
+}
+
+Tensor VisionTower::Embed(const img::Image& image) const {
+  const img::Image* one[] = {&image};
+  return EncodeBatch(one).Row(0);
 }
 
 Tensor VisionTower::EmbedPair(const img::Image& expressive,
                               const img::Image& neutral) const {
-  Tensor packed = PackImages({&expressive, &neutral});
-  Var out = Forward(Var(packed));
-  Tensor pair({2 * embed_dim_});
-  for (int j = 0; j < embed_dim_; ++j) {
-    pair.at(j) = out.value().at(0, j);
-    pair.at(embed_dim_ + j) = out.value().at(1, j);
-  }
-  return pair;
+  const img::Image* e[] = {&expressive};
+  const img::Image* l[] = {&neutral};
+  return EmbedPairs(e, l).Row(0);
 }
 
 std::vector<Var> VisionTower::Parameters() const {

@@ -2,6 +2,7 @@
 #define VSD_VLM_VISION_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -35,10 +36,26 @@ class VisionTower : public nn::Module {
 
   int input_size() const { return input_size_; }
 
-  /// Inference-only embedding of a single image -> [dim] tensor.
+  /// Inference-only batched embedding: N images -> [N, dim] tensor. One
+  /// packed forward for the whole batch; row i is bit-identical to
+  /// `Embed(*images[i])` (every op in the tower computes row i from row i
+  /// alone).
+  tensor::Tensor EncodeBatch(
+      std::span<const img::Image* const> images) const;
+
+  /// Inference-only batched pair embedding: N frame pairs (f_e, f_l) ->
+  /// [N, 2*dim]. Packs all 2N frames into one forward; row i is
+  /// bit-identical to `EmbedPair(*expressive[i], *neutral[i])`.
+  tensor::Tensor EmbedPairs(
+      std::span<const img::Image* const> expressive,
+      std::span<const img::Image* const> neutral) const;
+
+  /// Inference-only embedding of a single image -> [dim] tensor
+  /// (batch-of-1 through EncodeBatch).
   tensor::Tensor Embed(const img::Image& image) const;
 
-  /// Inference-only embedding of a frame pair (f_e, f_l) -> [2*dim].
+  /// Inference-only embedding of a frame pair (f_e, f_l) -> [2*dim]
+  /// (batch-of-1 through EmbedPairs).
   tensor::Tensor EmbedPair(const img::Image& expressive,
                            const img::Image& neutral) const;
 

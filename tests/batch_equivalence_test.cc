@@ -1,0 +1,362 @@
+// Golden-determinism suite for the batched-inference spine: every batched
+// entry point (vision encoding, chain pipeline, baselines, explainers,
+// metric evaluation) must produce BIT-IDENTICAL results to the per-sample
+// path for every (batch size, thread count) pair. The singles are the
+// reference; any divergence means the batch dimension leaked into the math.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <tuple>
+#include <vector>
+
+#include "baselines/fdassnn.h"
+#include "baselines/zero_shot_lfm.h"
+#include "bench/harness.h"
+#include "common/batching.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/evaluation.h"
+#include "cot/chain_config.h"
+#include "cot/pipeline.h"
+#include "data/generator.h"
+#include "explain/kernel_shap.h"
+#include "explain/lime.h"
+#include "explain/occlusion.h"
+#include "explain/sobol.h"
+#include "img/slic.h"
+#include "vlm/foundation_model.h"
+
+namespace vsd {
+namespace {
+
+void ExpectMetricsIdentical(const core::Metrics& a, const core::Metrics& b) {
+  EXPECT_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.precision, b.precision);
+  EXPECT_EQ(a.recall, b.recall);
+  EXPECT_EQ(a.f1, b.f1);
+  EXPECT_EQ(a.n, b.n);
+}
+
+/// Small untrained task model over a quick-sized dataset: inference is
+/// deterministic and cheap, which is all equivalence testing needs.
+struct ModelWorld {
+  data::Dataset dataset;
+  vlm::FoundationModel model;
+
+  ModelWorld()
+      : dataset(data::MakeUvsdSimSmall(48, 1234)),
+        model(MakeConfig()) {
+    model.PrecomputeFeatures(dataset);
+  }
+
+  std::vector<const data::VideoSample*> Pointers(int n) const {
+    std::vector<const data::VideoSample*> out;
+    for (int i = 0; i < n && i < dataset.size(); ++i) {
+      out.push_back(&dataset.samples[i]);
+    }
+    return out;
+  }
+
+  static vlm::FoundationModelConfig MakeConfig() {
+    vlm::FoundationModelConfig config;
+    config.vision_dim = 12;
+    config.hidden_dim = 24;
+    config.au_feature_dim = 12;
+    config.seed = 9;
+    return config;
+  }
+};
+
+/// Parameterized over (batch size, thread count): the batched path must be
+/// bit-identical to the singles for every combination.
+class BatchEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  void SetUp() override {
+    SetDefaultBatchSize(std::get<0>(GetParam()));
+    ThreadPool::SetGlobalThreads(std::get<1>(GetParam()));
+  }
+  void TearDown() override {
+    ThreadPool::SetGlobalThreads(1);
+    SetDefaultBatchSize(32);
+  }
+};
+
+TEST_P(BatchEquivalenceTest, VisionEncodeBatchMatchesSingles) {
+  ModelWorld world;
+  const auto samples = world.Pointers(9);
+  std::vector<const img::Image*> images;
+  std::vector<const img::Image*> neutrals;
+  for (const auto* s : samples) {
+    images.push_back(&s->expressive_frame);
+    neutrals.push_back(&s->neutral_frame);
+  }
+  const auto& vision = world.model.vision();
+
+  const tensor::Tensor rows = vision.EncodeBatch(images);
+  for (size_t i = 0; i < images.size(); ++i) {
+    const tensor::Tensor single = vision.Embed(*images[i]);
+    for (int j = 0; j < vision.dim(); ++j) {
+      ASSERT_EQ(rows.at(static_cast<int>(i), j), single.at(j))
+          << "EncodeBatch row " << i << " col " << j;
+    }
+  }
+
+  const tensor::Tensor pairs = vision.EmbedPairs(images, neutrals);
+  for (size_t i = 0; i < images.size(); ++i) {
+    const tensor::Tensor single =
+        vision.EmbedPair(*images[i], *neutrals[i]);
+    for (int j = 0; j < 2 * vision.dim(); ++j) {
+      ASSERT_EQ(pairs.at(static_cast<int>(i), j), single.at(j))
+          << "EmbedPairs row " << i << " col " << j;
+    }
+  }
+}
+
+TEST_P(BatchEquivalenceTest, PipelinePredictBatchMatchesSingles) {
+  ModelWorld world;
+  cot::ChainConfig chain;
+  cot::ChainPipeline pipeline(&world.model, chain);
+  const auto samples = world.Pointers(world.dataset.size());
+
+  const std::vector<double> probs = pipeline.PredictBatch(samples);
+  const std::vector<int> labels = pipeline.PredictLabelBatch(samples);
+  ASSERT_EQ(probs.size(), samples.size());
+  ASSERT_EQ(labels.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(probs[i], pipeline.PredictProbStressed(*samples[i]))
+        << "sample " << i;
+    EXPECT_EQ(labels[i], pipeline.PredictLabel(*samples[i]))
+        << "sample " << i;
+  }
+}
+
+TEST_P(BatchEquivalenceTest, PipelineRunBatchMatchesSingles) {
+  ModelWorld world;
+  cot::ChainConfig chain;
+  cot::ChainPipeline pipeline(&world.model, chain);
+  const auto samples = world.Pointers(11);
+
+  // Per-sample streams derived from the index, exactly as the benches do.
+  std::vector<Rng> batch_rngs;
+  batch_rngs.reserve(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    batch_rngs.emplace_back(500 + i);
+  }
+  std::vector<Rng*> rng_ptrs;
+  for (auto& rng : batch_rngs) rng_ptrs.push_back(&rng);
+  const std::vector<cot::ChainOutput> batched =
+      pipeline.RunBatch(samples, rng_ptrs);
+
+  ASSERT_EQ(batched.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    Rng rng(500 + i);
+    const cot::ChainOutput single = pipeline.Run(*samples[i], &rng);
+    EXPECT_EQ(batched[i].describe.mask, single.describe.mask);
+    EXPECT_EQ(batched[i].describe.log_prob, single.describe.log_prob);
+    EXPECT_EQ(batched[i].assess.label, single.assess.label);
+    EXPECT_EQ(batched[i].assess.prob_stressed, single.assess.prob_stressed);
+    EXPECT_EQ(batched[i].highlight.ranked_aus, single.highlight.ranked_aus);
+    EXPECT_EQ(batched[i].Transcript(), single.Transcript()) << "sample " << i;
+  }
+}
+
+TEST_P(BatchEquivalenceTest, EvaluateBatchedMetricsMatchPerSample) {
+  ModelWorld world;
+  cot::ChainConfig chain;
+  cot::ChainPipeline pipeline(&world.model, chain);
+
+  const core::Metrics reference = core::EvaluatePredictor(
+      [&](const data::VideoSample& sample) {
+        return pipeline.PredictLabel(sample);
+      },
+      world.dataset);
+  // batch_size = 0 routes through the sweep's DefaultBatchSize().
+  const core::Metrics batched = core::EvaluatePipeline(pipeline,
+                                                       world.dataset);
+  ExpectMetricsIdentical(reference, batched);
+
+  baselines::ZeroShotLfm lfm(&world.model, "lfm");
+  const core::Metrics lfm_reference = core::EvaluatePredictor(
+      [&](const data::VideoSample& sample) {
+        return lfm.PredictProbStressed(sample) >= 0.5 ? 1 : 0;
+      },
+      world.dataset);
+  const core::Metrics lfm_batched = core::EvaluateClassifier(lfm,
+                                                             world.dataset);
+  ExpectMetricsIdentical(lfm_reference, lfm_batched);
+}
+
+TEST_P(BatchEquivalenceTest, AssessWithFramesBatchMatchesSingles) {
+  ModelWorld world;
+  const auto samples = world.Pointers(7);
+  std::vector<const img::Image*> expressive;
+  std::vector<const img::Image*> neutrals;
+  for (const auto* s : samples) {
+    expressive.push_back(&s->expressive_frame);
+    neutrals.push_back(&s->neutral_frame);
+  }
+  face::AuMask description{};
+  description[1] = true;
+  description[4] = true;
+
+  // Pairwise overload.
+  const std::vector<double> pairwise =
+      world.model.AssessProbStressedWithFramesBatch(expressive, neutrals,
+                                                    description);
+  // Shared-neutral overload (the explainer hot path).
+  const img::Image& shared_neutral = samples[0]->neutral_frame;
+  const std::vector<double> shared =
+      world.model.AssessProbStressedWithFramesBatch(
+          expressive, shared_neutral, description);
+  ASSERT_EQ(pairwise.size(), samples.size());
+  ASSERT_EQ(shared.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(pairwise[i],
+              world.model.AssessProbStressedWithFrames(
+                  *expressive[i], *neutrals[i], description))
+        << "pairwise sample " << i;
+    EXPECT_EQ(shared[i],
+              world.model.AssessProbStressedWithFrames(
+                  *expressive[i], shared_neutral, description))
+        << "shared-neutral sample " << i;
+  }
+}
+
+TEST_P(BatchEquivalenceTest, BaselineBatchOverridesMatchDefaultLoop) {
+  ModelWorld world;
+  const auto samples = world.Pointers(13);
+
+  baselines::Fdassnn fdassnn;
+  Rng fit_rng(41);
+  fdassnn.Fit(world.dataset, &fit_rng);
+  const std::vector<double> fdassnn_batch =
+      fdassnn.PredictProbStressedBatch(samples);
+  ASSERT_EQ(fdassnn_batch.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(fdassnn_batch[i], fdassnn.PredictProbStressed(*samples[i]))
+        << "FDASSNN sample " << i;
+  }
+
+  baselines::ZeroShotLfm lfm(&world.model, "lfm");
+  const std::vector<double> lfm_batch = lfm.PredictProbStressedBatch(samples);
+  ASSERT_EQ(lfm_batch.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(lfm_batch[i], lfm.PredictProbStressed(*samples[i]))
+        << "ZeroShotLfm sample " << i;
+  }
+}
+
+TEST_P(BatchEquivalenceTest, ExplainerBatchClassifierMatchesPerFrame) {
+  img::Image image(32, 32, 0.2f);
+  for (int y = 8; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) image.at(y, x) = 0.9f;
+  }
+  const img::Segmentation segmentation = img::Slic(image, 16, 20.0f);
+  const explain::ClassifierFn per_frame = [](const img::Image& im) {
+    double sum = 0.0;
+    for (int y = 8; y < 16; ++y) {
+      for (int x = 8; x < 16; ++x) sum += im.at(y, x);
+    }
+    return sum / 64.0;
+  };
+  const explain::BatchClassifierFn batched =
+      explain::ToBatchClassifier(per_frame);
+
+  const explain::LimeExplainer lime(48);
+  const explain::KernelShapExplainer shap(48);
+  const explain::SobolExplainer sobol(3);
+  const explain::OcclusionExplainer occlusion;
+  for (const explain::Explainer* explainer :
+       {static_cast<const explain::Explainer*>(&lime),
+        static_cast<const explain::Explainer*>(&shap),
+        static_cast<const explain::Explainer*>(&sobol),
+        static_cast<const explain::Explainer*>(&occlusion)}) {
+    Rng rng_a(77);
+    Rng rng_b(77);
+    const std::vector<double> via_single =
+        explainer->Explain(per_frame, image, segmentation, &rng_a)
+            .segment_scores;
+    const std::vector<double> via_batch =
+        explainer->Explain(batched, image, segmentation, &rng_b)
+            .segment_scores;
+    ASSERT_EQ(via_single.size(), via_batch.size()) << explainer->name();
+    for (size_t j = 0; j < via_single.size(); ++j) {
+      EXPECT_EQ(via_single[j], via_batch[j])
+          << explainer->name() << " segment " << j;
+    }
+    // The caller's stream must advance identically through both overloads.
+    EXPECT_EQ(rng_a.Next(), rng_b.Next()) << explainer->name();
+  }
+}
+
+TEST_P(BatchEquivalenceTest, ModelBatchClassifierMatchesModelClassifier) {
+  ModelWorld world;
+  const data::VideoSample& sample = world.dataset.samples[0];
+  const img::Segmentation segmentation =
+      img::Slic(sample.expressive_frame, bench::kNumSlicSegments);
+  const explain::ClassifierFn single =
+      bench::ModelClassifier(world.model, sample, /*use_chain=*/true);
+  const explain::BatchClassifierFn batched =
+      bench::ModelBatchClassifier(world.model, sample, /*use_chain=*/true);
+
+  // A handful of masked perturbations, evaluated both ways.
+  Rng rng(2026);
+  std::vector<img::Image> perturbed;
+  for (int p = 0; p < 5; ++p) {
+    std::vector<float> keep(segmentation.num_segments, 1.0f);
+    for (auto& k : keep) k = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+    perturbed.push_back(
+        explain::ApplySegmentMask(sample.expressive_frame, segmentation,
+                                  keep));
+  }
+  const std::vector<double> batch_probs = batched(perturbed);
+  ASSERT_EQ(batch_probs.size(), perturbed.size());
+  for (size_t p = 0; p < perturbed.size(); ++p) {
+    EXPECT_EQ(batch_probs[p], single(perturbed[p])) << "perturbation " << p;
+  }
+}
+
+TEST_P(BatchEquivalenceTest, PrecomputeFeaturesBatchedMatchesUncached) {
+  ModelWorld world;
+  cot::ChainConfig chain;
+  const auto samples = world.Pointers(10);
+
+  // Cached (PrecomputeFeatures chunked by the sweep's batch size) vs a
+  // fresh clone that computes features on the fly inside the batch call.
+  auto uncached = world.model.Clone();
+  uncached->ClearFeatureCache();
+  cot::ChainPipeline cached_pipeline(&world.model, chain);
+  cot::ChainPipeline uncached_pipeline(uncached.get(), chain);
+  const std::vector<double> cached = cached_pipeline.PredictBatch(samples);
+  const std::vector<double> fresh = uncached_pipeline.PredictBatch(samples);
+  ASSERT_EQ(cached.size(), fresh.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(cached[i], fresh[i]) << "sample " << i;
+  }
+}
+
+TEST_P(BatchEquivalenceTest, RationaleDropsInvariantAcrossSweep) {
+  ModelWorld world;
+  cot::ChainConfig chain;
+  bench::BenchOptions options;
+  options.seed = 77;
+  const auto samples = world.Pointers(6);
+
+  const std::vector<double> drops =
+      bench::RationaleDrops(world.model, chain, samples, options);
+  // Serial singles reference: batch 1, one thread.
+  SetDefaultBatchSize(1);
+  ThreadPool::SetGlobalThreads(1);
+  const std::vector<double> reference =
+      bench::RationaleDrops(world.model, chain, samples, options);
+  EXPECT_EQ(drops, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchThreadSweep, BatchEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 7, 32),
+                       ::testing::Values(1, 4)));
+
+}  // namespace
+}  // namespace vsd

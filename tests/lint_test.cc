@@ -232,6 +232,76 @@ TEST(UnorderedIterRule, AllowsLookupsOrderedMapsAndNonResultPaths) {
   EXPECT_TRUE(Rules("src/tensor/x.cc", non_result).empty());
 }
 
+TEST(PerSamplePredictRule, FlagsSinglePredictCallsInLoops) {
+  const std::string for_loop = R"cc(
+    void Eval(const cot::ChainPipeline& pipeline, const Dataset& test) {
+      for (const auto& sample : test.samples) {
+        Use(pipeline.PredictLabel(sample));
+      }
+    }
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("bench/x.cc", for_loop), "per-sample-predict"));
+  const std::string while_loop = R"cc(
+    void Eval(Model* model) {
+      int i = 0;
+      while (i < n) {
+        Use(model->PredictProbStressed(samples[i]));
+        ++i;
+      }
+    }
+  )cc";
+  EXPECT_TRUE(
+      HasRule(Rules("src/core/x.cc", while_loop), "per-sample-predict"));
+  const std::string parallel_map = R"cc(
+    const auto labels = ParallelMap<int>(test.size(), [&](int64_t i) {
+      return classifier.Predict(test.samples[i]);
+    });
+  )cc";
+  EXPECT_TRUE(
+      HasRule(Rules("bench/x.cc", parallel_map), "per-sample-predict"));
+  const std::string evaluate_predictor = R"cc(
+    const auto metrics = core::EvaluatePredictor(
+        [&](const data::VideoSample& sample) {
+          return pipeline.PredictLabel(sample);
+        },
+        test);
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("bench/x.cc", evaluate_predictor),
+                      "per-sample-predict"));
+}
+
+TEST(PerSamplePredictRule, AllowsBatchCallsTopLevelCallsAndOtherPaths) {
+  const std::string batched = R"cc(
+    void Eval(const cot::ChainPipeline& pipeline, const Dataset& test) {
+      for (int64_t b = 0; b < NumBatches(n, bs); ++b) {
+        Use(pipeline.PredictLabelBatch(Batch(test, b)));
+      }
+    }
+  )cc";
+  EXPECT_TRUE(Rules("bench/x.cc", batched).empty());
+  const std::string top_level = R"cc(
+    int One(const cot::ChainPipeline& pipeline, const Sample& sample) {
+      return pipeline.PredictLabel(sample);
+    }
+  )cc";
+  EXPECT_TRUE(Rules("bench/x.cc", top_level).empty());
+  const std::string other_path = R"cc(
+    void Eval(Model* model) {
+      for (const auto& s : samples) Use(model->PredictLabel(s));
+    }
+  )cc";
+  EXPECT_TRUE(Rules("src/cot/x.cc", other_path).empty());
+  const std::string suppressed = R"cc(
+    void Eval(const cot::ChainPipeline& pipeline, const Dataset& test) {
+      for (const auto& sample : test.samples) {
+        // vsd-lint: allow(per-sample-predict) retrieval is per-sample
+        Use(pipeline.PredictLabel(sample));
+      }
+    }
+  )cc";
+  EXPECT_TRUE(Rules("bench/x.cc", suppressed).empty());
+}
+
 // --------------------------------------------------------- suppressions ----
 
 TEST(SuppressionTest, TrailingAndPrecedingCommentsSuppress) {
@@ -260,8 +330,9 @@ TEST(FindingTest, ToStringIsClickable) {
 
 TEST(AllRulesTest, NamesAreStable) {
   const std::vector<std::string> expected = {
-      "raw-rand",     "rng-fork",      "float-eq",
-      "header-guard", "include-order", "unordered-iter",
+      "raw-rand",       "rng-fork",      "float-eq",
+      "header-guard",   "include-order", "unordered-iter",
+      "per-sample-predict",
   };
   EXPECT_EQ(AllRules(), expected);
 }
