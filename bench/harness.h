@@ -63,6 +63,22 @@ class PerfTimer {
 void WriteBenchPerfJson(const std::string& name, double wall_seconds,
                         int64_t samples, const BenchOptions& options);
 
+/// Serving/queue statistics for the perf sidecar of a serving bench.
+/// These are throughput diagnostics, not results: batch count and fill
+/// depend on timing, so they belong in the sidecar, never in a CSV.
+struct ServePerf {
+  int64_t batches_cut = 0;
+  double mean_batch_fill = 0.0;
+  int64_t retries = 0;
+  int64_t degraded = 0;        ///< Fallback + prior completions.
+  int64_t faults_injected = 0; ///< Total FaultInjector firings.
+};
+
+/// `WriteBenchPerfJson` with an extra "serve" block of queue statistics.
+void WriteBenchPerfJson(const std::string& name, double wall_seconds,
+                        int64_t samples, const BenchOptions& options,
+                        const ServePerf& serve);
+
 /// The two stress datasets (full-size unless quick) plus the AU dataset.
 struct BenchData {
   data::Dataset uvsd;

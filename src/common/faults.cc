@@ -1,0 +1,175 @@
+#include "common/faults.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace vsd {
+namespace {
+
+/// splitmix64 finalizer (same mixer Rng seeds through); full-avalanche, so
+/// nearby keys (consecutive sample ids, attempt numbers) decorrelate.
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Uniform double in [0, 1) from a hash (same 53-bit construction as
+/// Rng::Uniform).
+double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kCorruptFrame:
+      return "corrupt-frame";
+    case FaultKind::kNanActivation:
+      return "nan-activation";
+    case FaultKind::kStall:
+      return "stall";
+  }
+  return "unknown";
+}
+
+double FaultConfig::RateFor(FaultKind kind) const {
+  switch (kind) {
+    case FaultKind::kTransient:
+      return transient_rate;
+    case FaultKind::kCorruptFrame:
+      return corrupt_rate;
+    case FaultKind::kNanActivation:
+      return nan_rate;
+    case FaultKind::kStall:
+      return stall_rate;
+  }
+  return 0.0;
+}
+
+FaultConfig ParseFaultSpec(const std::string& spec) {
+  FaultConfig config;
+  for (const std::string& part : Split(spec, ',')) {
+    const size_t eq = part.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = Trim(part.substr(0, eq));
+    const std::string value = Trim(part.substr(eq + 1));
+    if (key == "transient") {
+      config.transient_rate = std::atof(value.c_str());
+    } else if (key == "corrupt") {
+      config.corrupt_rate = std::atof(value.c_str());
+    } else if (key == "nan") {
+      config.nan_rate = std::atof(value.c_str());
+    } else if (key == "stall") {
+      config.stall_rate = std::atof(value.c_str());
+    } else if (key == "stall_us") {
+      config.stall_micros = std::atoi(value.c_str());
+    } else if (key == "seed") {
+      config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    }
+  }
+  config.enabled = config.transient_rate > 0.0 || config.corrupt_rate > 0.0 ||
+                   config.nan_rate > 0.0 || config.stall_rate > 0.0;
+  return config;
+}
+
+uint64_t FaultHash(uint64_t a, uint64_t b) {
+  return Mix64(a ^ Mix64(b ^ 0x9E3779B97F4A7C15ULL));
+}
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("VSD_FAULTS");
+  if (env != nullptr && env[0] != '\0') {
+    Configure(ParseFaultSpec(env));
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Configure(const FaultConfig& config) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    config_ = config;
+  }
+  ResetCounts();
+  enabled_.store(config.enabled, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disable() { Configure(FaultConfig{}); }
+
+FaultConfig FaultInjector::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+bool FaultInjector::ShouldInject(FaultKind kind, std::string_view site,
+                                 uint64_t key) {
+  if (!enabled()) return false;
+  double rate;
+  uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rate = config_.RateFor(kind);
+    seed = config_.seed;
+  }
+  if (rate <= 0.0) return false;
+  // Pure in (seed, kind, site, key): the decision is attached to the work
+  // item, not to when or on which thread the site is reached.
+  const uint64_t h = FaultHash(
+      FaultHash(seed, static_cast<uint64_t>(kind) + 1), Fnv1a(site) ^ key);
+  const bool fire = HashToUnit(h) < rate;
+  if (fire) {
+    counts_[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
+  }
+  return fire;
+}
+
+Status FaultInjector::InjectTransient(std::string_view site, uint64_t key) {
+  if (!ShouldInject(FaultKind::kTransient, site, key)) return Status::OK();
+  return Status::Internal("injected transient fault at " + std::string(site));
+}
+
+bool FaultInjector::InjectStall(std::string_view site, uint64_t key) {
+  if (!ShouldInject(FaultKind::kStall, site, key)) return false;
+  int micros;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    micros = config_.stall_micros;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  return true;
+}
+
+int64_t FaultInjector::count(FaultKind kind) const {
+  return counts_[static_cast<int>(kind)].load(std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::TotalCount() const {
+  int64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+void FaultInjector::ResetCounts() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace vsd

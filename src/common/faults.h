@@ -1,0 +1,121 @@
+#ifndef VSD_COMMON_FAULTS_H_
+#define VSD_COMMON_FAULTS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace vsd {
+
+/// \brief Deterministic fault injection for robustness testing.
+///
+/// The serving layer (src/serve/) must survive the failure modes the RSL
+/// regime and the VLM stress-testing literature document: transient backend
+/// failures, corrupted/blank frames, non-finite activations, and slow
+/// workers. This layer injects exactly those faults, *deterministically*:
+/// every injection decision is a pure function of
+/// `(config.seed, fault kind, site name, caller key)` — never of wall-clock
+/// time, thread scheduling, or a shared mutable stream. The same seed
+/// therefore yields the identical fault schedule on every run, at every
+/// thread count and batch size, which is what lets tests and
+/// `bench_robustness` pin fault-mode behavior byte-for-byte.
+///
+/// Keys are chosen by the injection site so that a decision is attached to
+/// the *work item*, not the call order: serve workers key by
+/// (request id, attempt), pipeline stages by sample id, and the vision
+/// tower by a frame content hash. See docs/INTERNALS.md
+/// "Serving & fault injection" for the taxonomy and how to add a site.
+
+/// The injectable fault classes.
+enum class FaultKind {
+  kTransient = 0,      ///< Transient Status failure (retryable).
+  kCorruptFrame = 1,   ///< Input frame treated as corrupted/blank.
+  kNanActivation = 2,  ///< Activations poisoned with NaN.
+  kStall = 3,          ///< Worker stalls for `stall_micros`.
+};
+inline constexpr int kNumFaultKinds = 4;
+
+const char* FaultKindName(FaultKind kind);
+
+/// Per-kind firing rates plus the schedule seed. All rates in [0, 1].
+struct FaultConfig {
+  bool enabled = false;
+  uint64_t seed = 0;
+  double transient_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double nan_rate = 0.0;
+  double stall_rate = 0.0;
+  /// How long an injected stall sleeps.
+  int stall_micros = 2000;
+
+  double RateFor(FaultKind kind) const;
+};
+
+/// Parses a `VSD_FAULTS`-style spec, e.g.
+/// "transient=0.1,corrupt=0.05,nan=0.01,stall=0.02,stall_us=500,seed=7".
+/// Unknown keys are ignored; the result is enabled when any rate is > 0.
+FaultConfig ParseFaultSpec(const std::string& spec);
+
+/// Mixes a site/key pair into a 64-bit hash (FNV-1a over the site name,
+/// then splitmix64 over the key); exposed so injection sites can build
+/// compound keys (e.g. request id + attempt) deterministically.
+uint64_t FaultHash(uint64_t a, uint64_t b);
+
+/// \brief Process-wide injector. Disabled by default; configured either
+/// programmatically (`Configure`) or from the `VSD_FAULTS` environment
+/// variable on first use of `Global()`.
+///
+/// Thread-safe: decisions are pure functions of immutable-per-Configure
+/// state, counters are atomics, and `enabled()` is a lock-free early-out,
+/// so the disabled hot path costs one relaxed atomic load.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Installs a new config and resets the counters. Call from one thread
+  /// between serving sessions (benches reconfigure between sweep points).
+  void Configure(const FaultConfig& config);
+
+  /// Equivalent to Configure with a default (disabled) config.
+  void Disable();
+
+  FaultConfig config() const;
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// True iff the fault of `kind` at `site` fires for `key` under the
+  /// current config. Pure in (seed, kind, site, key); increments the
+  /// kind's counter when it fires.
+  bool ShouldInject(FaultKind kind, std::string_view site, uint64_t key);
+
+  /// `Status::Internal` describing the injected transient fault when it
+  /// fires for (site, key), OK otherwise.
+  Status InjectTransient(std::string_view site, uint64_t key);
+
+  /// Sleeps `stall_micros` when the stall fault fires for (site, key);
+  /// returns whether it fired.
+  bool InjectStall(std::string_view site, uint64_t key);
+
+  /// How many faults of `kind` have fired since the last Configure.
+  int64_t count(FaultKind kind) const;
+  int64_t TotalCount() const;
+  void ResetCounts();
+
+ private:
+  FaultInjector();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  ///< Guards config_ against concurrent Configure.
+  FaultConfig config_;
+  std::array<std::atomic<int64_t>, kNumFaultKinds> counts_{};
+};
+
+}  // namespace vsd
+
+#endif  // VSD_COMMON_FAULTS_H_

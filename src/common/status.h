@@ -18,6 +18,11 @@ enum class StatusCode {
   kInternal = 5,
   kUnimplemented = 6,
   kIoError = 7,
+  /// Transient resource exhaustion: the caller may retry later. Used by
+  /// the serving layer for backpressure (bounded queue full) and shutdown.
+  kUnavailable = 8,
+  /// A request's deadline expired before a result could be produced.
+  kDeadlineExceeded = 9,
 };
 
 /// \brief A lightweight success-or-error value.
@@ -64,6 +69,12 @@ class [[nodiscard]] Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -19,6 +20,13 @@ constexpr int kMaxChunks = 64;
 /// True while the current thread is executing chunks of some loop; nested
 /// ParallelFor calls check this and run inline.
 thread_local bool tls_in_parallel_region = false;
+
+/// Liveness watchdog period for the submitter's completion wait. The wait
+/// is deadline-aware (wait_for, never a bare wait): a stalled or wedged
+/// worker turns into a periodic warning with the loop's progress instead of
+/// a silent hang, which is what makes injected worker stalls (and real
+/// ones) diagnosable from the log.
+constexpr std::chrono::seconds kStallWarnPeriod(5);
 
 std::mutex g_global_mu;
 std::unique_ptr<ThreadPool> g_global_pool;
@@ -90,9 +98,18 @@ void ThreadPool::ParallelFor(int64_t n,
   RunChunks(&work);
   {
     std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] {
+    const auto done = [&] {
       return work.done_chunks == work.num_chunks && work.refs == 0;
-    });
+    };
+    int stalled_periods = 0;
+    while (!done_cv_.wait_for(lock, kStallWarnPeriod, done)) {
+      ++stalled_periods;
+      VSD_LOG(Warning) << "ParallelFor stalled for ~"
+                       << stalled_periods * kStallWarnPeriod.count()
+                       << "s (" << work.done_chunks << "/" << work.num_chunks
+                       << " chunks done, " << work.refs
+                       << " workers in flight); still waiting";
+    }
     work_ = nullptr;
   }
   // Rethrow the error of the lowest failing chunk. Chunks run their

@@ -1,8 +1,12 @@
 #include "cot/pipeline.h"
 
+#include <cmath>
+
+#include "common/faults.h"
 #include "common/logging.h"
 #include "cot/refinement.h"
 #include "text/templates.h"
+#include "vlm/vision.h"
 
 namespace vsd::cot {
 
@@ -98,6 +102,61 @@ std::vector<double> ChainPipeline::PredictBatch(
     vlm::FoundationModel::SampleSpan batch) const {
   return model_->AssessProbStressedBatch(batch,
                                          GreedyDescriptionBatch(batch));
+}
+
+std::vector<vsd::Result<double>> ChainPipeline::TryPredictBatch(
+    vlm::FoundationModel::SampleSpan batch) const {
+  std::vector<vsd::Result<double>> out;
+  out.reserve(batch.size());
+  FaultInjector& injector = FaultInjector::Global();
+  // Per-sample gate: validation, per-frame injected faults (keyed by frame
+  // content), and a per-sample pipeline transient (keyed by sample id).
+  std::vector<int> valid;
+  valid.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const data::VideoSample* sample = batch[i];
+    if (sample == nullptr) {
+      out.push_back(Status::InvalidArgument("sample is null"));
+      continue;
+    }
+    Status st = data::ValidateSample(*sample);
+    if (st.ok()) st = vlm::VisionTower::ProbeFrameFaults(sample->expressive_frame);
+    if (st.ok()) st = vlm::VisionTower::ProbeFrameFaults(sample->neutral_frame);
+    if (st.ok() && injector.enabled() &&
+        injector.ShouldInject(FaultKind::kTransient, "cot.pipeline",
+                              static_cast<uint64_t>(sample->id))) {
+      st = Status::Internal("injected transient fault at cot.pipeline");
+    }
+    if (!st.ok()) {
+      out.push_back(std::move(st));
+      continue;
+    }
+    out.push_back(0.0);  // Placeholder; filled from the forward below.
+    valid.push_back(static_cast<int>(i));
+  }
+  if (valid.empty()) return out;
+  // One forward over the valid subset. When every sample is valid this is
+  // the untouched span, so the values are bit-identical to PredictBatch.
+  std::vector<const data::VideoSample*> run;
+  run.reserve(valid.size());
+  for (int i : valid) run.push_back(batch[i]);
+  const std::vector<double> probs = PredictBatch(run);
+  for (size_t k = 0; k < valid.size(); ++k) {
+    if (std::isfinite(probs[k])) {
+      out[valid[k]] = probs[k];
+    } else {
+      out[valid[k]] =
+          Status::Internal("non-finite stress probability for sample " +
+                           std::to_string(batch[valid[k]]->id));
+    }
+  }
+  return out;
+}
+
+vsd::Result<double> ChainPipeline::TryPredictProbStressed(
+    const data::VideoSample& sample) const {
+  const data::VideoSample* one[] = {&sample};
+  return TryPredictBatch(one).front();
 }
 
 std::vector<int> ChainPipeline::PredictLabelBatch(

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "cot/chain_config.h"
 #include "data/sample.h"
 #include "vlm/foundation_model.h"
@@ -63,6 +64,29 @@ class ChainPipeline {
   /// Batched PredictLabel.
   std::vector<int> PredictLabelBatch(
       vlm::FoundationModel::SampleSpan batch) const;
+
+  // ---- Validated / fault-aware inference surface ----
+  //
+  // The serving layer predicts through these. Each sample is validated
+  // (data::ValidateSample) and checked against the global FaultInjector
+  // before the forward; the forward itself runs once over the valid subset
+  // only. Errors are PER SAMPLE: one bad sample never fails its
+  // batch-mates, which matters under dynamic batching where batch
+  // composition is timing-dependent — per-sample granularity is what keeps
+  // request outcomes deterministic. Successful entries are bit-identical
+  // to `PredictBatch` over the same samples (entry independence, PR 3).
+
+  /// Batched fallible prediction: entry i holds p_F(stressed) for
+  /// `batch[i]`, or the per-sample error. `InvalidArgument` = bad input or
+  /// injected frame corruption (not retryable); `Internal` = injected
+  /// transient / NaN activation or a genuine non-finite probability
+  /// (retryable upstream).
+  std::vector<vsd::Result<double>> TryPredictBatch(
+      vlm::FoundationModel::SampleSpan batch) const;
+
+  /// Single-sample convenience (batch-of-1 through TryPredictBatch).
+  vsd::Result<double> TryPredictProbStressed(
+      const data::VideoSample& sample) const;
 
   /// Chain run with an in-context example (Sec. IV-F): the example's label
   /// and (normalized) similarity shift the assessment.

@@ -41,9 +41,19 @@ double AuActivationProbability(int au_index, bool stressed, double au_gap) {
 }
 
 Dataset GenerateStressDataset(const StressGenConfig& config) {
-  VSD_CHECK(config.num_samples > 0) << "empty dataset";
-  VSD_CHECK(config.num_stressed <= config.num_samples)
-      << "num_stressed exceeds num_samples";
+  // Degenerate configs are programming errors; reject them loudly here
+  // rather than letting a 0-subject modulo or a 0-sample dataset surface as
+  // a crash (or an empty clip) deep inside training or serving.
+  VSD_CHECK(config.num_samples > 0)
+      << "StressGenConfig.num_samples must be > 0, got "
+      << config.num_samples;
+  VSD_CHECK(config.num_subjects > 0)
+      << "StressGenConfig.num_subjects must be > 0, got "
+      << config.num_subjects;
+  VSD_CHECK(config.num_stressed >= 0 &&
+            config.num_stressed <= config.num_samples)
+      << "StressGenConfig.num_stressed (" << config.num_stressed
+      << ") must be in [0, num_samples=" << config.num_samples << "]";
   Rng rng(config.seed);
 
   // Per-subject identity and idiosyncratic AU propensity offsets.
@@ -307,6 +317,8 @@ Dataset internal_MakeAuDatasetImpl(uint64_t seed, int num_samples,
 
 namespace vsd::data {
 Dataset AugmentFrames(const Dataset& dataset, int copies, uint64_t seed) {
+  VSD_CHECK(copies >= 0) << "AugmentFrames copies must be >= 0, got "
+                         << copies;
   Rng rng(seed);
   Dataset out;
   out.name = dataset.name + "+frames";

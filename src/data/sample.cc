@@ -1,8 +1,33 @@
 #include "data/sample.h"
 
+#include <cmath>
 #include <set>
+#include <string>
 
 namespace vsd::data {
+
+Status ValidateFrame(const img::Image& frame, const char* what) {
+  if (frame.width() <= 0 || frame.height() <= 0) {
+    return Status::InvalidArgument(std::string(what) + " is empty (" +
+                                   std::to_string(frame.width()) + "x" +
+                                   std::to_string(frame.height()) + ")");
+  }
+  const std::vector<float>& pixels = frame.pixels();
+  for (size_t i = 0; i < pixels.size(); ++i) {
+    if (!std::isfinite(pixels[i])) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " has a non-finite pixel at index " +
+                                     std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateSample(const VideoSample& sample) {
+  VSD_RETURN_IF_ERROR(ValidateFrame(sample.expressive_frame,
+                                    "expressive frame"));
+  return ValidateFrame(sample.neutral_frame, "neutral frame");
+}
 
 int Dataset::CountLabel(int label) const {
   int n = 0;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "face/au.h"
 #include "face/renderer.h"
 #include "img/image.h"
@@ -43,6 +44,16 @@ struct VideoSample {
   /// kStressed / kUnstressed, or kNoStressLabel for AU-only datasets.
   int stress_label = kNoStressLabel;
 };
+
+/// Validates one inference input frame: non-empty (both dimensions > 0)
+/// and every pixel finite. `what` names the frame in the error message.
+/// Returns `InvalidArgument` on violation — degraded clips (the RSL
+/// occlusion/noise regime, decoder failures) must surface as explicit
+/// errors at the serving boundary, never as silently propagated NaN.
+Status ValidateFrame(const img::Image& frame, const char* what);
+
+/// Validates a sample for inference: both frames pass `ValidateFrame`.
+Status ValidateSample(const VideoSample& sample);
 
 /// A named collection of samples.
 struct Dataset {

@@ -470,6 +470,46 @@ void CheckPerSamplePredict(const FileCtx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// blocking-wait-no-deadline: the serving layer's liveness contract is that
+// every accepted request resolves — which only holds if no code path can
+// block forever. A bare condition_variable wait() (no predicate timeout) or
+// a future get()/wait() parks the thread until someone else acts; under
+// fault injection (stalled workers, dropped notifications) that someone may
+// never come. Scoped to src/serve/: all waits there must be bounded
+// (wait_for/wait_until), and futures polled with wait_for before get().
+// Intentional unbounded waits carry an explicit
+// `// vsd-lint: allow(blocking-wait-no-deadline)` with a reason.
+// ---------------------------------------------------------------------------
+void CheckBlockingWait(const FileCtx& ctx) {
+  if (!StartsWith(ctx.path, "src/serve/")) return;
+  const auto& toks = ctx.lex.tokens;
+  for (size_t k = 2; k + 1 < toks.size(); ++k) {
+    if (toks[k].kind != TokenKind::kIdentifier) continue;
+    const std::string& access = toks[k - 1].text;
+    if (access != "." && access != "->") continue;
+    if (toks[k + 1].text != "(") continue;
+    if (toks[k].text == "wait") {
+      ctx.Report(toks[k].line, "blocking-wait-no-deadline",
+                 "unbounded 'wait()' in the serving layer; use "
+                 "wait_for/wait_until so a lost notification or stalled "
+                 "producer cannot park this thread forever");
+    } else if (toks[k].text == "get") {
+      // unique_ptr::get() and friends are everywhere; only a receiver that
+      // names a future is a blocking retrieval.
+      const Token& recv = toks[k - 2];
+      if (recv.kind == TokenKind::kIdentifier &&
+          recv.text.find("future") != std::string::npos) {
+        ctx.Report(toks[k].line, "blocking-wait-no-deadline",
+                   "'" + recv.text +
+                       ".get()' blocks without a deadline; wait_for the "
+                       "future first (or document why an unbounded block is "
+                       "safe and suppress)");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string Finding::ToString() const {
@@ -480,7 +520,7 @@ const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
       "raw-rand",       "rng-fork",      "float-eq",
       "header-guard",   "include-order", "unordered-iter",
-      "per-sample-predict",
+      "per-sample-predict", "blocking-wait-no-deadline",
   };
   return kRules;
 }
@@ -497,6 +537,7 @@ std::vector<Finding> LintContent(const std::string& path,
   CheckIncludeOrder(ctx);
   CheckUnorderedIter(ctx);
   CheckPerSamplePredict(ctx);
+  CheckBlockingWait(ctx);
 
   // A `// vsd-lint: allow(rule)` comment suppresses findings on its own
   // line and on the following line.

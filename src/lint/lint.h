@@ -26,6 +26,8 @@ struct Finding {
 ///  * include-order   — include group mixes <>/"" kinds or is unsorted
 ///  * unordered-iter  — iteration over unordered containers in result paths
 ///  * per-sample-predict — single-sample predict call looped in bench/core
+///  * blocking-wait-no-deadline — unbounded cv wait() / future get() in
+///    src/serve/ (every serving-layer wait must be bounded)
 ///
 /// All rule names, for CLI validation and tests.
 const std::vector<std::string>& AllRules();

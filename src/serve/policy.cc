@@ -1,0 +1,37 @@
+#include "serve/policy.h"
+
+#include "common/logging.h"
+
+namespace vsd::serve {
+
+const char* DegradationLevelName(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kFull:
+      return "full";
+    case DegradationLevel::kFallback:
+      return "fallback";
+    case DegradationLevel::kPrior:
+      return "prior";
+  }
+  VSD_CHECK(false) << "unknown DegradationLevel";
+  return "?";
+}
+
+int64_t BackoffMicros(const RetryPolicy& policy, int attempt) {
+  VSD_CHECK(attempt >= 1) << "backoff is for retries, attempt must be >= 1";
+  double backoff = static_cast<double>(policy.initial_backoff_micros);
+  for (int i = 1; i < attempt; ++i) {
+    backoff *= policy.backoff_multiplier;
+    if (backoff >= static_cast<double>(policy.max_backoff_micros)) break;
+  }
+  const auto capped = static_cast<int64_t>(backoff);
+  return capped < policy.max_backoff_micros ? capped
+                                            : policy.max_backoff_micros;
+}
+
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kInternal ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+}  // namespace vsd::serve

@@ -1,0 +1,49 @@
+#ifndef VSD_SERVE_POLICY_H_
+#define VSD_SERVE_POLICY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace vsd::serve {
+
+/// \brief Retry and degradation policy for the serving layer.
+///
+/// Every decision here is a pure function of its arguments — backoff is a
+/// deterministic capped exponential, never jittered by wall-clock or a
+/// shared RNG — so a request's retry schedule depends only on its own
+/// attempt history, and the same fault schedule yields the same outcomes
+/// at any thread count.
+
+/// How a request was ultimately answered. The ladder is ordered: the
+/// server walks down it one rung at a time as failures accumulate.
+enum class DegradationLevel {
+  kFull = 0,      ///< Full chain pipeline answer.
+  kFallback = 1,  ///< Cheap pretrained fallback classifier answer.
+  kPrior = 2,     ///< Calibrated prior probability (no model at all).
+};
+
+const char* DegradationLevelName(DegradationLevel level);
+
+/// Capped exponential backoff between retry attempts.
+struct RetryPolicy {
+  /// Retries after the first attempt; 0 disables retry entirely.
+  int max_retries = 2;
+  int64_t initial_backoff_micros = 500;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_micros = 4000;
+};
+
+/// Backoff before retry number `attempt` (1-based: the delay after the
+/// attempt'th failure). Deterministic: initial * multiplier^(attempt-1),
+/// capped at max_backoff_micros.
+int64_t BackoffMicros(const RetryPolicy& policy, int attempt);
+
+/// Whether a failed prediction is worth retrying. Transient backend
+/// failures (`Internal`, `Unavailable`) are; caller errors
+/// (`InvalidArgument`) and expired deadlines (`DeadlineExceeded`) are not.
+bool IsRetryable(const Status& status);
+
+}  // namespace vsd::serve
+
+#endif  // VSD_SERVE_POLICY_H_

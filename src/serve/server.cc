@@ -1,0 +1,357 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "common/batching.h"
+#include "common/faults.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace vsd::serve {
+
+namespace {
+
+constexpr std::chrono::microseconds Micros(int64_t us) {
+  return std::chrono::microseconds(us);
+}
+
+/// Idle sleep backstop: Submit/Shutdown notify the cv, so this only bounds
+/// how stale a worker's view can get if a notification is missed.
+constexpr std::chrono::milliseconds kIdleWake(10);
+/// Floor on computed wake delays, so an imminent event cannot degenerate
+/// into a zero-timeout busy loop.
+constexpr std::chrono::microseconds kMinWake(50);
+
+}  // namespace
+
+StressServer::StressServer(const cot::ChainPipeline* pipeline,
+                           const ServeConfig& config,
+                           const baselines::StressClassifier* fallback)
+    : pipeline_(pipeline), fallback_(fallback), config_(config) {
+  VSD_CHECK(pipeline_ != nullptr) << "null pipeline";
+  VSD_CHECK(config_.max_queue >= 1) << "max_queue must be >= 1";
+  VSD_CHECK(config_.max_batch >= 1) << "max_batch must be >= 1";
+  VSD_CHECK(config_.num_workers >= 0) << "num_workers must be >= 0";
+  VSD_CHECK(config_.prior_prob >= 0.0 && config_.prior_prob <= 1.0)
+      << "prior_prob must be a probability";
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+StressServer::~StressServer() { Shutdown(); }
+
+std::future<vsd::Result<ServeResult>> StressServer::Submit(
+    const data::VideoSample& sample, int64_t deadline_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) {
+    std::promise<vsd::Result<ServeResult>> rejected;
+    rejected.set_value(Status::Unavailable("server is shut down"));
+    return rejected.get_future();
+  }
+  stats_.AddSubmitted();
+  if (static_cast<int>(pending_.size()) >= config_.max_queue) {
+    stats_.AddRejectedQueueFull();
+    std::promise<vsd::Result<ServeResult>> rejected;
+    rejected.set_value(Status::Unavailable(
+        "serve queue full (" + std::to_string(config_.max_queue) +
+        " pending); retry later"));
+    return rejected.get_future();
+  }
+  auto req = std::make_unique<Request>();
+  req->id = next_id_++;
+  req->sample = sample;
+  const Clock::time_point now = Clock::now();
+  req->enqueued_at = now;
+  req->ready_at = now;
+  const int64_t effective_deadline = deadline_micros > 0
+                                         ? deadline_micros
+                                         : config_.default_deadline_micros;
+  if (effective_deadline > 0) {
+    req->has_deadline = true;
+    req->deadline = now + Micros(effective_deadline);
+  }
+  std::future<vsd::Result<ServeResult>> future = req->promise.get_future();
+  pending_.push_back(std::move(req));
+  cv_.notify_one();
+  return future;
+}
+
+void StressServer::Shutdown() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    workers.swap(workers_);
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers) worker.join();
+  // With workers the drain leaves nothing behind; a workerless server (or
+  // one whose drain raced a final requeue) resolves the leftovers here so
+  // no future is ever left hanging.
+  std::deque<std::unique_ptr<Request>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(pending_);
+  }
+  for (std::unique_ptr<Request>& req : leftover) {
+    stats_.AddDroppedOnShutdown();
+    req->promise.set_value(
+        Status::Unavailable("server shut down before the request was served"));
+  }
+}
+
+void StressServer::WorkerLoop() {
+  while (true) {
+    std::vector<std::unique_ptr<Request>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        const Clock::time_point now = Clock::now();
+        ResolveExpiredLocked(now);
+        batch = CutBatchLocked(now);
+        if (!batch.empty()) break;
+        if (stop_ && pending_.empty()) return;
+        cv_.wait_for(lock, NextWakeDelayLocked(now));
+      }
+    }
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void StressServer::ResolveExpiredLocked(Clock::time_point now) {
+  size_t write = 0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    std::unique_ptr<Request>& req = pending_[i];
+    if (req->has_deadline && req->deadline <= now) {
+      stats_.AddDeadlineExceeded();
+      req->promise.set_value(Status::DeadlineExceeded(
+          "deadline expired before request " + std::to_string(req->id) +
+          " could be served"));
+      continue;
+    }
+    if (write != i) pending_[write] = std::move(req);
+    ++write;
+  }
+  pending_.resize(write);
+}
+
+std::vector<std::unique_ptr<StressServer::Request>>
+StressServer::CutBatchLocked(Clock::time_point now) {
+  // A request is ready once past its backoff gate; the shutdown drain
+  // treats everything as ready (remaining backoff is pointless then).
+  std::vector<size_t> ready;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (stop_ || pending_[i]->ready_at <= now) {
+      ready.push_back(i);
+      if (static_cast<int>(ready.size()) >= config_.max_batch) break;
+    }
+  }
+  if (ready.empty()) return {};
+  bool due = stop_ || static_cast<int>(ready.size()) >= config_.max_batch;
+  if (!due) {
+    // Age-based cut: some ready request has waited out the batching delay
+    // (requeued retries keep their original enqueue time, so they are
+    // dispatched with the next cut rather than re-paying the delay).
+    Clock::time_point oldest = pending_[ready.front()]->enqueued_at;
+    for (size_t idx : ready) {
+      oldest = std::min(oldest, pending_[idx]->enqueued_at);
+    }
+    due = oldest + Micros(config_.max_batch_delay_micros) <= now;
+  }
+  if (!due) return {};
+  std::vector<std::unique_ptr<Request>> batch;
+  batch.reserve(ready.size());
+  for (size_t idx : ready) batch.push_back(std::move(pending_[idx]));
+  size_t write = 0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i] == nullptr) continue;
+    if (write != i) pending_[write] = std::move(pending_[i]);
+    ++write;
+  }
+  pending_.resize(write);
+  return batch;
+}
+
+StressServer::Clock::duration StressServer::NextWakeDelayLocked(
+    Clock::time_point now) const {
+  Clock::duration delay = kIdleWake;
+  for (const std::unique_ptr<Request>& req : pending_) {
+    if (req->has_deadline) delay = std::min(delay, req->deadline - now);
+    if (req->ready_at > now) delay = std::min(delay, req->ready_at - now);
+    delay = std::min(
+        delay,
+        req->enqueued_at + Micros(config_.max_batch_delay_micros) - now);
+  }
+  return std::max<Clock::duration>(delay, kMinWake);
+}
+
+void StressServer::ProcessBatch(
+    std::vector<std::unique_ptr<Request>> batch) {
+  const size_t n = batch.size();
+  stats_.AddBatch(static_cast<int64_t>(n));
+
+  // An open breaker short-circuits the whole batch before any work (or
+  // fault draw) happens: requests go straight to the degraded answer.
+  bool breaker_open = false;
+  if (config_.breaker_threshold > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    breaker_open = consecutive_failures_ >= config_.breaker_threshold &&
+                   Clock::now() < breaker_open_until_;
+  }
+  if (breaker_open) {
+    Degrade(std::move(batch));
+    return;
+  }
+
+  // Worker-site faults are keyed by (request id, attempt): a retry is a new
+  // key with fresh draws, so injected worker transients are genuinely
+  // transient and retry can succeed.
+  FaultInjector& injector = FaultInjector::Global();
+  std::vector<Status> worker_status(n, Status::OK());
+  if (injector.enabled()) {
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t key =
+          FaultHash(static_cast<uint64_t>(batch[i]->id),
+                    static_cast<uint64_t>(batch[i]->attempt));
+      if (injector.InjectStall("serve.worker", key)) stats_.AddStall();
+      worker_status[i] = injector.InjectTransient("serve.worker", key);
+    }
+  }
+
+  // One pipeline pass over the requests that reached it, chunked onto the
+  // global thread pool at the process batch size. Per-sample Result
+  // granularity + entry independence make the chunking invisible.
+  std::vector<const data::VideoSample*> run;
+  run.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (worker_status[i].ok()) {
+      run.push_back(&batch[i]->sample);
+    }
+  }
+  std::vector<vsd::Result<double>> probs(run.size(),
+                                         vsd::Result<double>(0.0));
+  if (!run.empty()) {
+    const int chunk_size = DefaultBatchSize();
+    const int64_t num_chunks =
+        NumBatches(static_cast<int64_t>(run.size()), chunk_size);
+    ParallelFor(num_chunks, [&](int64_t c) {
+      const auto [begin, end] =
+          BatchBounds(static_cast<int64_t>(run.size()), chunk_size, c);
+      const std::span<const data::VideoSample* const> sub(
+          run.data() + begin, static_cast<size_t>(end - begin));
+      std::vector<vsd::Result<double>> chunk =
+          pipeline_->TryPredictBatch(sub);
+      for (int64_t k = 0; k < end - begin; ++k) {
+        probs[begin + k] = std::move(chunk[k]);
+      }
+    });
+  }
+
+  std::vector<std::unique_ptr<Request>> degrade;
+  size_t next_run = 0;
+  for (size_t i = 0; i < n; ++i) {
+    std::unique_ptr<Request>& req = batch[i];
+    req->attempt += 1;
+    Status failure;
+    double prob = 0.0;
+    if (!worker_status[i].ok()) {
+      failure = worker_status[i];
+    } else {
+      vsd::Result<double>& result = probs[next_run++];
+      if (result.ok()) {
+        prob = *result;
+      } else {
+        failure = result.status();
+      }
+    }
+
+    if (failure.ok()) {
+      if (config_.breaker_threshold > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        consecutive_failures_ = 0;
+      }
+      ServeResult res;
+      res.prob_stressed = prob;
+      res.label = prob >= 0.5 ? 1 : 0;
+      res.degradation = DegradationLevel::kFull;
+      res.attempts = req->attempt;
+      stats_.AddCompletedFull();
+      req->promise.set_value(std::move(res));
+      continue;
+    }
+
+    if (!IsRetryable(failure)) {
+      // Caller error (bad input / injected corruption): no retry would
+      // change the answer, so it goes straight back.
+      stats_.AddInvalidArgument();
+      req->promise.set_value(std::move(failure));
+      continue;
+    }
+
+    if (config_.breaker_threshold > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++consecutive_failures_ >= config_.breaker_threshold) {
+        breaker_open_until_ =
+            Clock::now() + Micros(config_.breaker_reset_micros);
+      }
+    }
+
+    const Clock::time_point now = Clock::now();
+    const bool retries_left = req->attempt <= config_.retry.max_retries;
+    const int64_t backoff_micros =
+        retries_left ? BackoffMicros(config_.retry, req->attempt) : 0;
+    const bool fits_deadline =
+        !req->has_deadline || now + Micros(backoff_micros) < req->deadline;
+    if (retries_left && fits_deadline) {
+      stats_.AddRetry();
+      req->ready_at = now + Micros(backoff_micros);
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(std::move(req));
+      cv_.notify_one();
+    } else {
+      // Out of retries (or no time for one): walk down the ladder instead
+      // of failing the caller.
+      degrade.push_back(std::move(req));
+    }
+  }
+  Degrade(std::move(degrade));
+}
+
+void StressServer::Degrade(
+    std::vector<std::unique_ptr<Request>> requests) {
+  if (requests.empty()) return;
+  std::vector<double> probs;
+  DegradationLevel level;
+  if (fallback_ != nullptr) {
+    level = DegradationLevel::kFallback;
+    std::vector<const data::VideoSample*> samples;
+    samples.reserve(requests.size());
+    for (const std::unique_ptr<Request>& req : requests) {
+      samples.push_back(&req->sample);
+    }
+    probs = fallback_->PredictProbStressedBatch(samples);
+  } else {
+    level = DegradationLevel::kPrior;
+    probs.assign(requests.size(), config_.prior_prob);
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ServeResult res;
+    res.prob_stressed = probs[i];
+    res.label = probs[i] >= 0.5 ? 1 : 0;
+    res.degradation = level;
+    res.attempts = requests[i]->attempt;
+    if (level == DegradationLevel::kFallback) {
+      stats_.AddCompletedFallback();
+    } else {
+      stats_.AddCompletedPrior();
+    }
+    requests[i]->promise.set_value(std::move(res));
+  }
+}
+
+}  // namespace vsd::serve

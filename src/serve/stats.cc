@@ -1,0 +1,44 @@
+#include "serve/stats.h"
+
+#include <cstdio>
+
+namespace vsd::serve {
+
+std::string ServeStatsSnapshot::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "submitted=%lld ok=%lld fallback=%lld prior=%lld "
+                "invalid=%lld deadline=%lld rejected=%lld dropped=%lld "
+                "retries=%lld batches=%lld fill=%.2f stalls=%lld",
+                static_cast<long long>(submitted),
+                static_cast<long long>(completed_full),
+                static_cast<long long>(completed_fallback),
+                static_cast<long long>(completed_prior),
+                static_cast<long long>(invalid_arguments),
+                static_cast<long long>(deadline_exceeded),
+                static_cast<long long>(rejected_queue_full),
+                static_cast<long long>(dropped_on_shutdown),
+                static_cast<long long>(retries),
+                static_cast<long long>(batches_cut), MeanBatchFill(),
+                static_cast<long long>(stalls));
+  return buf;
+}
+
+ServeStatsSnapshot ServeStats::Snapshot() const {
+  ServeStatsSnapshot snap;
+  snap.submitted = submitted_.load(kOrder);
+  snap.rejected_queue_full = rejected_queue_full_.load(kOrder);
+  snap.invalid_arguments = invalid_arguments_.load(kOrder);
+  snap.completed_full = completed_full_.load(kOrder);
+  snap.completed_fallback = completed_fallback_.load(kOrder);
+  snap.completed_prior = completed_prior_.load(kOrder);
+  snap.deadline_exceeded = deadline_exceeded_.load(kOrder);
+  snap.dropped_on_shutdown = dropped_on_shutdown_.load(kOrder);
+  snap.retries = retries_.load(kOrder);
+  snap.batches_cut = batches_cut_.load(kOrder);
+  snap.batched_samples = batched_samples_.load(kOrder);
+  snap.stalls = stalls_.load(kOrder);
+  return snap;
+}
+
+}  // namespace vsd::serve

@@ -1,0 +1,91 @@
+#ifndef VSD_SERVE_STATS_H_
+#define VSD_SERVE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace vsd::serve {
+
+/// Point-in-time copy of a server's counters. Outcome counters partition
+/// the submitted requests: every accepted request resolves into exactly one
+/// of {completed_full, completed_fallback, completed_prior,
+/// invalid_arguments, deadline_exceeded, dropped_on_shutdown}; rejected
+/// requests (rejected_queue_full) never enter the queue.
+struct ServeStatsSnapshot {
+  int64_t submitted = 0;
+  int64_t rejected_queue_full = 0;
+  int64_t invalid_arguments = 0;
+  int64_t completed_full = 0;
+  int64_t completed_fallback = 0;
+  int64_t completed_prior = 0;
+  int64_t deadline_exceeded = 0;
+  int64_t dropped_on_shutdown = 0;
+  int64_t retries = 0;        ///< Re-enqueues after a retryable failure.
+  int64_t batches_cut = 0;    ///< Dynamic batches dispatched to workers.
+  int64_t batched_samples = 0;  ///< Requests across all cut batches.
+  int64_t stalls = 0;         ///< Injected worker stalls endured.
+
+  /// Requests answered without the full pipeline (the degradation ladder's
+  /// lower rungs).
+  int64_t Degraded() const { return completed_fallback + completed_prior; }
+
+  /// Requests that resolved, one way or another.
+  int64_t Resolved() const {
+    return completed_full + completed_fallback + completed_prior +
+           invalid_arguments + deadline_exceeded + dropped_on_shutdown;
+  }
+
+  /// Mean requests per cut batch (batch fill); 0 when no batch was cut.
+  double MeanBatchFill() const {
+    return batches_cut > 0
+               ? static_cast<double>(batched_samples) /
+                     static_cast<double>(batches_cut)
+               : 0.0;
+  }
+
+  /// One-line human-readable rendering for logs.
+  std::string ToString() const;
+};
+
+/// \brief Thread-safe serving counters (relaxed atomics; counts are
+/// monotonic tallies, never used for synchronization).
+class ServeStats {
+ public:
+  void AddSubmitted() { submitted_.fetch_add(1, kOrder); }
+  void AddRejectedQueueFull() { rejected_queue_full_.fetch_add(1, kOrder); }
+  void AddInvalidArgument() { invalid_arguments_.fetch_add(1, kOrder); }
+  void AddCompletedFull() { completed_full_.fetch_add(1, kOrder); }
+  void AddCompletedFallback() { completed_fallback_.fetch_add(1, kOrder); }
+  void AddCompletedPrior() { completed_prior_.fetch_add(1, kOrder); }
+  void AddDeadlineExceeded() { deadline_exceeded_.fetch_add(1, kOrder); }
+  void AddDroppedOnShutdown() { dropped_on_shutdown_.fetch_add(1, kOrder); }
+  void AddRetry() { retries_.fetch_add(1, kOrder); }
+  void AddBatch(int64_t num_requests) {
+    batches_cut_.fetch_add(1, kOrder);
+    batched_samples_.fetch_add(num_requests, kOrder);
+  }
+  void AddStall() { stalls_.fetch_add(1, kOrder); }
+
+  ServeStatsSnapshot Snapshot() const;
+
+ private:
+  static constexpr std::memory_order kOrder = std::memory_order_relaxed;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> rejected_queue_full_{0};
+  std::atomic<int64_t> invalid_arguments_{0};
+  std::atomic<int64_t> completed_full_{0};
+  std::atomic<int64_t> completed_fallback_{0};
+  std::atomic<int64_t> completed_prior_{0};
+  std::atomic<int64_t> deadline_exceeded_{0};
+  std::atomic<int64_t> dropped_on_shutdown_{0};
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> batches_cut_{0};
+  std::atomic<int64_t> batched_samples_{0};
+  std::atomic<int64_t> stalls_{0};
+};
+
+}  // namespace vsd::serve
+
+#endif  // VSD_SERVE_STATS_H_

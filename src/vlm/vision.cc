@@ -1,5 +1,11 @@
 #include "vlm/vision.h"
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/faults.h"
 #include "common/logging.h"
 #include "tensor/autograd.h"
 
@@ -99,6 +105,151 @@ Tensor VisionTower::EmbedPair(const img::Image& expressive,
   const img::Image* e[] = {&expressive};
   const img::Image* l[] = {&neutral};
   return EmbedPairs(e, l).Row(0);
+}
+
+Status VisionTower::ValidateImages(
+    std::span<const img::Image* const> images) {
+  for (size_t i = 0; i < images.size(); ++i) {
+    if (images[i] == nullptr) {
+      return Status::InvalidArgument("image " + std::to_string(i) +
+                                     " is null");
+    }
+    const img::Image& image = *images[i];
+    if (image.width() <= 0 || image.height() <= 0) {
+      return Status::InvalidArgument(
+          "image " + std::to_string(i) + " is empty (" +
+          std::to_string(image.width()) + "x" +
+          std::to_string(image.height()) + ")");
+    }
+    for (float pixel : image.pixels()) {
+      if (!std::isfinite(pixel)) {
+        return Status::InvalidArgument("image " + std::to_string(i) +
+                                       " has non-finite pixel values");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t VisionTower::FrameKey(const img::Image& image) {
+  // FNV-1a over dims + pixel bit patterns: stable across runs, sensitive to
+  // any content change, independent of batch composition and call order.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  const auto mix = [&h](uint32_t word) {
+    for (int b = 0; b < 4; ++b) {
+      h ^= (word >> (8 * b)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  mix(static_cast<uint32_t>(image.width()));
+  mix(static_cast<uint32_t>(image.height()));
+  for (float pixel : image.pixels()) {
+    uint32_t bits;
+    std::memcpy(&bits, &pixel, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+Status VisionTower::ProbeFrameFaults(const img::Image& image) {
+  FaultInjector& injector = FaultInjector::Global();
+  if (!injector.enabled()) return Status::OK();
+  const uint64_t key = FrameKey(image);
+  if (injector.ShouldInject(FaultKind::kCorruptFrame, "vision.encode", key)) {
+    return Status::InvalidArgument(
+        "injected corrupt frame at vision.encode");
+  }
+  if (injector.ShouldInject(FaultKind::kNanActivation, "vision.encode",
+                            key)) {
+    return Status::Internal(
+        "non-finite activation in vision tower output (injected)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Scans encoded rows for non-finite values; `poison_rows[i]` marks rows
+/// whose activations were NaN-poisoned by fault injection.
+Status CheckRowsFinite(tensor::Tensor* rows,
+                       const std::vector<bool>& poison_rows, int dim) {
+  for (size_t i = 0; i < poison_rows.size(); ++i) {
+    if (!poison_rows[i]) continue;
+    for (int j = 0; j < dim; ++j) {
+      rows->at(static_cast<int>(i), j) =
+          std::numeric_limits<float>::quiet_NaN();
+    }
+  }
+  for (int i = 0; i < rows->dim(0); ++i) {
+    for (int j = 0; j < dim; ++j) {
+      if (!std::isfinite(rows->at(i, j))) {
+        return Status::Internal(
+            "non-finite activation in vision tower output row " +
+            std::to_string(i) +
+            (i < static_cast<int>(poison_rows.size()) && poison_rows[i]
+                 ? " (injected)"
+                 : ""));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+vsd::Result<Tensor> VisionTower::TryEncodeBatch(
+    std::span<const img::Image* const> images) const {
+  VSD_RETURN_IF_ERROR(ValidateImages(images));
+  FaultInjector& injector = FaultInjector::Global();
+  std::vector<bool> poison(images.size(), false);
+  if (injector.enabled()) {
+    for (size_t i = 0; i < images.size(); ++i) {
+      const uint64_t key = FrameKey(*images[i]);
+      if (injector.ShouldInject(FaultKind::kCorruptFrame, "vision.encode",
+                                key)) {
+        return Status::InvalidArgument("injected corrupt frame at row " +
+                                       std::to_string(i));
+      }
+      poison[i] = injector.ShouldInject(FaultKind::kNanActivation,
+                                        "vision.encode", key);
+    }
+  }
+  Tensor rows = EncodeBatch(images);
+  VSD_RETURN_IF_ERROR(CheckRowsFinite(&rows, poison, embed_dim_));
+  return rows;
+}
+
+vsd::Result<Tensor> VisionTower::TryEmbedPairs(
+    std::span<const img::Image* const> expressive,
+    std::span<const img::Image* const> neutral) const {
+  if (expressive.size() != neutral.size()) {
+    return Status::InvalidArgument(
+        "TryEmbedPairs: expressive/neutral size mismatch (" +
+        std::to_string(expressive.size()) + " vs " +
+        std::to_string(neutral.size()) + ")");
+  }
+  VSD_RETURN_IF_ERROR(ValidateImages(expressive));
+  VSD_RETURN_IF_ERROR(ValidateImages(neutral));
+  FaultInjector& injector = FaultInjector::Global();
+  std::vector<bool> poison(expressive.size(), false);
+  if (injector.enabled()) {
+    for (size_t i = 0; i < expressive.size(); ++i) {
+      for (const img::Image* frame : {expressive[i], neutral[i]}) {
+        const uint64_t key = FrameKey(*frame);
+        if (injector.ShouldInject(FaultKind::kCorruptFrame, "vision.encode",
+                                  key)) {
+          return Status::InvalidArgument("injected corrupt frame at pair " +
+                                         std::to_string(i));
+        }
+        poison[i] = poison[i] || injector.ShouldInject(
+                                     FaultKind::kNanActivation,
+                                     "vision.encode", key);
+      }
+    }
+  }
+  Tensor pairs = EmbedPairs(expressive, neutral);
+  VSD_RETURN_IF_ERROR(CheckRowsFinite(&pairs, poison, 2 * embed_dim_));
+  return pairs;
 }
 
 std::vector<Var> VisionTower::Parameters() const {

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/result.h"
 #include "common/rng.h"
 #include "img/image.h"
 #include "nn/layers.h"
@@ -58,6 +59,44 @@ class VisionTower : public nn::Module {
   /// (batch-of-1 through EmbedPairs).
   tensor::Tensor EmbedPair(const img::Image& expressive,
                            const img::Image& neutral) const;
+
+  // ---- Validated / fault-aware inference surface ----
+  //
+  // The serving layer reaches the tower through these: inputs are validated
+  // (empty or non-finite frames -> InvalidArgument instead of a silent NaN
+  // forward), injected corrupt-frame faults surface as InvalidArgument, and
+  // injected NaN-activation faults poison the affected row and are caught
+  // by a finiteness scan of the output (-> Internal), exactly as a genuine
+  // numerical blow-up would be. The plain EncodeBatch/EmbedPairs above stay
+  // validation-free: they are the trusted trainer/bench hot path.
+
+  /// Validates an inference batch: every image non-null, non-empty, and
+  /// all-finite. `InvalidArgument` names the offending batch index.
+  static Status ValidateImages(std::span<const img::Image* const> images);
+
+  /// Deterministic content key of a frame (FNV-1a over dimensions and
+  /// pixel bit patterns); the fault-injection key for per-frame faults, so
+  /// a given frame draws the same faults regardless of which batch, call
+  /// order, or thread it arrives on.
+  static uint64_t FrameKey(const img::Image& image);
+
+  /// Non-OK iff an injected per-frame fault fires for this frame under the
+  /// global FaultInjector: corrupt-frame -> InvalidArgument,
+  /// nan-activation -> Internal. Pure in the frame content (via FrameKey),
+  /// so callers upstream of a batched forward can predict — per sample —
+  /// exactly which rows the tower would reject, and route around them.
+  static Status ProbeFrameFaults(const img::Image& image);
+
+  /// Validated, fault-checked EncodeBatch. On success the tensor is
+  /// bit-identical to `EncodeBatch(images)` and guaranteed all-finite;
+  /// otherwise returns the first failing row's status.
+  vsd::Result<tensor::Tensor> TryEncodeBatch(
+      std::span<const img::Image* const> images) const;
+
+  /// Validated, fault-checked EmbedPairs; same contract as TryEncodeBatch.
+  vsd::Result<tensor::Tensor> TryEmbedPairs(
+      std::span<const img::Image* const> expressive,
+      std::span<const img::Image* const> neutral) const;
 
   int dim() const { return embed_dim_; }
 

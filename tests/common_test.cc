@@ -3,6 +3,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/faults.h"
 #include "common/math_util.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -350,6 +351,152 @@ TEST(TableTest, CsvQuotesCommas) {
   Table t({"a"});
   t.AddRow({"x,y"});
   EXPECT_NE(t.ToCsv().find("\"x,y\""), std::string::npos);
+}
+
+// ---- Fault injection ----
+
+TEST(FaultsTest, DisabledInjectorNeverFires) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Disable();
+  EXPECT_FALSE(injector.enabled());
+  for (uint64_t key = 0; key < 200; ++key) {
+    EXPECT_FALSE(injector.ShouldInject(FaultKind::kTransient, "site", key));
+    EXPECT_TRUE(injector.InjectTransient("site", key).ok());
+    EXPECT_FALSE(injector.InjectStall("site", key));
+  }
+  EXPECT_EQ(injector.TotalCount(), 0);
+}
+
+TEST(FaultsTest, SameSeedSameDecisionsAcrossReconfigure) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultConfig config;
+  config.enabled = true;
+  config.seed = 11;
+  config.transient_rate = 0.25;
+  config.corrupt_rate = 0.1;
+
+  injector.Configure(config);
+  std::vector<bool> first;
+  for (uint64_t key = 0; key < 500; ++key) {
+    first.push_back(injector.ShouldInject(FaultKind::kTransient, "a", key));
+    first.push_back(injector.ShouldInject(FaultKind::kCorruptFrame, "a", key));
+  }
+  // Reconfigure with the same seed: the schedule is a pure function of
+  // (seed, kind, site, key), so call history cannot matter.
+  injector.Configure(config);
+  std::vector<bool> second;
+  for (uint64_t key = 0; key < 500; ++key) {
+    second.push_back(injector.ShouldInject(FaultKind::kTransient, "a", key));
+    second.push_back(
+        injector.ShouldInject(FaultKind::kCorruptFrame, "a", key));
+  }
+  EXPECT_EQ(first, second);
+  injector.Disable();
+}
+
+TEST(FaultsTest, DecisionsVaryWithSeedSiteAndKind) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultConfig config;
+  config.enabled = true;
+  config.seed = 11;
+  config.transient_rate = 0.5;
+  config.corrupt_rate = 0.5;
+  injector.Configure(config);
+
+  int seed_diff = 0, site_diff = 0, kind_diff = 0;
+  std::vector<bool> base;
+  for (uint64_t key = 0; key < 300; ++key) {
+    base.push_back(injector.ShouldInject(FaultKind::kTransient, "a", key));
+  }
+  for (uint64_t key = 0; key < 300; ++key) {
+    site_diff +=
+        injector.ShouldInject(FaultKind::kTransient, "b", key) != base[key];
+    kind_diff +=
+        injector.ShouldInject(FaultKind::kCorruptFrame, "a", key) != base[key];
+  }
+  config.seed = 12;
+  injector.Configure(config);
+  for (uint64_t key = 0; key < 300; ++key) {
+    seed_diff +=
+        injector.ShouldInject(FaultKind::kTransient, "a", key) != base[key];
+  }
+  // Independent fair-coin streams differ on ~half the keys; >0 is all the
+  // contract needs (no cross-stream coupling).
+  EXPECT_GT(seed_diff, 50);
+  EXPECT_GT(site_diff, 50);
+  EXPECT_GT(kind_diff, 50);
+  injector.Disable();
+}
+
+TEST(FaultsTest, FiringFrequencyTracksRateAndCounts) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultConfig config;
+  config.enabled = true;
+  config.seed = 5;
+  config.transient_rate = 0.1;
+  injector.Configure(config);
+
+  const int n = 2000;
+  int fired = 0;
+  for (uint64_t key = 0; key < static_cast<uint64_t>(n); ++key) {
+    fired += injector.ShouldInject(FaultKind::kTransient, "site", key);
+  }
+  // 10% +- a generous tolerance for 2000 hash draws.
+  EXPECT_GT(fired, n / 20);
+  EXPECT_LT(fired, n / 5);
+  EXPECT_EQ(injector.count(FaultKind::kTransient), fired);
+  EXPECT_EQ(injector.count(FaultKind::kStall), 0);
+  EXPECT_EQ(injector.TotalCount(), fired);
+  injector.ResetCounts();
+  EXPECT_EQ(injector.TotalCount(), 0);
+  injector.Disable();
+}
+
+TEST(FaultsTest, ZeroAndOneRatesAreExact) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultConfig config;
+  config.enabled = true;
+  config.seed = 5;
+  config.transient_rate = 1.0;
+  config.corrupt_rate = 0.0;
+  injector.Configure(config);
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_TRUE(injector.ShouldInject(FaultKind::kTransient, "s", key));
+    EXPECT_FALSE(injector.ShouldInject(FaultKind::kCorruptFrame, "s", key));
+    EXPECT_FALSE(injector.InjectTransient("s", key).ok());
+  }
+  injector.Disable();
+}
+
+TEST(FaultsTest, ParseFaultSpecReadsRatesStallAndSeed) {
+  const FaultConfig config = ParseFaultSpec(
+      "transient=0.1, corrupt=0.05, nan=0.01, stall=0.02, stall_us=500, "
+      "seed=7");
+  EXPECT_TRUE(config.enabled);
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_DOUBLE_EQ(config.transient_rate, 0.1);
+  EXPECT_DOUBLE_EQ(config.corrupt_rate, 0.05);
+  EXPECT_DOUBLE_EQ(config.nan_rate, 0.01);
+  EXPECT_DOUBLE_EQ(config.stall_rate, 0.02);
+  EXPECT_EQ(config.stall_micros, 500);
+
+  const FaultConfig off = ParseFaultSpec("seed=3");
+  EXPECT_FALSE(off.enabled);
+  const FaultConfig empty = ParseFaultSpec("");
+  EXPECT_FALSE(empty.enabled);
+}
+
+TEST(FaultsTest, FaultHashIsStableAndSpreads) {
+  EXPECT_EQ(FaultHash(1, 2), FaultHash(1, 2));
+  EXPECT_NE(FaultHash(1, 2), FaultHash(2, 1));
+  EXPECT_NE(FaultHash(0, 0), FaultHash(0, 1));
+}
+
+TEST(FaultsTest, KindNamesAreStable) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kTransient), "transient");
+  EXPECT_STREQ(FaultKindName(FaultKind::kCorruptFrame), "corrupt-frame");
+  EXPECT_STREQ(FaultKindName(FaultKind::kNanActivation), "nan-activation");
+  EXPECT_STREQ(FaultKindName(FaultKind::kStall), "stall");
 }
 
 }  // namespace

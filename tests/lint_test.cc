@@ -302,6 +302,60 @@ TEST(PerSamplePredictRule, AllowsBatchCallsTopLevelCallsAndOtherPaths) {
   EXPECT_TRUE(Rules("bench/x.cc", suppressed).empty());
 }
 
+// -------------------------------------------- blocking-wait-no-deadline ----
+
+TEST(BlockingWaitRule, FlagsBareCvWaitAndFutureGetInServe) {
+  const std::string bare_wait = R"cc(
+    void Drain() {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return done_; });
+    }
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/serve/server.cc", bare_wait),
+                      "blocking-wait-no-deadline"));
+  const std::string future_get = R"cc(
+    double Collect(std::future<double>& result_future) {
+      return result_future.get();
+    }
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/serve/server.cc", future_get),
+                      "blocking-wait-no-deadline"));
+}
+
+TEST(BlockingWaitRule, AllowsBoundedWaitsOtherGettersAndOtherPaths) {
+  const std::string bounded = R"cc(
+    void Drain() {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(10));
+      cv_.wait_until(lock, deadline);
+      future.wait_for(std::chrono::seconds(1));
+    }
+  )cc";
+  EXPECT_TRUE(Rules("src/serve/server.cc", bounded).empty());
+  // unique_ptr::get() and promise::get_future() are not blocking waits.
+  const std::string other_getters = R"cc(
+    Request* Raw() { return req.get(); }
+    std::future<int> F() { return promise.get_future(); }
+  )cc";
+  EXPECT_TRUE(Rules("src/serve/server.cc", other_getters).empty());
+  // The rule is a serving-layer contract; tests and other layers may block.
+  const std::string elsewhere = R"cc(
+    void Wait(std::future<int>& my_future) {
+      cv_.wait(lock);
+      my_future.get();
+    }
+  )cc";
+  EXPECT_TRUE(Rules("tests/serve_test.cc", elsewhere).empty());
+  EXPECT_TRUE(Rules("src/common/thread_pool.cc", elsewhere).empty());
+  const std::string suppressed = R"cc(
+    void Drain() {
+      // vsd-lint: allow(blocking-wait-no-deadline) joined at shutdown only
+      cv_.wait(lock, [&] { return done_; });
+    }
+  )cc";
+  EXPECT_TRUE(Rules("src/serve/server.cc", suppressed).empty());
+}
+
 // --------------------------------------------------------- suppressions ----
 
 TEST(SuppressionTest, TrailingAndPrecedingCommentsSuppress) {
@@ -332,7 +386,7 @@ TEST(AllRulesTest, NamesAreStable) {
   const std::vector<std::string> expected = {
       "raw-rand",       "rng-fork",      "float-eq",
       "header-guard",   "include-order", "unordered-iter",
-      "per-sample-predict",
+      "per-sample-predict", "blocking-wait-no-deadline",
   };
   EXPECT_EQ(AllRules(), expected);
 }
