@@ -55,6 +55,12 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   /// Runs `fn(i)` exactly once for every i in [0, n).
+  ///
+  /// The body must write only per-index slots (`out[i] = ...`), body
+  /// locals, atomics, or lock-guarded state — any other write through a
+  /// by-reference capture is a data race. vsd_lint enforces this
+  /// statically (rule `unguarded-capture`, src/lint/captures.h); TSan is
+  /// the dynamic backstop.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
   /// Maps [0, n) through `fn`, returning results in index order. `T` must

@@ -1,0 +1,394 @@
+#include "lint/captures.h"
+
+#include <set>
+#include <string>
+
+namespace vsd::lint {
+namespace {
+
+/// Keywords that can precede or be an identifier without declaring one.
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "return", "case",     "goto",   "co_return", "co_yield", "throw",
+      "delete", "typename", "using",  "namespace", "else",     "do",
+      "if",     "while",    "for",    "switch",    "break",    "continue",
+      "new",    "sizeof",   "true",   "false",     "nullptr",  "this",
+      "const",  "auto",     "static", "mutable",   "operator",
+  };
+  return kKeywords;
+}
+
+const std::set<std::string>& MutatingMethods() {
+  static const std::set<std::string> kMutators = {
+      "push_back", "emplace_back", "pop_back", "insert", "emplace",
+      "erase",     "clear",        "resize",   "assign", "append",
+      "push",      "pop",
+  };
+  return kMutators;
+}
+
+/// Atomic member operations are synchronized by definition.
+const std::set<std::string>& AtomicOps() {
+  static const std::set<std::string> kAtomicOps = {
+      "fetch_add", "fetch_sub", "fetch_or", "fetch_and", "fetch_xor",
+      "store",     "exchange",  "compare_exchange_weak",
+      "compare_exchange_strong",
+  };
+  return kAtomicOps;
+}
+
+const std::set<std::string>& AssignOps() {
+  static const std::set<std::string> kOps = {
+      "=",  "+=", "-=", "*=",  "/=",  "%=",
+      "&=", "|=", "^=", "<<=", ">>=",
+  };
+  return kOps;
+}
+
+/// Index just past the token matching the opener at `open`.
+size_t MatchForward(const std::vector<Token>& toks, size_t open,
+                    const char* opener, const char* closer) {
+  int depth = 1;
+  size_t k = open + 1;
+  while (k < toks.size() && depth > 0) {
+    if (toks[k].text == opener) ++depth;
+    else if (toks[k].text == closer) --depth;
+    if (depth == 0) break;
+    ++k;
+  }
+  return k;
+}
+
+/// Identifiers declared as std::atomic<...> (or atomic_* aliases) anywhere
+/// in the file. Writes to them are synchronized.
+std::set<std::string> AtomicVars(const std::vector<Token>& toks) {
+  std::set<std::string> vars;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& t = toks[i].text;
+    if (t != "atomic" && t.rfind("atomic_", 0) != 0) continue;
+    size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == "<") {
+      int depth = 1;
+      ++j;
+      while (j < toks.size() && depth > 0) {
+        if (toks[j].text == "<") ++depth;
+        else if (toks[j].text == ">") --depth;
+        else if (toks[j].text == ">>") depth -= 2;
+        ++j;
+      }
+    }
+    if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier) {
+      vars.insert(toks[j].text);
+    }
+  }
+  return vars;
+}
+
+struct CaptureList {
+  bool default_ref = false;
+  bool captures_this = false;
+  std::set<std::string> by_ref;
+  std::set<std::string> by_val;
+};
+
+/// Parses the tokens of `[...]` (exclusive of the brackets).
+CaptureList ParseCaptures(const std::vector<Token>& toks, size_t open,
+                          size_t close) {
+  CaptureList captures;
+  size_t i = open + 1;
+  while (i < close) {
+    // One capture entry, up to a top-level comma.
+    bool is_ref = false;
+    if (toks[i].text == "&") {
+      is_ref = true;
+      ++i;
+    } else if (toks[i].text == "=") {
+      ++i;
+    }
+    if (i < close && toks[i].kind == TokenKind::kIdentifier) {
+      if (toks[i].text == "this") {
+        captures.captures_this = true;
+      } else if (is_ref) {
+        captures.by_ref.insert(toks[i].text);
+      } else {
+        captures.by_val.insert(toks[i].text);
+      }
+      ++i;
+    } else if (is_ref) {
+      captures.default_ref = true;  // Bare '&'.
+    }
+    // Skip any init-capture expression / pack expansion to the next comma.
+    int depth = 0;
+    while (i < close) {
+      const std::string& t = toks[i].text;
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      else if (t == ")" || t == "]" || t == "}") --depth;
+      else if (t == "," && depth == 0) {
+        ++i;
+        break;
+      }
+      ++i;
+    }
+  }
+  return captures;
+}
+
+struct LambdaSite {
+  size_t capture_open;   ///< '['
+  size_t capture_close;  ///< ']'
+  size_t body_open;      ///< '{'
+  size_t body_close;     ///< '}'
+  std::string callee;    ///< ParallelFor / ParallelMap / Submit.
+};
+
+/// Locals of the lambda at `site`: parameters, declarations, structured
+/// bindings, loop variables. Permissive on purpose — an over-collected
+/// local costs a missed race (TSan's job), an under-collected one costs a
+/// false positive (everyone's time).
+std::set<std::string> CollectLocals(const std::vector<Token>& toks,
+                                    const LambdaSite& site) {
+  std::set<std::string> locals;
+  // Parameter list between ']' and '{', if present.
+  if (toks[site.capture_close + 1].text == "(") {
+    size_t params_end =
+        MatchForward(toks, site.capture_close + 1, "(", ")");
+    for (size_t i = site.capture_close + 2; i < params_end; ++i) {
+      if (toks[i].kind == TokenKind::kIdentifier &&
+          !Keywords().count(toks[i].text) &&
+          (toks[i + 1].text == "," || toks[i + 1].text == ")")) {
+        locals.insert(toks[i].text);
+      }
+    }
+  }
+  static const std::set<std::string> kDeclPrev = {">", ">>", "&", "*", "&&"};
+  static const std::set<std::string> kDeclNext = {"=", ";", "{", "(", ")",
+                                                  ",", ":", "["};
+  for (size_t i = site.body_open + 1; i + 1 < site.body_close; ++i) {
+    // Structured binding: auto [a, b] = ...
+    if (toks[i].text == "auto" && toks[i + 1].text == "[") {
+      size_t bind_end = MatchForward(toks, i + 1, "[", "]");
+      for (size_t k = i + 2; k < bind_end; ++k) {
+        if (toks[k].kind == TokenKind::kIdentifier) locals.insert(toks[k].text);
+      }
+      i = bind_end;
+      continue;
+    }
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        Keywords().count(toks[i].text)) {
+      continue;
+    }
+    const Token& prev = toks[i - 1];
+    const bool decl_prev =
+        kDeclPrev.count(prev.text) > 0 ||
+        (prev.kind == TokenKind::kIdentifier && !Keywords().count(prev.text)) ||
+        prev.text == "auto";
+    if (decl_prev && kDeclNext.count(toks[i + 1].text)) {
+      locals.insert(toks[i].text);
+    }
+  }
+  return locals;
+}
+
+/// Walks the left-hand-side chain ending at token `last` (an identifier)
+/// back to its root. Sets `subscripted` if any link of the chain is indexed
+/// (a per-index slot) and `through_call` if the receiver is a call result
+/// (a temporary — not a captured object).
+struct ChainRoot {
+  size_t root = 0;
+  bool subscripted = false;
+  bool through_call = false;
+};
+ChainRoot WalkChain(const std::vector<Token>& toks, size_t last) {
+  ChainRoot chain;
+  chain.root = last;
+  size_t pos = last;
+  while (pos >= 2) {
+    const std::string& link = toks[pos - 1].text;
+    if (link != "." && link != "->" && link != "::") break;
+    size_t before = pos - 2;
+    if (toks[before].text == "]") {
+      chain.subscripted = true;
+      // Walk back over the subscript to the object it indexes.
+      int depth = 1;
+      while (before > 0 && depth > 0) {
+        --before;
+        if (toks[before].text == "]") ++depth;
+        else if (toks[before].text == "[") --depth;
+      }
+      if (before == 0) break;
+      --before;
+    }
+    if (toks[before].text == ")") {
+      chain.through_call = true;
+      break;
+    }
+    if (toks[before].kind != TokenKind::kIdentifier) break;
+    pos = before;
+    chain.root = before;
+  }
+  return chain;
+}
+
+void AnalyzeLambda(const std::string& path, const std::vector<Token>& toks,
+                   const LambdaSite& site,
+                   const std::set<std::string>& atomics,
+                   std::set<std::string>* seen,
+                   std::vector<Finding>* findings) {
+  const CaptureList captures =
+      ParseCaptures(toks, site.capture_open, site.capture_close);
+  if (!captures.default_ref && captures.by_ref.empty() &&
+      !captures.captures_this) {
+    return;  // Everything is copied; writes cannot race.
+  }
+
+  // Lock-to-write matching is beyond a lexer: a body that takes any lock is
+  // the synchronized-update pattern and the checker stands down.
+  static const std::set<std::string> kLockTokens = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+      "lock",       "try_lock",    "mutex",
+  };
+  for (size_t i = site.body_open + 1; i < site.body_close; ++i) {
+    if (toks[i].kind == TokenKind::kIdentifier &&
+        kLockTokens.count(toks[i].text)) {
+      return;
+    }
+  }
+
+  const std::set<std::string> locals = CollectLocals(toks, site);
+
+  auto classify = [&](const ChainRoot& chain, int line) {
+    if (chain.subscripted || chain.through_call) return;
+    const Token& root = toks[chain.root];
+    if (root.kind != TokenKind::kIdentifier) return;
+    const std::string& name = root.text;
+    if (locals.count(name) || atomics.count(name)) return;
+    if (captures.by_val.count(name)) return;  // Writes hit the copy.
+    if (name == "this" && !captures.captures_this && !captures.default_ref) {
+      return;
+    }
+    if (!seen->insert(std::to_string(line) + ":" + name).second) return;
+    findings->push_back(Finding{
+        path, line, "unguarded-capture",
+        "'" + name + "' is captured by reference and written inside a " +
+            site.callee +
+            " body without a mutex/atomic/per-index subscript — a data race "
+            "whose result depends on scheduling; write to a per-index slot "
+            "(out[i]) or guard the update (docs/INTERNALS.md, determinism "
+            "contract)"});
+  };
+
+  for (size_t i = site.body_open + 1; i < site.body_close; ++i) {
+    const Token& t = toks[i];
+    // Compound/simple assignment.
+    if (t.kind == TokenKind::kPunct && AssignOps().count(t.text)) {
+      const Token& prev = toks[i - 1];
+      if (prev.text == "]") {
+        continue;  // Subscripted slot: x[...] = v.
+      }
+      if (prev.kind == TokenKind::kIdentifier &&
+          !Keywords().count(prev.text)) {
+        classify(WalkChain(toks, i - 1), t.line);
+      }
+      continue;
+    }
+    // Increment / decrement (pre or post).
+    if (t.text == "++" || t.text == "--") {
+      const Token& prev = toks[i - 1];
+      if (prev.text == "]") continue;
+      if (prev.kind == TokenKind::kIdentifier && !Keywords().count(prev.text)) {
+        classify(WalkChain(toks, i - 1), t.line);
+        continue;
+      }
+      // Pre-increment: root is the start of the following chain; indexed
+      // targets (++counts[i]) are per-index slots.
+      size_t j = i + 1;
+      if (j < site.body_close && toks[j].kind == TokenKind::kIdentifier) {
+        size_t root = j;
+        while (j + 2 < site.body_close &&
+               (toks[j + 1].text == "." || toks[j + 1].text == "->") &&
+               toks[j + 2].kind == TokenKind::kIdentifier) {
+          j += 2;
+        }
+        if (j + 1 < site.body_close && toks[j + 1].text == "[") continue;
+        ChainRoot chain;
+        chain.root = root;
+        classify(chain, t.line);
+      }
+      continue;
+    }
+    // Mutating member calls: x.push_back(...), x->insert(...).
+    if (t.kind == TokenKind::kIdentifier && i + 1 < site.body_close &&
+        toks[i + 1].text == "(" &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      if (AtomicOps().count(t.text)) continue;  // Synchronized by definition.
+      if (!MutatingMethods().count(t.text)) continue;
+      if (toks[i - 2].text == "]") continue;  // Per-index receiver.
+      if (toks[i - 2].kind != TokenKind::kIdentifier) continue;
+      classify(WalkChain(toks, i - 2), t.line);
+    }
+  }
+}
+
+}  // namespace
+
+void CheckUnguardedCaptures(const std::string& path, const LexResult& lex,
+                            std::vector<Finding>* findings) {
+  const auto& toks = lex.tokens;
+  const std::set<std::string> atomics = AtomicVars(toks);
+  std::set<std::string> seen;       // line:name, dedupes nested analyses.
+  std::set<size_t> analyzed;        // body_open indices already handled.
+
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    const bool is_parallel =
+        toks[i].text == "ParallelFor" || toks[i].text == "ParallelMap";
+    const bool is_submit = toks[i].text == "Submit" &&
+                           (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    if (!is_parallel && !is_submit) continue;
+    size_t j = i + 1;
+    // Skip optional template arguments: ParallelMap<T>(...).
+    if (j < toks.size() && toks[j].text == "<") {
+      int depth = 1;
+      ++j;
+      while (j < toks.size() && depth > 0) {
+        if (toks[j].text == "<") ++depth;
+        else if (toks[j].text == ">") --depth;
+        else if (toks[j].text == ">>") depth -= 2;
+        ++j;
+      }
+    }
+    if (j >= toks.size() || toks[j].text != "(") continue;
+    const size_t call_close = MatchForward(toks, j, "(", ")");
+
+    // Every lambda literal inside the argument list.
+    for (size_t k = j + 1; k < call_close; ++k) {
+      if (toks[k].text != "[") continue;
+      const std::string& before = toks[k - 1].text;
+      if (before != "(" && before != ",") continue;  // Subscript, not lambda.
+      LambdaSite site;
+      site.capture_open = k;
+      site.capture_close = MatchForward(toks, k, "[", "]");
+      size_t cursor = site.capture_close + 1;
+      if (cursor < toks.size() && toks[cursor].text == "(") {
+        cursor = MatchForward(toks, cursor, "(", ")") + 1;
+      }
+      // Skip specifiers (mutable, noexcept, -> ret) up to the body.
+      while (cursor < toks.size() && toks[cursor].text != "{" &&
+             toks[cursor].text != ")" && toks[cursor].text != ",") {
+        ++cursor;
+      }
+      if (cursor >= toks.size() || toks[cursor].text != "{") continue;
+      site.body_open = cursor;
+      site.body_close = MatchForward(toks, cursor, "{", "}");
+      site.callee = is_submit ? "Submit" : toks[i].text;
+      if (analyzed.insert(site.body_open).second) {
+        AnalyzeLambda(path, toks, site, atomics, &seen, findings);
+      }
+      k = site.body_close;
+    }
+    i = j;  // Nested calls re-scan inside the argument list.
+  }
+}
+
+}  // namespace vsd::lint

@@ -1,0 +1,51 @@
+#ifndef VSD_LINT_FIX_H_
+#define VSD_LINT_FIX_H_
+
+#include <string>
+#include <vector>
+
+namespace vsd::lint {
+
+/// Result of autofixing one file's contents.
+struct FixOutcome {
+  std::string content;         ///< Canonical contents (== input if clean).
+  int include_order_fixes = 0; ///< Include blocks rewritten.
+  int header_guard_fixes = 0;  ///< Guards inserted or repaired.
+
+  bool changed() const {
+    return include_order_fixes + header_guard_fixes > 0;
+  }
+};
+
+/// Rewrites every *fixable* finding in `content` to canonical form. Fixable
+/// rules are the purely mechanical ones:
+///
+///  * include-order — each contiguous include block with a finding is
+///    rewritten: <system> includes first, sorted, then a blank line, then
+///    sorted "project" includes. Trailing same-line comments travel with
+///    their include; blocks containing line continuations are left alone.
+///  * header-guard  — a missing guard is synthesized from the path
+///    (src/lint/fix.h -> VSD_LINT_FIX_H_) and wrapped around the file; a
+///    #define that mismatches its #ifndef is rewritten to match.
+///
+/// Fixes are driven by `LintContent` findings, so suppressed findings are
+/// never "fixed". The rewrite is idempotent: running it on its own output
+/// changes nothing (tests/lint_fix_test.cc holds this as an invariant).
+FixOutcome FixContent(const std::string& path, const std::string& content);
+
+/// One file rewritten in place by `FixTree`.
+struct FixedFile {
+  std::string path;  ///< Repo-relative.
+  int fixes = 0;     ///< Total fixes applied in this file.
+};
+
+/// Applies `FixContent` to every source file under `root`/`subdirs`
+/// (the same walk as LintTree) and writes changed files back in place.
+/// Returns the files that changed, sorted by path. Unreadable or
+/// unwritable files are skipped — the lint walk reports io-errors.
+std::vector<FixedFile> FixTree(const std::string& root,
+                               const std::vector<std::string>& subdirs);
+
+}  // namespace vsd::lint
+
+#endif  // VSD_LINT_FIX_H_

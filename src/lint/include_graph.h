@@ -1,0 +1,95 @@
+#ifndef VSD_LINT_INCLUDE_GRAPH_H_
+#define VSD_LINT_INCLUDE_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/lint.h"
+
+namespace vsd::lint {
+
+/// One resolved project `#include`: `from` includes `to`, both repo-relative
+/// with '/' separators. System includes and includes that do not resolve to
+/// a file in the graph are not edges.
+struct IncludeEdge {
+  std::string from;
+  std::string to;
+  int line = 0;  ///< Line of the `#include` directive in `from`.
+};
+
+/// The whole-program include graph over one lint walk.
+struct IncludeGraph {
+  std::vector<std::string> files;  ///< Sorted, repo-relative.
+  std::vector<IncludeEdge> edges;  ///< Sorted by (from, line).
+};
+
+/// Architectural layer of `path` (see docs/INTERNALS.md "Include layering"):
+///
+///   0 src/common
+///   1 src/tensor  src/img  src/text
+///   2 src/data    src/nn   src/face
+///   3 src/vlm
+///   4 src/cot
+///   5 src/baselines  src/explain
+///   6 src/core
+///   7 src/serve
+///   8 src/lint  bench  tools  examples
+///
+/// Includes may only point sideways or down (toward common). Returns -1 for
+/// unconstrained paths (tests/ may include anything; unknown roots are not
+/// checked).
+int LayerOf(const std::string& path);
+
+/// Human-readable name of a layer index ("common", "tensor/img/text", ...).
+/// Used in findings and the DOT dump. Aborts on out-of-range.
+const std::string& LayerName(int layer);
+
+/// Accumulates lexed files into an `IncludeGraph`. Include targets are
+/// resolved against the set of added files, trying in order:
+/// `src/<target>`, `<target>`, `<dir of includer>/<target>` — matching how
+/// the build resolves quoted includes (-Isrc, -I<repo root>, includer dir).
+class IncludeGraphBuilder {
+ public:
+  /// Registers `path` and every `#include "..."` directive in `lex`.
+  void AddFile(const std::string& path, const LexResult& lex);
+
+  /// Resolves targets and returns the graph. May be called once per builder.
+  IncludeGraph Build() const;
+
+ private:
+  struct RawInclude {
+    std::string from;
+    std::string target;
+    int line = 0;
+  };
+  std::vector<std::string> files_;
+  std::vector<RawInclude> includes_;
+};
+
+/// Rule `layering`: flags every edge whose target sits in a *higher* layer
+/// than its source (an upward include breaks the one-way dependency order
+/// the build and the docs promise). Findings point at the offending
+/// `#include` line.
+std::vector<Finding> CheckLayering(const IncludeGraph& graph);
+
+/// Rule `include-cycle`: flags every distinct cycle in the file-level graph
+/// (each reported once, at the edge that closes it, with the full path in
+/// the message). A cyclic include graph means no valid layering exists at
+/// all, so these are errors even where `LayerOf` is -1.
+std::vector<Finding> CheckCycles(const IncludeGraph& graph);
+
+/// Directory-level DOT export for `vsd_lint --dump-graph`: one node per
+/// module (e.g. "src/cot", "bench"), labeled with its layer, one edge per
+/// inter-module dependency labeled with the number of file-level includes
+/// behind it. Same-layer modules share a DOT rank. Deterministic output.
+std::string DumpDot(const IncludeGraph& graph);
+
+/// Walks `root`/`subdirs` like `LintTree` and builds the graph from disk.
+/// Unreadable files are skipped (the lint walk reports those separately).
+IncludeGraph BuildIncludeGraphFromTree(const std::string& root,
+                                       const std::vector<std::string>& subdirs);
+
+}  // namespace vsd::lint
+
+#endif  // VSD_LINT_INCLUDE_GRAPH_H_

@@ -44,6 +44,35 @@ void ParseSuppression(const std::string& comment, int line, LexResult* out) {
   }
 }
 
+// Length of a raw-string-literal prefix ("R\"", "u8R\"", "uR\"", "UR\"",
+// "LR\"") starting at `i`, or 0 if none. Only these exact spellings open a
+// raw string; anything else (e.g. `MACRO_R"..."`) is an identifier followed
+// by an ordinary string literal under max munch.
+size_t RawPrefixLen(const std::string& s, size_t i) {
+  static const char* const kPrefixes[] = {"u8R\"", "uR\"", "UR\"", "LR\"",
+                                          "R\""};
+  for (const char* p : kPrefixes) {
+    size_t len = std::char_traits<char>::length(p);
+    if (s.compare(i, len, p) == 0) return len;
+  }
+  return 0;
+}
+
+// A raw-string delimiter is at most 16 chars and contains no parenthesis,
+// backslash, quote, or whitespace. Invalid delimiters mean the `R"` was not
+// actually opening a raw string (ill-formed or macro trickery) — the caller
+// falls back to ordinary tokenization.
+bool IsValidRawDelimiter(const std::string& delim) {
+  if (delim.size() > 16) return false;
+  for (char c : delim) {
+    if (c == '(' || c == ')' || c == '\\' || c == '"' ||
+        std::isspace(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 LexResult Lex(const std::string& source) {
@@ -70,11 +99,26 @@ LexResult Lex(const std::string& source) {
       continue;
     }
 
-    // Line comment: may carry a suppression annotation.
+    // Line comment: may carry a suppression annotation. A backslash
+    // immediately before the newline splices the next physical line into
+    // the comment (phase-2 line splicing happens before comments form), so
+    // the comment only ends at an unescaped newline.
     if (c == '/' && i + 1 < n && source[i + 1] == '/') {
-      size_t end = source.find('\n', i);
-      if (end == std::string::npos) end = n;
-      ParseSuppression(source.substr(i + 2, end - i - 2), line, &out);
+      int start_line = line;
+      std::string body;
+      size_t end = i + 2;
+      while (end < n) {
+        if (source[end] == '\\' && end + 1 < n && source[end + 1] == '\n') {
+          ++line;
+          end += 2;
+          body += ' ';
+          continue;
+        }
+        if (source[end] == '\n') break;
+        body += source[end];
+        ++end;
+      }
+      ParseSuppression(body, start_line, &out);
       i = end;
       continue;
     }
@@ -123,11 +167,17 @@ LexResult Lex(const std::string& source) {
     }
     at_line_start = false;
 
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
-      size_t paren = source.find('(', i + 2);
-      if (paren != std::string::npos) {
-        std::string delim = source.substr(i + 2, paren - i - 2);
+    // Raw string literal, with optional encoding prefix:
+    // (u8|u|U|L)?R"delim( ... )delim". Without this check, `u8R"(...)"`
+    // would lex as identifier `u8R` plus an ordinary string that terminates
+    // at the first '"' inside the raw body.
+    if (size_t plen = RawPrefixLen(source, i); plen > 0) {
+      size_t quote = i + plen - 1;  // The '"' after the prefix.
+      size_t paren = source.find('(', quote + 1);
+      std::string delim = paren == std::string::npos
+                              ? std::string()
+                              : source.substr(quote + 1, paren - quote - 1);
+      if (paren != std::string::npos && IsValidRawDelimiter(delim)) {
         std::string closer = ")" + delim + "\"";
         size_t end = source.find(closer, paren + 1);
         if (end == std::string::npos) end = n; else end += closer.size();
@@ -169,8 +219,12 @@ LexResult Lex(const std::string& source) {
       bool hex = c == '0' && i + 1 < n && (source[i + 1] == 'x' || source[i + 1] == 'X');
       while (i < n) {
         char d = source[i];
+        // A digit separator is only part of the literal when digits (or hex
+        // letters) continue after it; a bare trailing quote belongs to the
+        // next token (e.g. a following char literal).
         bool take = std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
-                    d == '\'';
+                    (d == '\'' && i + 1 < n &&
+                     std::isalnum(static_cast<unsigned char>(source[i + 1])));
         // Exponent signs: 1e-3, 0x1p+2.
         if ((d == '+' || d == '-') && !text.empty()) {
           char prev = text.back();

@@ -43,9 +43,11 @@ struct LexResult {
 };
 
 /// Tokenizes C++ source. This is a lexer, not a parser: it understands
-/// comments, string/char literals (including raw strings), numbers, and
-/// multi-character punctuators well enough that rule code can pattern-match
-/// token sequences without being fooled by the contents of literals.
+/// comments (including backslash line-continuation), string/char literals
+/// (including raw strings with encoding prefixes), numbers (including digit
+/// separators), and multi-character punctuators well enough that rule code
+/// can pattern-match token sequences without being fooled by the contents
+/// of literals.
 LexResult Lex(const std::string& source);
 
 }  // namespace vsd::lint

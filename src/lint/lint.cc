@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 
+#include "lint/captures.h"
+#include "lint/include_graph.h"
 #include "lint/lexer.h"
 
 namespace vsd::lint {
@@ -33,6 +36,21 @@ struct FileCtx {
     findings->push_back(Finding{path, line, rule, std::move(message)});
   }
 };
+
+/// Paths whose output lands in reported tables/explanations/chains. The
+/// determinism rules (unordered-iter, wall-clock, thread-id, pointer-key)
+/// are scoped here: infrastructure may time and schedule, result code may
+/// not observe the clock, the scheduler, or the address space.
+bool InResultPath(const std::string& path) {
+  static const char* const kResultPaths[] = {
+      "src/core/", "src/explain/", "src/cot/",
+      "src/baselines/", "src/vlm/", "bench/",
+  };
+  for (const char* p : kResultPaths) {
+    if (StartsWith(path, p)) return true;
+  }
+  return false;
+}
 
 // ---------------------------------------------------------------------------
 // raw-rand: the determinism contract (docs/INTERNALS.md) requires every
@@ -295,13 +313,7 @@ void CheckIncludeOrder(const FileCtx& ctx) {
 // sorted snapshots.
 // ---------------------------------------------------------------------------
 void CheckUnorderedIter(const FileCtx& ctx) {
-  static const char* const kResultPaths[] = {
-      "src/core/", "src/explain/", "src/cot/",
-      "src/baselines/", "src/vlm/", "bench/",
-  };
-  bool in_scope = false;
-  for (const char* p : kResultPaths) in_scope = in_scope || StartsWith(ctx.path, p);
-  if (!in_scope) return;
+  if (!InResultPath(ctx.path)) return;
 
   const auto& toks = ctx.lex.tokens;
   // Identifiers declared in this file as std::unordered_{map,set}<...>.
@@ -510,6 +522,112 @@ void CheckBlockingWait(const FileCtx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// wall-clock: a result that depends on when it was computed is not a result.
+// Reading the wall clock (system_clock, ::time, localtime, ...) in a result
+// path smuggles the current time into tables and explanations. steady_clock
+// is deliberately not banned: it is monotonic, and bench timers / serve
+// deadlines use it for durations that never enter result values.
+// ---------------------------------------------------------------------------
+void CheckWallClock(const FileCtx& ctx) {
+  if (!InResultPath(ctx.path)) return;
+  static const std::set<std::string> kBanned = {
+      "system_clock", "high_resolution_clock", "time",
+      "localtime",    "gmtime",                "ctime",
+      "strftime",     "clock",                 "timespec_get",
+      "gettimeofday", "clock_gettime",
+  };
+  const auto& toks = ctx.lex.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        kBanned.find(toks[i].text) == kBanned.end()) {
+      continue;
+    }
+    // Member access (cfg.time, obj->clock) is some other class's member.
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      continue;
+    }
+    ctx.Report(toks[i].line, "wall-clock",
+               "'" + toks[i].text +
+                   "' reads the wall clock in a result path; results must "
+                   "not depend on when they run — use steady_clock for "
+                   "durations outside result values, or thread timestamps "
+                   "in explicitly as data");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// thread-id: which worker executes an index is a scheduling accident. Any
+// result-path read of thread identity (this_thread::get_id, pthread_self)
+// makes output depend on that accident. Results must be a pure function of
+// the index; per-thread state belongs in per-index slots.
+// ---------------------------------------------------------------------------
+void CheckThreadId(const FileCtx& ctx) {
+  if (!InResultPath(ctx.path)) return;
+  static const std::set<std::string> kBanned = {
+      "get_id", "pthread_self", "gettid",
+  };
+  const auto& toks = ctx.lex.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        kBanned.find(toks[i].text) == kBanned.end()) {
+      continue;
+    }
+    ctx.Report(toks[i].line, "thread-id",
+               "'" + toks[i].text +
+                   "' observes thread identity in a result path; which "
+                   "thread runs an index is scheduling-dependent — key "
+                   "per-worker state by the iteration index instead");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pointer-key: std::map/std::set ordered by a pointer key iterate in address
+// order, which ASLR re-rolls every run. In result paths that ordering leaks
+// straight into output. Key by a stable id or index; if identity-keyed
+// lookup (never iterated) is really wanted, that is what unordered_map is
+// for — and unordered-iter polices its iteration separately.
+// ---------------------------------------------------------------------------
+void CheckPointerKey(const FileCtx& ctx) {
+  if (!InResultPath(ctx.path)) return;
+  static const std::set<std::string> kOrdered = {
+      "map", "set", "multimap", "multiset",
+  };
+  const auto& toks = ctx.lex.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        kOrdered.find(toks[i].text) == kOrdered.end()) {
+      continue;
+    }
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      continue;  // obj.set(...) is a setter, not a container.
+    }
+    if (toks[i + 1].text != "<") continue;
+    // Scan the key type: everything up to the first top-level comma (the
+    // Compare/Allocator/mapped-type args never order iteration) or the
+    // closing '>'.
+    int depth = 1;
+    bool pointer_key = false;
+    size_t j = i + 2;
+    while (j < toks.size() && depth > 0) {
+      const std::string& t = toks[j].text;
+      if (t == "<") ++depth;
+      else if (t == ">") --depth;
+      else if (t == ">>") depth -= 2;
+      else if (t == "," && depth == 1) break;
+      else if (t == "*" && depth == 1) pointer_key = true;
+      ++j;
+    }
+    if (pointer_key) {
+      ctx.Report(toks[i].line, "pointer-key",
+                 "ordered '" + toks[i].text +
+                     "' keyed by a pointer; iteration follows addresses, "
+                     "which ASLR re-rolls every run — key by a stable id or "
+                     "index instead");
+    }
+  }
+}
+
 }  // namespace
 
 std::string Finding::ToString() const {
@@ -521,13 +639,29 @@ const std::vector<std::string>& AllRules() {
       "raw-rand",       "rng-fork",      "float-eq",
       "header-guard",   "include-order", "unordered-iter",
       "per-sample-predict", "blocking-wait-no-deadline",
+      "unguarded-capture",  "wall-clock", "thread-id",
+      "pointer-key",    "layering",      "include-cycle",
   };
   return kRules;
 }
 
-std::vector<Finding> LintContent(const std::string& path,
-                                 const std::string& content) {
-  LexResult lex = Lex(content);
+namespace {
+
+/// A `// vsd-lint: allow(rule)` comment suppresses findings on its own line
+/// and on the following line. Shared by the per-file and tree-level paths.
+bool IsSuppressed(const Finding& f,
+                  const std::map<int, std::set<std::string>>& suppressions) {
+  for (int line : {f.line, f.line - 1}) {
+    auto it = suppressions.find(line);
+    if (it != suppressions.end() && it->second.count(f.rule)) return true;
+  }
+  return false;
+}
+
+/// All per-file checks over an already-lexed file, suppressions applied,
+/// sorted by line. The graph rules (layering, include-cycle) need the whole
+/// tree and live in LintTree.
+std::vector<Finding> LintLexed(const std::string& path, const LexResult& lex) {
   std::vector<Finding> findings;
   FileCtx ctx{path, lex, &findings};
   CheckRawRand(ctx);
@@ -538,20 +672,14 @@ std::vector<Finding> LintContent(const std::string& path,
   CheckUnorderedIter(ctx);
   CheckPerSamplePredict(ctx);
   CheckBlockingWait(ctx);
+  CheckWallClock(ctx);
+  CheckThreadId(ctx);
+  CheckPointerKey(ctx);
+  CheckUnguardedCaptures(path, lex, &findings);
 
-  // A `// vsd-lint: allow(rule)` comment suppresses findings on its own
-  // line and on the following line.
   std::vector<Finding> kept;
   for (auto& f : findings) {
-    bool suppressed = false;
-    for (int line : {f.line, f.line - 1}) {
-      auto it = lex.suppressions.find(line);
-      if (it != lex.suppressions.end() && it->second.count(f.rule)) {
-        suppressed = true;
-        break;
-      }
-    }
-    if (!suppressed) kept.push_back(std::move(f));
+    if (!IsSuppressed(f, lex.suppressions)) kept.push_back(std::move(f));
   }
   std::stable_sort(kept.begin(), kept.end(),
                    [](const Finding& a, const Finding& b) {
@@ -560,8 +688,15 @@ std::vector<Finding> LintContent(const std::string& path,
   return kept;
 }
 
-std::vector<Finding> LintTree(const std::string& root,
-                              const std::vector<std::string>& subdirs) {
+}  // namespace
+
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content) {
+  return LintLexed(path, Lex(content));
+}
+
+std::vector<std::string> ListSourceFiles(
+    const std::string& root, const std::vector<std::string>& subdirs) {
   std::vector<std::string> files;
   for (const std::string& sub : subdirs) {
     fs::path dir = fs::path(root) / sub;
@@ -577,26 +712,59 @@ std::vector<Finding> LintTree(const std::string& root,
       }
       if (!it->is_regular_file()) continue;
       std::string ext = it->path().extension().string();
-      if (ext != ".h" && ext != ".cc") continue;
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
       files.push_back(fs::relative(it->path(), root).generic_string());
     }
   }
   std::sort(files.begin(), files.end());
+  return files;
+}
 
+bool ReadFileToString(const std::string& root, const std::string& rel,
+                      std::string* out) {
+  std::ifstream in(fs::path(root) / rel, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+std::vector<Finding> LintTree(const std::string& root,
+                              const std::vector<std::string>& subdirs) {
   std::vector<Finding> findings;
-  for (const std::string& rel : files) {
-    std::ifstream in(fs::path(root) / rel, std::ios::binary);
-    if (!in) {
+  IncludeGraphBuilder builder;
+  // Per-file suppression tables, kept so they also apply to the tree-level
+  // graph findings (e.g. a reasoned allow(layering) on an #include line).
+  std::map<std::string, std::map<int, std::set<std::string>>> suppressions;
+  for (const std::string& rel : ListSourceFiles(root, subdirs)) {
+    std::string content;
+    if (!ReadFileToString(root, rel, &content)) {
       findings.push_back(Finding{rel, 0, "io-error", "cannot read file"});
       continue;
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    std::vector<Finding> file_findings = LintContent(rel, buf.str());
+    LexResult lex = Lex(content);
+    builder.AddFile(rel, lex);
+    suppressions[rel] = lex.suppressions;
+    std::vector<Finding> file_findings = LintLexed(rel, lex);
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
   }
+
+  const IncludeGraph graph = builder.Build();
+  for (auto* check : {&CheckLayering, &CheckCycles}) {
+    for (Finding& f : (*check)(graph)) {
+      if (!IsSuppressed(f, suppressions[f.file])) {
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.file != b.file ? a.file < b.file
+                                             : a.line < b.line;
+                   });
   return findings;
 }
 

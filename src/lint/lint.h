@@ -28,6 +28,17 @@ struct Finding {
 ///  * per-sample-predict — single-sample predict call looped in bench/core
 ///  * blocking-wait-no-deadline — unbounded cv wait() / future get() in
 ///    src/serve/ (every serving-layer wait must be bounded)
+///  * unguarded-capture — by-reference capture written in a ParallelFor/
+///    Submit body without mutex/atomic/per-index subscript (captures.h)
+///  * wall-clock     — wall-clock reads (system_clock, time, ...) in result
+///    paths; results must not depend on when they were computed
+///  * thread-id      — thread identity (get_id, pthread_self) in result
+///    paths; results must not depend on which worker ran an index
+///  * pointer-key    — ordered container keyed by a pointer in result
+///    paths; iteration order would follow addresses (ASLR)
+///  * layering       — upward #include across the architecture layers
+///    (include_graph.h; tree-level, reported by LintTree)
+///  * include-cycle  — cycle in the project include graph (tree-level)
 ///
 /// All rule names, for CLI validation and tests.
 const std::vector<std::string>& AllRules();
@@ -39,11 +50,23 @@ const std::vector<std::string>& AllRules();
 std::vector<Finding> LintContent(const std::string& path,
                                  const std::string& content);
 
-/// Walks `root` and lints every *.h / *.cc file under the given
-/// subdirectories (repo-relative, e.g. {"src", "bench", "tools", "tests"}).
-/// Directories named build* are skipped. Files are visited in sorted order
-/// so output is deterministic. Unreadable files produce a finding with rule
-/// "io-error" rather than aborting the walk.
+/// Repo-relative paths ('/'-separated) of every *.h / *.cc / *.cpp file
+/// under `root`/`subdirs`, sorted. Directories named build* are skipped.
+/// The shared walk behind LintTree, BuildIncludeGraphFromTree, and FixTree.
+std::vector<std::string> ListSourceFiles(const std::string& root,
+                                         const std::vector<std::string>& subdirs);
+
+/// Reads `root`/`rel` into `*out`. Returns false on IO error.
+bool ReadFileToString(const std::string& root, const std::string& rel,
+                      std::string* out);
+
+/// Walks `root` and lints every source file under the given subdirectories
+/// (repo-relative, e.g. {"src", "bench", "tools", "tests"}), then runs the
+/// whole-program checks (layering, include-cycle) over the include graph of
+/// the same walk. Files are visited in sorted order and findings come back
+/// sorted by (file, line) so output is deterministic. Unreadable files
+/// produce a finding with rule "io-error" rather than aborting the walk.
+/// `// vsd-lint: allow(...)` suppressions apply to graph findings too.
 std::vector<Finding> LintTree(const std::string& root,
                               const std::vector<std::string>& subdirs);
 

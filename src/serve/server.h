@@ -102,7 +102,10 @@ class StressServer {
   /// be reused immediately. `deadline_micros` bounds this request's total
   /// latency (0 = the config default). Returns a future that is always
   /// eventually resolved; backpressure and post-shutdown submissions
-  /// return an already-resolved `Unavailable` future.
+  /// return an already-resolved `Unavailable` future. Thread-safe: any
+  /// number of producer threads may race into Submit, and faults-off
+  /// results stay bit-identical to a direct PredictBatch (pinned by
+  /// serve_test's multi-producer ingest test).
   std::future<vsd::Result<ServeResult>> Submit(
       const data::VideoSample& sample, int64_t deadline_micros = 0);
 

@@ -1,0 +1,169 @@
+#include "lint/fix.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lint/lint.h"
+
+namespace vsd::lint {
+namespace {
+
+// Canonical form, asserted whole: fix output is an exact contract, not a
+// "contains" check.
+
+TEST(FixTest, SortsAShuffledIncludeBlock) {
+  const std::string shuffled =
+      "#include <vector>\n"
+      "#include <cmath>\n"
+      "#include <cstdint>\n"
+      "\n"
+      "int x;\n";
+  const FixOutcome outcome = FixContent("src/cot/x.cc", shuffled);
+  EXPECT_EQ(outcome.include_order_fixes, 1);
+  EXPECT_EQ(outcome.content,
+            "#include <cmath>\n"
+            "#include <cstdint>\n"
+            "#include <vector>\n"
+            "\n"
+            "int x;\n");
+}
+
+TEST(FixTest, SplitsAMixedBlockIntoSystemThenProject) {
+  const std::string mixed =
+      "#include \"cot/x.h\"\n"
+      "#include <vector>\n"
+      "#include \"common/rng.h\"\n"
+      "#include <cmath>\n";
+  const FixOutcome outcome = FixContent("src/cot/x.cc", mixed);
+  EXPECT_EQ(outcome.include_order_fixes, 1);
+  EXPECT_EQ(outcome.content,
+            "#include <cmath>\n"
+            "#include <vector>\n"
+            "\n"
+            "#include \"common/rng.h\"\n"
+            "#include \"cot/x.h\"\n");
+}
+
+TEST(FixTest, TrailingCommentsTravelWithTheirInclude) {
+  const std::string shuffled =
+      "#include <vector>\n"
+      "#include <cmath>  // for std::sqrt\n";
+  const FixOutcome outcome = FixContent("src/cot/x.cc", shuffled);
+  EXPECT_EQ(outcome.content,
+            "#include <cmath>  // for std::sqrt\n"
+            "#include <vector>\n");
+}
+
+TEST(FixTest, OnlyTheDirtyBlockIsRewritten) {
+  const std::string src =
+      "#include \"cot/x.h\"\n"
+      "\n"
+      "#include <vector>\n"
+      "#include <cmath>\n"
+      "\n"
+      "#include \"common/rng.h\"\n"
+      "#include \"cot/refinement.h\"\n";
+  const FixOutcome outcome = FixContent("src/cot/x.cc", src);
+  EXPECT_EQ(outcome.include_order_fixes, 1);
+  EXPECT_EQ(outcome.content,
+            "#include \"cot/x.h\"\n"
+            "\n"
+            "#include <cmath>\n"
+            "#include <vector>\n"
+            "\n"
+            "#include \"common/rng.h\"\n"
+            "#include \"cot/refinement.h\"\n");
+}
+
+TEST(FixTest, InsertsAMissingHeaderGuard) {
+  const std::string bare = "int F();\n";
+  const FixOutcome outcome = FixContent("src/cot/x.h", bare);
+  EXPECT_EQ(outcome.header_guard_fixes, 1);
+  EXPECT_EQ(outcome.content,
+            "#ifndef VSD_COT_X_H_\n"
+            "#define VSD_COT_X_H_\n"
+            "\n"
+            "int F();\n"
+            "\n"
+            "#endif  // VSD_COT_X_H_\n");
+  // The guard convention drops a leading src/ but keeps other roots.
+  EXPECT_NE(FixContent("bench/helpers.h", bare)
+                .content.find("VSD_BENCH_HELPERS_H_"),
+            std::string::npos);
+}
+
+TEST(FixTest, RepairsAMismatchedDefine) {
+  const std::string mismatched =
+      "#ifndef VSD_COT_X_H_\n"
+      "#define VSD_COT_X_HH_\n"
+      "int F();\n"
+      "#endif  // VSD_COT_X_H_\n";
+  const FixOutcome outcome = FixContent("src/cot/x.h", mismatched);
+  EXPECT_EQ(outcome.header_guard_fixes, 1);
+  EXPECT_EQ(outcome.content,
+            "#ifndef VSD_COT_X_H_\n"
+            "#define VSD_COT_X_H_\n"
+            "int F();\n"
+            "#endif  // VSD_COT_X_H_\n");
+}
+
+TEST(FixTest, IsIdempotent) {
+  const std::string dirty =
+      "#include <vector>\n"
+      "#include \"cot/x.h\"\n"
+      "#include <cmath>\n"
+      "\n"
+      "int F();\n";
+  const FixOutcome first = FixContent("src/cot/x.h", dirty);
+  EXPECT_TRUE(first.changed());
+  const FixOutcome second = FixContent("src/cot/x.h", first.content);
+  EXPECT_FALSE(second.changed());
+  EXPECT_EQ(second.content, first.content);
+  // And the fixed content carries no fixable findings.
+  for (const Finding& f : LintContent("src/cot/x.h", first.content)) {
+    EXPECT_NE(f.rule, "include-order");
+    EXPECT_NE(f.rule, "header-guard");
+  }
+}
+
+TEST(FixTest, CleanContentPassesThroughByteForByte) {
+  const std::string clean =
+      "#ifndef VSD_COT_X_H_\n"
+      "#define VSD_COT_X_H_\n"
+      "\n"
+      "#include <cmath>\n"
+      "#include <vector>\n"
+      "\n"
+      "#include \"common/rng.h\"\n"
+      "\n"
+      "int F();\n"
+      "\n"
+      "#endif  // VSD_COT_X_H_\n";
+  const FixOutcome outcome = FixContent("src/cot/x.h", clean);
+  EXPECT_FALSE(outcome.changed());
+  EXPECT_EQ(outcome.content, clean);
+}
+
+TEST(FixTest, SuppressedFindingsAreNeverFixed) {
+  const std::string suppressed =
+      "#include <vector>\n"
+      "#include <cmath>  // vsd-lint: allow(include-order) grouped on purpose\n";
+  const FixOutcome outcome = FixContent("src/cot/x.cc", suppressed);
+  EXPECT_FALSE(outcome.changed());
+  EXPECT_EQ(outcome.content, suppressed);
+}
+
+TEST(FixTest, BlocksWithLineContinuationsAreLeftAlone) {
+  // A continuation inside an include block is exotic enough that a human
+  // should reflow it; the fixer must not garble it.
+  const std::string exotic =
+      "#include <vector>\n"
+      "#include <cmath> \\\n"
+      "// trailing\n";
+  const FixOutcome outcome = FixContent("src/cot/x.cc", exotic);
+  EXPECT_EQ(outcome.content, exotic);
+}
+
+}  // namespace
+}  // namespace vsd::lint

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/include_graph.h"
 #include "lint/lexer.h"
 
 namespace vsd::lint {
@@ -66,6 +67,78 @@ TEST(LexerTest, ParsesSuppressionComments) {
   ASSERT_EQ(lex.suppressions.count(1), 1u);
   EXPECT_EQ(lex.suppressions[1].count("float-eq"), 1u);
   EXPECT_EQ(lex.suppressions[1].count("raw-rand"), 1u);
+}
+
+TEST(LexerTest, PrefixedRawStringsAreSingleLiterals) {
+  LexResult lex = Lex(
+      "auto a = u8R\"(rand srand)\";\n"
+      "auto b = uR\"x(mt19937)x\";\n"
+      "auto c = LR\"delim(random_device)delim\";\n"
+      "auto d = UR\"(rand)\";\n");
+  for (const Token& t : lex.tokens) {
+    if (t.kind == TokenKind::kIdentifier) {
+      EXPECT_NE(t.text, "rand");
+      EXPECT_NE(t.text, "mt19937");
+      EXPECT_NE(t.text, "random_device");
+    }
+  }
+}
+
+TEST(LexerTest, MacroEndingInRIsNotARawString) {
+  // Max munch: `MACRO_R"(x)"` lexes as identifier + ordinary string; only
+  // the exact prefixes R / uR / UR / LR / u8R open a raw string.
+  LexResult lex = Lex("auto a = MACRO_R\"(x)\";\n");
+  ASSERT_GE(lex.tokens.size(), 5u);
+  EXPECT_EQ(lex.tokens[3].text, "MACRO_R");
+  EXPECT_EQ(lex.tokens[4].kind, TokenKind::kString);
+}
+
+TEST(LexerTest, RawStringSpanningLinesKeepsLineCount) {
+  LexResult lex = Lex("auto s = R\"(line1\nline2\nline3)\";\nint after;\n");
+  const Token* after = nullptr;
+  for (const Token& t : lex.tokens) {
+    if (t.text == "after") after = &t;
+  }
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->line, 4);
+}
+
+TEST(LexerTest, DigitSeparatorsStayOneNumberToken) {
+  LexResult lex = Lex("int64_t n = 1'000'000; double d = 1'234.5;\n");
+  bool found_int = false, found_float = false;
+  for (const Token& t : lex.tokens) {
+    if (t.text == "1'000'000") {
+      found_int = true;
+      EXPECT_FALSE(t.is_float);
+    }
+    if (t.text == "1'234.5") {
+      found_float = true;
+      EXPECT_TRUE(t.is_float);
+    }
+  }
+  EXPECT_TRUE(found_int);
+  EXPECT_TRUE(found_float);
+}
+
+TEST(LexerTest, LineContinuationInCommentSwallowsNextLine) {
+  // Phase-2 splicing: a // comment ending in backslash continues onto the
+  // next line, so `int hidden;` is comment text, not code.
+  LexResult lex = Lex("// comment continues \\\nint hidden;\nint visible;\n");
+  for (const Token& t : lex.tokens) {
+    EXPECT_NE(t.text, "hidden");
+  }
+  const Token* visible = nullptr;
+  for (const Token& t : lex.tokens) {
+    if (t.text == "visible") visible = &t;
+  }
+  ASSERT_NE(visible, nullptr);
+  EXPECT_EQ(visible->line, 3);
+}
+
+TEST(LexerTest, SuppressionInContinuedCommentCoversItsStartLine) {
+  LexResult lex =
+      Lex("// vsd-lint: allow(raw-rand) reason \\\n   continued\nint x;\n");
+  EXPECT_EQ(lex.suppressions.count(1), 1u);
 }
 
 // ------------------------------------------------------------- raw-rand ----
@@ -356,6 +429,232 @@ TEST(BlockingWaitRule, AllowsBoundedWaitsOtherGettersAndOtherPaths) {
   EXPECT_TRUE(Rules("src/serve/server.cc", suppressed).empty());
 }
 
+// ---------------------------------------------------- unguarded-capture ----
+
+TEST(UnguardedCaptureRule, FlagsByRefWritesInParallelBodies) {
+  const std::string sum = R"cc(
+    double total = 0.0;
+    ParallelFor(n, [&](int64_t i) { total += v[i]; });
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/explain/x.cc", sum), "unguarded-capture"));
+  const std::string named = R"cc(
+    ParallelFor(n, [&hits](int64_t i) { if (Test(i)) ++hits; });
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/core/x.cc", named), "unguarded-capture"));
+  const std::string push = R"cc(
+    std::vector<double> out;
+    pool.ParallelFor(n, [&](int64_t i) { out.push_back(F(i)); });
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/core/x.cc", push), "unguarded-capture"));
+  const std::string submit = R"cc(
+    pool.Submit([&]() { done = true; });
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/serve/x.cc", submit), "unguarded-capture"));
+}
+
+TEST(UnguardedCaptureRule, AllowsPerIndexLocalsAtomicsLocksAndByValue) {
+  const std::string per_index = R"cc(
+    std::vector<double> out(n);
+    ParallelFor(n, [&](int64_t i) { out[i] = F(i); });
+  )cc";
+  EXPECT_TRUE(Rules("src/explain/x.cc", per_index).empty());
+  const std::string locals = R"cc(
+    ParallelFor(n, [&](int64_t i) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < m; ++j) acc += w[i * m + j];
+      out[i] = acc;
+    });
+  )cc";
+  EXPECT_TRUE(Rules("src/explain/x.cc", locals).empty());
+  const std::string structured = R"cc(
+    ParallelFor(chunks, [&](int64_t c) {
+      auto [begin, end] = ChunkBounds(n, chunks, c);
+      for (int64_t i = begin; i < end; ++i) out[i] = F(i);
+    });
+  )cc";
+  EXPECT_TRUE(Rules("src/core/x.cc", structured).empty());
+  const std::string atomic = R"cc(
+    std::atomic<int64_t> done{0};
+    ParallelFor(n, [&](int64_t i) { out[i] = F(i); done.fetch_add(1); });
+  )cc";
+  EXPECT_TRUE(Rules("src/core/x.cc", atomic).empty());
+  const std::string locked = R"cc(
+    ParallelFor(n, [&](int64_t i) {
+      std::lock_guard<std::mutex> guard(mu);
+      total += v[i];
+    });
+  )cc";
+  EXPECT_TRUE(Rules("src/core/x.cc", locked).empty());
+  const std::string by_value = R"cc(
+    ParallelFor(n, [scale](int64_t i) mutable { scale *= 2.0; });
+  )cc";
+  EXPECT_TRUE(Rules("src/core/x.cc", by_value).empty());
+  // A Submit *definition* (qualified name) is not a call site.
+  const std::string defn = R"cc(
+    void StressServer::Submit(Request r) { queue_size += 1; }
+  )cc";
+  EXPECT_FALSE(HasRule(Rules("src/serve/x.cc", defn), "unguarded-capture"));
+}
+
+// ----------------------------------------------------------- wall-clock ----
+
+TEST(WallClockRule, FlagsWallClockReadsInResultPaths) {
+  EXPECT_TRUE(HasRule(
+      Rules("src/core/x.cc",
+            "auto t = std::chrono::system_clock::now();"),
+      "wall-clock"));
+  EXPECT_TRUE(HasRule(Rules("src/cot/x.cc", "time_t t = time(nullptr);"),
+                      "wall-clock"));
+}
+
+TEST(WallClockRule, AllowsSteadyClockMembersAndOtherPaths) {
+  // steady_clock is monotonic and legitimate for durations.
+  EXPECT_TRUE(
+      Rules("bench/x.cc", "auto t = std::chrono::steady_clock::now();")
+          .empty());
+  // Members named `time` belong to their class, not <ctime>.
+  EXPECT_TRUE(Rules("src/core/x.cc", "double t = stats.time;").empty());
+  // The serving layer may read clocks for deadlines.
+  EXPECT_TRUE(
+      Rules("src/serve/x.cc", "auto t = std::chrono::system_clock::now();")
+          .empty());
+}
+
+// ------------------------------------------------------------ thread-id ----
+
+TEST(ThreadIdRule, FlagsThreadIdentityInResultPaths) {
+  EXPECT_TRUE(HasRule(
+      Rules("src/explain/x.cc", "auto id = std::this_thread::get_id();"),
+      "thread-id"));
+  EXPECT_TRUE(
+      HasRule(Rules("bench/x.cc", "auto id = pthread_self();"), "thread-id"));
+}
+
+TEST(ThreadIdRule, AllowsSleepsAndOtherPaths) {
+  EXPECT_TRUE(
+      Rules("src/core/x.cc", "std::this_thread::sleep_for(d);").empty());
+  EXPECT_TRUE(
+      Rules("src/common/x.cc", "auto id = std::this_thread::get_id();")
+          .empty());
+}
+
+// ---------------------------------------------------------- pointer-key ----
+
+TEST(PointerKeyRule, FlagsPointerKeyedOrderedContainers) {
+  EXPECT_TRUE(HasRule(
+      Rules("src/core/x.cc", "std::map<Node*, double> scores;"),
+      "pointer-key"));
+  EXPECT_TRUE(HasRule(
+      Rules("src/explain/x.cc", "std::set<const Sample*> seen;"),
+      "pointer-key"));
+}
+
+TEST(PointerKeyRule, AllowsValueKeysPointerValuesAndOtherPaths) {
+  // The mapped type may hold pointers; only the key orders iteration.
+  EXPECT_TRUE(
+      Rules("src/core/x.cc", "std::map<std::string, Node*> by_name;").empty());
+  EXPECT_TRUE(Rules("src/core/x.cc", "std::set<int64_t> ids;").empty());
+  // A setter is not a container.
+  EXPECT_TRUE(Rules("src/core/x.cc", "cfg.set(k, v);").empty());
+  EXPECT_TRUE(
+      Rules("src/tensor/x.cc", "std::map<Node*, int> order;").empty());
+}
+
+// -------------------------------------------------------- include graph ----
+
+TEST(IncludeGraphTest, LayerTableMatchesArchitecture) {
+  EXPECT_EQ(LayerOf("src/common/rng.h"), 0);
+  EXPECT_EQ(LayerOf("src/tensor/tensor.h"), 1);
+  EXPECT_EQ(LayerOf("src/face/au.h"), 2);
+  EXPECT_EQ(LayerOf("src/vlm/foundation_model.h"), 3);
+  EXPECT_EQ(LayerOf("src/cot/pipeline.h"), 4);
+  EXPECT_EQ(LayerOf("src/explain/sobol.h"), 5);
+  EXPECT_EQ(LayerOf("src/core/evaluation.h"), 6);
+  EXPECT_EQ(LayerOf("src/serve/server.h"), 7);
+  EXPECT_EQ(LayerOf("bench/harness.h"), 8);
+  EXPECT_EQ(LayerOf("tests/lint_test.cc"), -1);  // Unconstrained.
+}
+
+IncludeGraph GraphOf(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  IncludeGraphBuilder builder;
+  for (const auto& [path, content] : files) {
+    builder.AddFile(path, Lex(content));
+  }
+  return builder.Build();
+}
+
+TEST(IncludeGraphTest, ResolvesQuotedIncludesLikeTheBuild) {
+  const IncludeGraph graph = GraphOf({
+      {"src/cot/pipeline.h", "#include \"common/rng.h\"\n"},
+      {"src/common/rng.h", "#include <cstdint>\n"},
+      {"bench/bench_x.cc", "#include \"bench/harness.h\"\n"},
+      {"bench/harness.h", "#include \"helpers.h\"\n"},
+      {"bench/helpers.h", ""},
+  });
+  ASSERT_EQ(graph.edges.size(), 3u);  // <cstdint> is not a project edge.
+  EXPECT_EQ(graph.edges[0].from, "bench/bench_x.cc");
+  EXPECT_EQ(graph.edges[0].to, "bench/harness.h");
+  // "helpers.h" resolves relative to the includer's directory.
+  EXPECT_EQ(graph.edges[1].to, "bench/helpers.h");
+  EXPECT_EQ(graph.edges[2].from, "src/cot/pipeline.h");
+  EXPECT_EQ(graph.edges[2].to, "src/common/rng.h");
+}
+
+TEST(IncludeGraphTest, UpwardIncludeIsALayeringFinding) {
+  const IncludeGraph graph = GraphOf({
+      {"src/common/rng.h", "#include \"cot/pipeline.h\"\n"},
+      {"src/cot/pipeline.h", ""},
+  });
+  const std::vector<Finding> findings = CheckLayering(graph);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_EQ(findings[0].file, "src/common/rng.h");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(IncludeGraphTest, DownwardAndSameLayerIncludesAreClean) {
+  const IncludeGraph graph = GraphOf({
+      {"src/cot/pipeline.h", "#include \"common/rng.h\"\n"
+                             "#include \"cot/refinement.h\"\n"},
+      {"src/common/rng.h", ""},
+      {"src/cot/refinement.h", "#include \"common/rng.h\"\n"},
+      {"tests/x_test.cc", "#include \"serve/server.h\"\n"},
+      {"src/serve/server.h", ""},
+  });
+  EXPECT_TRUE(CheckLayering(graph).empty());
+  EXPECT_TRUE(CheckCycles(graph).empty());
+}
+
+TEST(IncludeGraphTest, CycleIsReportedOnceWithTheFullPath) {
+  const IncludeGraph graph = GraphOf({
+      {"src/cot/a.h", "#include \"cot/b.h\"\n"},
+      {"src/cot/b.h", "#include \"cot/c.h\"\n"},
+      {"src/cot/c.h", "#include \"cot/a.h\"\n"},
+  });
+  const std::vector<Finding> findings = CheckCycles(graph);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-cycle");
+  EXPECT_NE(findings[0].message.find("src/cot/a.h"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/cot/b.h"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/cot/c.h"), std::string::npos);
+}
+
+TEST(IncludeGraphTest, DotDumpIsModuleLevelWithLayers) {
+  const IncludeGraph graph = GraphOf({
+      {"src/cot/pipeline.h", "#include \"common/rng.h\"\n"},
+      {"src/cot/refinement.h", "#include \"common/rng.h\"\n"},
+      {"src/common/rng.h", ""},
+  });
+  const std::string dot = DumpDot(graph);
+  EXPECT_NE(dot.find("digraph vsd_includes"), std::string::npos);
+  EXPECT_NE(dot.find("\"src/cot\" [layer=4"), std::string::npos);
+  EXPECT_NE(dot.find("\"src/common\" [layer=0"), std::string::npos);
+  // Two file-level includes collapse into one labeled module edge.
+  EXPECT_NE(dot.find("\"src/cot\" -> \"src/common\" [label=\"2\"]"),
+            std::string::npos);
+}
+
 // --------------------------------------------------------- suppressions ----
 
 TEST(SuppressionTest, TrailingAndPrecedingCommentsSuppress) {
@@ -387,19 +686,35 @@ TEST(AllRulesTest, NamesAreStable) {
       "raw-rand",       "rng-fork",      "float-eq",
       "header-guard",   "include-order", "unordered-iter",
       "per-sample-predict", "blocking-wait-no-deadline",
+      "unguarded-capture",  "wall-clock", "thread-id",
+      "pointer-key",    "layering",      "include-cycle",
   };
   EXPECT_EQ(AllRules(), expected);
 }
 
-// The enforcement test: the real tree must lint clean. New code that trips
-// a rule either gets fixed or carries an explicit, reasoned suppression.
+// The enforcement test: the real tree must lint clean — per-file rules and
+// the whole-program graph rules (layering, include-cycle) both. New code
+// that trips a rule either gets fixed or carries an explicit, reasoned
+// suppression.
 TEST(MetaTest, RepoSourceTreeIsLintClean) {
-  const std::vector<Finding> findings =
-      LintTree(VSD_SOURCE_DIR, {"src", "bench", "tools", "tests"});
+  const std::vector<Finding> findings = LintTree(
+      VSD_SOURCE_DIR, {"src", "bench", "tools", "tests", "examples"});
   for (const Finding& f : findings) {
     ADD_FAILURE() << f.ToString();
   }
   EXPECT_TRUE(findings.empty());
+}
+
+// The repo's own include graph must stay acyclic — not suppressible, since
+// a cyclic graph admits no layering at all.
+TEST(MetaTest, RepoIncludeGraphIsAcyclic) {
+  const IncludeGraph graph = BuildIncludeGraphFromTree(
+      VSD_SOURCE_DIR, {"src", "bench", "tools", "tests", "examples"});
+  EXPECT_GT(graph.files.size(), 50u);
+  EXPECT_GT(graph.edges.size(), 100u);
+  for (const Finding& f : CheckCycles(graph)) {
+    ADD_FAILURE() << f.ToString();
+  }
 }
 
 }  // namespace

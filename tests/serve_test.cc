@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <future>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -151,6 +152,79 @@ INSTANTIATE_TEST_SUITE_P(BatchWorkerThreadSweep, ServeIdentityTest,
                          ::testing::Combine(::testing::Values(1, 3, 8),
                                             ::testing::Values(1, 2),
                                             ::testing::Values(1, 4)));
+
+// ------------------------------------------------- multi-producer ingest ----
+
+// Ingest stress: N submitter threads racing into one server must not change
+// a single bit of any result. Each producer owns a strided slice of the
+// dataset and its own future vector (the outer vector is pre-sized, so no
+// producer ever touches shared state); per-sample results are then checked
+// against the direct batched call, which also proves no request was lost,
+// duplicated, or cross-wired to another producer's future under the race.
+TEST_F(ServeTest, MultiProducerIngestMatchesDirectPredictBatch) {
+  FaultInjector::Global().Disable();
+  ThreadPool::SetGlobalThreads(4);
+  ModelWorld& world = ModelWorld::Shared();
+  const auto samples = world.Pointers();
+  const std::vector<double> direct = world.pipeline.PredictBatch(samples);
+
+  constexpr int kProducers = 4;
+  constexpr int kRounds = 2;
+  ServeConfig config;
+  config.max_batch = 5;
+  config.num_workers = 3;
+  config.max_batch_delay_micros = 200;
+  // Queue bound above the total in flight: this test is about racing
+  // submission, not backpressure, so no request may be rejected.
+  config.max_queue = static_cast<int>(samples.size()) * kRounds;
+  StressServer server(&world.pipeline, config);
+
+  // futures[p] belongs to producer p alone; sample_of[p] records the
+  // submission order so results can be matched back to `direct`.
+  std::vector<std::vector<ServeFuture>> futures(kProducers);
+  std::vector<std::vector<size_t>> sample_of(kProducers);
+  {
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int round = 0; round < kRounds; ++round) {
+          for (size_t i = static_cast<size_t>(p); i < samples.size();
+               i += kProducers) {
+            futures[p].push_back(server.Submit(*samples[i]));
+            sample_of[p].push_back(i);
+          }
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+  }
+
+  int64_t resolved = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(futures[p].size(), sample_of[p].size());
+    for (size_t k = 0; k < futures[p].size(); ++k) {
+      vsd::Result<ServeResult> result = Get(futures[p][k]);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      const size_t i = sample_of[p][k];
+      EXPECT_EQ(result->prob_stressed, direct[i])
+          << "producer " << p << " sample " << i;
+      EXPECT_EQ(result->degradation, DegradationLevel::kFull);
+      ++resolved;
+    }
+  }
+  EXPECT_EQ(resolved,
+            static_cast<int64_t>(samples.size()) * kRounds);
+  server.Shutdown();
+
+  const ServeStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.submitted, resolved);
+  EXPECT_EQ(stats.completed_full, resolved);
+  EXPECT_EQ(stats.rejected_queue_full, 0);
+  EXPECT_EQ(stats.dropped_on_shutdown, 0);
+  EXPECT_EQ(stats.batched_samples, resolved);
+  EXPECT_EQ(stats.Resolved(), stats.submitted);
+}
 
 // --------------------------------------------------------- queue limits ----
 

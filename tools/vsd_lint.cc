@@ -2,15 +2,30 @@
 //
 // Enforces the determinism and error-handling invariants the metrics tables
 // depend on (see docs/INTERNALS.md, "Static analysis & sanitizers"):
-// no raw std:: randomness outside src/common/rng.*, no shared-Rng draws
-// inside ParallelFor bodies, no exact float comparison in metric kernels,
-// header hygiene, and no unordered-container iteration in result paths.
+// no raw std:: randomness outside src/common/rng.*, no shared-Rng draws or
+// unguarded by-reference capture writes inside ParallelFor bodies, no exact
+// float comparison in metric kernels, no wall-clock/thread-id/pointer-key
+// nondeterminism in result paths, header hygiene, no unordered-container
+// iteration in result paths — plus the whole-program include graph checks:
+// architecture layering and include cycles.
 //
 // Usage:
-//   vsd_lint [--root DIR] [SUBDIR...]
+//   vsd_lint [--root DIR] [--fix] [--dump-graph] [SUBDIR...]
 //
-// With no SUBDIRs, lints src bench tools tests under --root (default: the
-// current directory). Exit code 0 = clean, 1 = findings, 2 = usage error.
+// With no SUBDIRs, lints src bench tools tests examples under --root
+// (default: the current directory). Exit code 0 = clean, 1 = findings,
+// 2 = usage error.
+//
+//   --fix         rewrite mechanical findings (include-order, header-guard)
+//                 in place, then re-lint; the exit code reflects what is
+//                 left after fixing.
+//   --dump-graph  print the module-level include graph as DOT on stdout
+//                 (for `dot -Tsvg` and docs/INTERNALS.md) and exit; the
+//                 exit code is 1 if the graph has include cycles (a cyclic
+//                 graph has no valid layering at all — not suppressible),
+//                 0 otherwise. Layering violations go through the normal
+//                 lint run, where `allow(layering)` suppressions apply.
+//
 // Suppress a finding with `// vsd-lint: allow(<rule>)` on the offending
 // line or the line above (always include a reason in the comment).
 
@@ -19,21 +34,31 @@
 #include <string>
 #include <vector>
 
+#include "lint/fix.h"
+#include "lint/include_graph.h"
 #include "lint/lint.h"
 
 int main(int argc, char** argv) {
   std::string root = ".";
   std::vector<std::string> subdirs;
+  bool fix = false;
+  bool dump_graph = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
+    } else if (std::strcmp(argv[i], "--fix") == 0) {
+      fix = true;
+    } else if (std::strcmp(argv[i], "--dump-graph") == 0) {
+      dump_graph = true;
     } else if (std::strcmp(argv[i], "--list-rules") == 0) {
       for (const std::string& rule : vsd::lint::AllRules()) {
         std::printf("%s\n", rule.c_str());
       }
       return 0;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: vsd_lint [--root DIR] [--list-rules] [SUBDIR...]\n");
+      std::printf(
+          "usage: vsd_lint [--root DIR] [--fix] [--dump-graph] "
+          "[--list-rules] [SUBDIR...]\n");
       return 0;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "vsd_lint: unknown flag '%s'\n", argv[i]);
@@ -42,7 +67,31 @@ int main(int argc, char** argv) {
       subdirs.push_back(argv[i]);
     }
   }
-  if (subdirs.empty()) subdirs = {"src", "bench", "tools", "tests"};
+  if (subdirs.empty()) subdirs = {"src", "bench", "tools", "tests", "examples"};
+
+  if (dump_graph) {
+    const vsd::lint::IncludeGraph graph =
+        vsd::lint::BuildIncludeGraphFromTree(root, subdirs);
+    std::fputs(vsd::lint::DumpDot(graph).c_str(), stdout);
+    const std::vector<vsd::lint::Finding> cycles =
+        vsd::lint::CheckCycles(graph);
+    for (const auto& f : cycles) {
+      std::fprintf(stderr, "%s\n", f.ToString().c_str());
+    }
+    if (!cycles.empty()) {
+      std::fprintf(stderr, "vsd_lint: include graph has %zu cycle(s)\n",
+                   cycles.size());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (fix) {
+    for (const vsd::lint::FixedFile& f : vsd::lint::FixTree(root, subdirs)) {
+      std::fprintf(stderr, "vsd_lint: fixed %s (%d fix(es))\n",
+                   f.path.c_str(), f.fixes);
+    }
+  }
 
   const std::vector<vsd::lint::Finding> findings =
       vsd::lint::LintTree(root, subdirs);
