@@ -1,14 +1,23 @@
 // Microbenchmarks (google-benchmark) for the substrate hot paths: tensor
 // matmul, conv im2col forward/backward, face rendering, SLIC segmentation,
-// and one full chain inference. These bound the per-sample costs reported
-// in Figure 6.
+// one full chain inference, and the explainer perturbation loop with the
+// graph executor off/on. These bound the per-sample costs reported in
+// Figure 6. Besides the google-benchmark report, the binary writes a
+// `BENCH_micro.json` sidecar with the compiled-vs-eager wall times of the
+// perturbation loop, so CI can track the graph executor's speedup without
+// parsing benchmark output.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench/harness.h"
 #include "common/rng.h"
 #include "cot/pipeline.h"
 #include "data/generator.h"
+#include "explain/occlusion.h"
 #include "face/renderer.h"
 #include "img/slic.h"
+#include "nn/graph.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 #include "tensor/autograd.h"
@@ -97,6 +106,104 @@ void BM_VisionEmbedPair(benchmark::State& state) {
 }
 BENCHMARK(BM_VisionEmbedPair);
 
+// The explainer perturbation loop is the graph executor's flagship
+// consumer: one OcclusionExplainer pass drives num_segments + 1 model
+// forwards through the batched chain classifier. Arg(0) runs eager,
+// Arg(1) compiled; both produce bit-identical attributions (pinned by
+// tests/graph_exec_test.cc), so the delta is pure executor overhead.
+void BM_ExplainerPerturbations(benchmark::State& state) {
+  namespace graph = ::vsd::nn::graph;
+  const bool previous = graph::GraphExecEnabled();
+  graph::SetGraphExecEnabled(state.range(0) == 1);
+  vsd::data::Dataset dataset = vsd::data::MakeUvsdSimSmall(2, 9);
+  vsd::vlm::FoundationModelConfig config;
+  vsd::vlm::FoundationModel model(config);
+  const vsd::data::VideoSample& sample = dataset.samples[0];
+  const vsd::img::Segmentation segmentation =
+      vsd::img::Slic(sample.expressive_frame, vsd::bench::kNumSlicSegments);
+  const vsd::explain::BatchClassifierFn classifier =
+      vsd::bench::ModelBatchClassifier(model, sample, /*use_chain=*/true);
+  const vsd::explain::OcclusionExplainer occlusion;
+  Rng rng(77);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(occlusion.Explain(
+        classifier, sample.expressive_frame, segmentation, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (segmentation.num_segments + 1));
+  graph::SetGraphExecEnabled(previous);
+}
+BENCHMARK(BM_ExplainerPerturbations)->Arg(0)->Arg(1);
+
+/// Times the occlusion perturbation loop in both executor modes and writes
+/// the `BENCH_micro.json` sidecar. Runs after the registered benchmarks so
+/// a `--benchmark_filter` run still refreshes the sidecar.
+void WriteGraphExecSidecar() {
+  namespace graph = ::vsd::nn::graph;
+  vsd::data::Dataset dataset = vsd::data::MakeUvsdSimSmall(2, 9);
+  vsd::vlm::FoundationModelConfig config;
+  vsd::vlm::FoundationModel model(config);
+  const vsd::data::VideoSample& sample = dataset.samples[0];
+  const vsd::img::Segmentation segmentation =
+      vsd::img::Slic(sample.expressive_frame, vsd::bench::kNumSlicSegments);
+  const vsd::explain::BatchClassifierFn classifier =
+      vsd::bench::ModelBatchClassifier(model, sample, /*use_chain=*/true);
+  const vsd::explain::OcclusionExplainer occlusion;
+  constexpr int kRepeats = 3;
+  const bool previous = graph::GraphExecEnabled();
+  auto time_mode = [&](bool compiled) {
+    graph::SetGraphExecEnabled(compiled);
+    // Warm-up: pays one-time graph compilation and arena growth.
+    vsd::Rng warm_rng(77);
+    occlusion.Explain(classifier, sample.expressive_frame, segmentation,
+                      &warm_rng);
+    vsd::bench::PerfTimer timer;
+    for (int r = 0; r < kRepeats; ++r) {
+      vsd::Rng rng(100 + r);
+      benchmark::DoNotOptimize(occlusion.Explain(
+          classifier, sample.expressive_frame, segmentation, &rng));
+    }
+    return timer.Seconds();
+  };
+  const double eager_s = time_mode(false);
+  const double compiled_s = time_mode(true);
+  graph::SetGraphExecEnabled(previous);
+  std::FILE* file = std::fopen("BENCH_micro.json", "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write BENCH_micro.json\n");
+    return;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"bench\": \"micro\",\n"
+               "  \"graph_exec_compare\": {\n"
+               "    \"loop\": \"occlusion perturbations, chain classifier\",\n"
+               "    \"segments\": %d,\n"
+               "    \"forwards_per_pass\": %d,\n"
+               "    \"repeats\": %d,\n"
+               "    \"eager_wall_s\": %.6f,\n"
+               "    \"compiled_wall_s\": %.6f,\n"
+               "    \"compiled_speedup\": %.3f\n"
+               "  }\n"
+               "}\n",
+               segmentation.num_segments, segmentation.num_segments + 1,
+               kRepeats, eager_s, compiled_s,
+               compiled_s > 0.0 ? eager_s / compiled_s : 0.0);
+  std::fclose(file);
+  std::fprintf(stderr,
+               "[bench] graph exec: eager %.3fs compiled %.3fs (x%.2f) -> "
+               "BENCH_micro.json\n",
+               eager_s, compiled_s,
+               compiled_s > 0.0 ? eager_s / compiled_s : 0.0);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteGraphExecSidecar();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Counting replacements for the global allocation functions. This TU is
+// deliberately NOT part of vsd_common: linking it into a binary replaces
+// `operator new` process-wide, which only allocation-regression tests
+// should do (tests/CMakeLists.txt adds it to graph_exec_test). Every
+// allocation bumps the counter in alloc_stats.h; the underlying storage
+// still comes from malloc/free, so sanitizer interception keeps working.
+#include <cstdlib>
+#include <new>
+
+#include "common/alloc_stats.h"
+
+namespace {
+
+[[maybe_unused]] const bool kHookMarked =
+    (vsd::internal::MarkAllocHookInstalled(), true);
+
+void* CountedAlloc(std::size_t size) {
+  vsd::internal::RecordAlloc();
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  vsd::internal::RecordAlloc();
+  void* ptr = nullptr;
+  if (posix_memalign(&ptr, align, size == 0 ? align : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return ptr;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}

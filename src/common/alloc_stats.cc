@@ -1,0 +1,41 @@
+#include "common/alloc_stats.h"
+
+#include <atomic>
+
+namespace vsd {
+
+namespace {
+
+// Function-local statics with constant initialization: usable from the
+// allocation hook even before any dynamic initializer has run.
+std::atomic<uint64_t>& Counter() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
+std::atomic<bool>& Installed() {
+  static std::atomic<bool> installed{false};
+  return installed;
+}
+
+}  // namespace
+
+bool AllocHookInstalled() {
+  return Installed().load(std::memory_order_relaxed);
+}
+
+uint64_t AllocCount() { return Counter().load(std::memory_order_relaxed); }
+
+namespace internal {
+
+void RecordAlloc() {
+  Counter().fetch_add(1, std::memory_order_relaxed);
+}
+
+void MarkAllocHookInstalled() {
+  Installed().store(true, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+}  // namespace vsd

@@ -1,0 +1,36 @@
+#ifndef VSD_COMMON_ALLOC_STATS_H_
+#define VSD_COMMON_ALLOC_STATS_H_
+
+#include <cstdint>
+
+namespace vsd {
+
+/// \file
+/// Heap-allocation counters fed by the counting `operator new` replacement
+/// in alloc_hook.cc. The hook TU is linked only into tests that assert
+/// allocation behavior (e.g. graph_exec_test's zero-allocation regression
+/// for GraphExecutor::Execute); in ordinary binaries the counters stay at
+/// zero and AllocHookInstalled() is false.
+///
+/// Thread-safe: relaxed atomics. Counts are exact per call; assertions
+/// should bracket quiescent single-threaded regions.
+
+/// True when the counting operator new/delete replacement TU is linked in.
+bool AllocHookInstalled();
+
+/// Total `operator new` / `operator new[]` calls since process start.
+uint64_t AllocCount();
+
+namespace internal {
+
+/// Called by the hook TU on every allocation. Safe before main().
+void RecordAlloc();
+
+/// Called once from a static initializer in the hook TU.
+void MarkAllocHookInstalled();
+
+}  // namespace internal
+
+}  // namespace vsd
+
+#endif  // VSD_COMMON_ALLOC_STATS_H_

@@ -1,4 +1,4 @@
-#include "face/au.h"
+#include "common/au_vocab.h"
 
 #include "common/logging.h"
 

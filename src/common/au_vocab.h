@@ -1,0 +1,73 @@
+#ifndef VSD_COMMON_AU_VOCAB_H_
+#define VSD_COMMON_AU_VOCAB_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+// The facial action-unit vocabulary: a leaf catalog of names, regions, and
+// mask helpers with no dependencies beyond the standard library. It lives
+// in common (layer 0) because both the text layer (rendering/parsing
+// descriptions) and the face layer (rendering/landmarks) need it, and text
+// must not depend on face. The types keep their historical
+// `vsd::face` namespace; face/au.h forwards here.
+
+namespace vsd::face {
+
+/// Number of facial action units modeled (the 12-AU DISFA/DISFA+ set the
+/// paper instruction-tunes on).
+inline constexpr int kNumAus = 12;
+
+/// Facial regions an AU manifests in; used to locate the image area to
+/// perturb when verifying rationale faithfulness (Sec. III-D).
+enum class FaceRegion {
+  kEyebrow = 0,
+  kEyelid = 1,
+  kCheek = 2,
+  kNose = 3,
+  kMouth = 4,
+  kChin = 5,
+  kJaw = 6,
+};
+
+inline constexpr int kNumFaceRegions = 7;
+
+/// Static description of one action unit.
+struct AuInfo {
+  int facs_number;          ///< FACS numbering (AU1, AU2, ...).
+  const char* name;         ///< FACS name, e.g. "inner brow raiser".
+  const char* description;  ///< Linguistic phrase used in generated text.
+  const char* region_word;  ///< Region keyword used in description lists.
+  FaceRegion region;
+};
+
+/// Catalog of the 12 modeled AUs, indexed 0..11.
+const std::array<AuInfo, kNumAus>& AuCatalog();
+
+/// Info for AU index (0-based). Aborts on out-of-range.
+const AuInfo& GetAu(int index);
+
+/// Index (0-based) for a FACS number (1, 2, 4, ...); -1 when unmodeled.
+int AuIndexFromFacs(int facs_number);
+
+/// A set of active AUs represented as a binary mask.
+using AuMask = std::array<bool, kNumAus>;
+
+/// Number of active AUs.
+int AuMaskCount(const AuMask& mask);
+
+/// Indices of active AUs, ascending.
+std::vector<int> AuMaskToIndices(const AuMask& mask);
+
+/// Builds a mask from indices; out-of-range indices are ignored.
+AuMask AuMaskFromIndices(const std::vector<int>& indices);
+
+/// Jaccard similarity of two masks (1.0 when both empty).
+double AuMaskJaccard(const AuMask& a, const AuMask& b);
+
+/// Human-readable list like "AU1+AU5+AU6".
+std::string AuMaskToString(const AuMask& mask);
+
+}  // namespace vsd::face
+
+#endif  // VSD_COMMON_AU_VOCAB_H_

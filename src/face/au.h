@@ -1,66 +1,10 @@
 #ifndef VSD_FACE_AU_H_
 #define VSD_FACE_AU_H_
 
-#include <array>
-#include <string>
-#include <vector>
-
-namespace vsd::face {
-
-/// Number of facial action units modeled (the 12-AU DISFA/DISFA+ set the
-/// paper instruction-tunes on).
-inline constexpr int kNumAus = 12;
-
-/// Facial regions an AU manifests in; used to locate the image area to
-/// perturb when verifying rationale faithfulness (Sec. III-D).
-enum class FaceRegion {
-  kEyebrow = 0,
-  kEyelid = 1,
-  kCheek = 2,
-  kNose = 3,
-  kMouth = 4,
-  kChin = 5,
-  kJaw = 6,
-};
-
-inline constexpr int kNumFaceRegions = 7;
-
-/// Static description of one action unit.
-struct AuInfo {
-  int facs_number;          ///< FACS numbering (AU1, AU2, ...).
-  const char* name;         ///< FACS name, e.g. "inner brow raiser".
-  const char* description;  ///< Linguistic phrase used in generated text.
-  const char* region_word;  ///< Region keyword used in description lists.
-  FaceRegion region;
-};
-
-/// Catalog of the 12 modeled AUs, indexed 0..11.
-const std::array<AuInfo, kNumAus>& AuCatalog();
-
-/// Info for AU index (0-based). Aborts on out-of-range.
-const AuInfo& GetAu(int index);
-
-/// Index (0-based) for a FACS number (1, 2, 4, ...); -1 when unmodeled.
-int AuIndexFromFacs(int facs_number);
-
-/// A set of active AUs represented as a binary mask.
-using AuMask = std::array<bool, kNumAus>;
-
-/// Number of active AUs.
-int AuMaskCount(const AuMask& mask);
-
-/// Indices of active AUs, ascending.
-std::vector<int> AuMaskToIndices(const AuMask& mask);
-
-/// Builds a mask from indices; out-of-range indices are ignored.
-AuMask AuMaskFromIndices(const std::vector<int>& indices);
-
-/// Jaccard similarity of two masks (1.0 when both empty).
-double AuMaskJaccard(const AuMask& a, const AuMask& b);
-
-/// Human-readable list like "AU1+AU5+AU6".
-std::string AuMaskToString(const AuMask& mask);
-
-}  // namespace vsd::face
+// Forwarding header: the AU vocabulary (kNumAus, AuInfo, AuMask, and the
+// mask helpers) moved down to common/au_vocab.h so the text layer can use
+// it without depending on the face layer. The declarations stay in
+// `vsd::face`, so face-layer includes of this header are unaffected.
+#include "common/au_vocab.h"  // IWYU pragma: export
 
 #endif  // VSD_FACE_AU_H_

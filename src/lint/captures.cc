@@ -1,5 +1,6 @@
 #include "lint/captures.h"
 
+#include <map>
 #include <set>
 #include <string>
 
@@ -190,6 +191,55 @@ std::set<std::string> CollectLocals(const std::vector<Token>& toks,
   return locals;
 }
 
+/// Reference declarations inside the body (`auto& slot = shared;`,
+/// `T& h = this->hidden_;`) create a second name for an existing object:
+/// a write through the alias is a write to the aliased object, so the
+/// alias maps to the root identifier of its initializer chain. Aliases of
+/// subscripted or call-result initializers are NOT recorded — they name a
+/// per-index slot or a temporary and stay plain locals.
+std::map<std::string, std::string> CollectRefAliases(
+    const std::vector<Token>& toks, const LambdaSite& site) {
+  std::map<std::string, std::string> aliases;
+  for (size_t i = site.body_open + 1; i + 3 < site.body_close; ++i) {
+    if (toks[i].text != "&" && toks[i].text != "&&") continue;
+    const Token& prev = toks[i - 1];
+    const bool type_prev =
+        prev.text == "auto" || prev.text == ">" || prev.text == ">>" ||
+        (prev.kind == TokenKind::kIdentifier && !Keywords().count(prev.text));
+    if (!type_prev) continue;
+    const Token& name = toks[i + 1];
+    if (name.kind != TokenKind::kIdentifier || Keywords().count(name.text)) {
+      continue;
+    }
+    if (toks[i + 2].text != "=") continue;
+    // Initializer must be a pure identifier chain (a . b -> c :: d) ending
+    // at ';' — anything else (subscript, call, arithmetic) is not an alias
+    // of a captured object.
+    size_t j = i + 3;
+    const bool root_this = toks[j].text == "this";
+    if (toks[j].kind != TokenKind::kIdentifier ||
+        (!root_this && Keywords().count(toks[j].text))) {
+      continue;
+    }
+    const std::string root = toks[j].text;
+    ++j;
+    bool simple = true;
+    while (j < site.body_close && toks[j].text != ";") {
+      const std::string& link = toks[j].text;
+      if ((link == "." || link == "->" || link == "::") &&
+          j + 1 < site.body_close &&
+          toks[j + 1].kind == TokenKind::kIdentifier) {
+        j += 2;
+        continue;
+      }
+      simple = false;
+      break;
+    }
+    if (simple) aliases[name.text] = root;
+  }
+  return aliases;
+}
+
 /// Walks the left-hand-side chain ending at token `last` (an identifier)
 /// back to its root. Sets `subscripted` if any link of the chain is indexed
 /// (a per-index slot) and `through_call` if the receiver is a call result
@@ -256,22 +306,37 @@ void AnalyzeLambda(const std::string& path, const std::vector<Token>& toks,
   }
 
   const std::set<std::string> locals = CollectLocals(toks, site);
+  const std::map<std::string, std::string> ref_aliases =
+      CollectRefAliases(toks, site);
 
   auto classify = [&](const ChainRoot& chain, int line) {
     if (chain.subscripted || chain.through_call) return;
     const Token& root = toks[chain.root];
     if (root.kind != TokenKind::kIdentifier) return;
-    const std::string& name = root.text;
+    // Follow reference aliases back to the object they rename: writing
+    // through `auto& slot = shared;` is writing `shared`. Bounded hops in
+    // case of a (nonsensical) alias cycle.
+    std::string name = root.text;
+    std::string via;
+    for (int hop = 0; hop < 8; ++hop) {
+      const auto it = ref_aliases.find(name);
+      if (it == ref_aliases.end() || it->second == name) break;
+      if (via.empty()) via = name;
+      name = it->second;
+    }
     if (locals.count(name) || atomics.count(name)) return;
     if (captures.by_val.count(name)) return;  // Writes hit the copy.
     if (name == "this" && !captures.captures_this && !captures.default_ref) {
       return;
     }
     if (!seen->insert(std::to_string(line) + ":" + name).second) return;
+    const std::string written =
+        via.empty() ? "written"
+                    : "written through the reference alias '" + via + "'";
     findings->push_back(Finding{
         path, line, "unguarded-capture",
-        "'" + name + "' is captured by reference and written inside a " +
-            site.callee +
+        "'" + name + "' is captured by reference and " + written +
+            " inside a " + site.callee +
             " body without a mutex/atomic/per-index subscript — a data race "
             "whose result depends on scheduling; write to a per-index slot "
             "(out[i]) or guard the update (docs/INTERNALS.md, determinism "

@@ -1,0 +1,117 @@
+#include "nn/arena.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vsd::nn {
+
+namespace {
+
+struct FreeBlock {
+  size_t offset = 0;
+  size_t size = 0;
+};
+
+size_t AlignUp(size_t v, size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+/// Inserts a block into the offset-sorted free list, coalescing with both
+/// neighbors. The resulting list is a pure function of the set of free
+/// byte ranges, so release order cannot influence later placements.
+void ReleaseBlock(std::vector<FreeBlock>* free_list, size_t offset,
+                  size_t size) {
+  if (size == 0) return;
+  auto it = std::lower_bound(
+      free_list->begin(), free_list->end(), offset,
+      [](const FreeBlock& b, size_t off) { return b.offset < off; });
+  it = free_list->insert(it, FreeBlock{offset, size});
+  if (it + 1 != free_list->end() && it->offset + it->size == (it + 1)->offset) {
+    it->size += (it + 1)->size;
+    free_list->erase(it + 1);
+  }
+  if (it != free_list->begin() &&
+      (it - 1)->offset + (it - 1)->size == it->offset) {
+    (it - 1)->size += it->size;
+    free_list->erase(it);
+  }
+}
+
+}  // namespace
+
+ArenaPlan PlanBufferLifetimes(std::span<const BufferRequest> requests,
+                              size_t align) {
+  VSD_CHECK(align > 0) << "arena alignment must be positive";
+  const int n = static_cast<int>(requests.size());
+  ArenaPlan plan;
+  plan.offsets.assign(requests.size(), 0);
+
+  // Place in order of first use (ties broken by request index, so the plan
+  // depends only on the request list).
+  std::vector<int> order(requests.size());
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&requests](int a, int b) {
+    return requests[a].first_use < requests[b].first_use;
+  });
+
+  // Pending releases, ordered by expiry so freed blocks return to the list
+  // as the placement cursor passes their last use.
+  std::vector<int> expiry(order);
+  std::stable_sort(expiry.begin(), expiry.end(), [&requests](int a, int b) {
+    return requests[a].last_use < requests[b].last_use;
+  });
+
+  std::vector<FreeBlock> free_list;
+  size_t top = 0;        // Current end of the allocated region.
+  size_t high_water = 0; // Largest `top` ever needed.
+  size_t next_expiry = 0;
+
+  for (int id : order) {
+    const BufferRequest& req = requests[id];
+    VSD_CHECK(req.last_use >= req.first_use)
+        << "buffer " << id << " dies before it is born";
+    // Release every buffer whose live interval ended strictly before this
+    // request's first use.
+    while (next_expiry < expiry.size() &&
+           requests[expiry[next_expiry]].last_use < req.first_use) {
+      const int dead = expiry[next_expiry++];
+      ReleaseBlock(&free_list, plan.offsets[dead],
+                   AlignUp(requests[dead].size, align));
+    }
+    const size_t size = AlignUp(req.size, align);
+    if (size == 0) continue;  // offset 0, overlaps nothing (zero bytes).
+    // Best fit: smallest free block that holds `size`; ties resolve to the
+    // lowest offset because the list is offset-sorted.
+    int best = -1;
+    for (size_t i = 0; i < free_list.size(); ++i) {
+      if (free_list[i].size >= size &&
+          (best < 0 || free_list[i].size < free_list[best].size)) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0) {
+      plan.offsets[id] = free_list[best].offset;
+      free_list[best].offset += size;
+      free_list[best].size -= size;
+      if (free_list[best].size == 0) {
+        free_list.erase(free_list.begin() + best);
+      }
+    } else if (!free_list.empty() &&
+               free_list.back().offset + free_list.back().size == top) {
+      // No block is large enough, but the topmost free block touches the
+      // end of the arena: grow from it instead of on top of it.
+      plan.offsets[id] = free_list.back().offset;
+      top = free_list.back().offset + size;
+      free_list.pop_back();
+    } else {
+      plan.offsets[id] = top;
+      top += size;
+    }
+    high_water = std::max(high_water, top);
+  }
+  plan.arena_size = high_water;
+  return plan;
+}
+
+}  // namespace vsd::nn

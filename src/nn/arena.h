@@ -1,0 +1,52 @@
+#ifndef VSD_NN_ARENA_H_
+#define VSD_NN_ARENA_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vsd::nn {
+
+/// Offsets are aligned to this many floats (64 bytes), so every planned
+/// buffer starts on a cache-line boundary.
+inline constexpr size_t kArenaAlignFloats = 16;
+
+/// One intermediate buffer of a compiled forward pass, as the planner sees
+/// it: a size in floats and a live interval over the topological op order.
+/// The buffer is written at step `first_use` and last read at `last_use`
+/// (inclusive); `first_use = -1` marks buffers written before execution
+/// starts (graph inputs). Zero-sized requests are legal and get offset 0.
+struct BufferRequest {
+  size_t size = 0;    ///< Element (float) count.
+  int first_use = 0;  ///< Topological step of the producing op.
+  int last_use = 0;   ///< Topological step of the last consuming op.
+};
+
+/// Result of lifetime planning: one offset (in floats) per request into a
+/// single arena of `arena_size` floats.
+struct ArenaPlan {
+  size_t arena_size = 0;
+  std::vector<size_t> offsets;
+};
+
+/// Plans all buffers of a forward pass into one arena, ggml-alloc style:
+/// requests are placed in order of first use; a buffer whose live interval
+/// has ended returns its bytes to a best-fit free list (coalescing
+/// adjacent blocks), so later ops reuse earlier ops' memory. Guarantees:
+///
+///  * no two requests whose live intervals overlap share any bytes;
+///  * every offset is `align`-aligned;
+///  * `arena_size` never exceeds the sum of the (aligned) request sizes —
+///    reuse can only shrink the arena, and typically shrinks it well below
+///    the peak-naive layout;
+///  * the plan is a pure function of `requests` (deterministic across
+///    runs, threads, and platforms).
+///
+/// `tests/arena_test.cc` fuzzes these invariants over random DAG
+/// lifetimes.
+ArenaPlan PlanBufferLifetimes(std::span<const BufferRequest> requests,
+                              size_t align = kArenaAlignFloats);
+
+}  // namespace vsd::nn
+
+#endif  // VSD_NN_ARENA_H_

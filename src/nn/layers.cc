@@ -21,6 +21,11 @@ Var Linear::Forward(const Var& x) const {
   return ag::Add(ag::MatMul(x, weight_), bias_);
 }
 
+int Linear::BuildGraph(graph::GraphBuilder* builder, int x) const {
+  return builder->AddRows(builder->MatMul(x, builder->Weight(weight_)),
+                          builder->Weight(bias_));
+}
+
 Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
                int pad, Rng* rng)
     : in_channels_(in_channels),
@@ -44,6 +49,22 @@ Var Conv2d::Forward(const Var& x) const {
   Var cols = ag::Im2Col(x, kernel_, kernel_, stride_, pad_);
   Var out = ag::Add(ag::MatMul(cols, weight_), bias_);
   return ag::Reshape(out, {n, oh, ow, out_channels_});
+}
+
+int Conv2d::BuildGraph(graph::GraphBuilder* builder, int x) const {
+  // Copy, not reference: appending nodes below may reallocate the
+  // builder's node storage.
+  const std::vector<int> shape = builder->node(x).shape;
+  VSD_CHECK(shape.size() == 4) << "Conv2d graph input must be [N,H,W,C]";
+  VSD_CHECK(shape[3] == in_channels_) << "Conv2d graph channel mismatch";
+  const int oh = ag::ConvOutDim(shape[1], kernel_, stride_, pad_);
+  const int ow = ag::ConvOutDim(shape[2], kernel_, stride_, pad_);
+  const int cols =
+      builder->Im2Col(x, kernel_, kernel_, stride_, pad_);
+  const int out = builder->AddRows(
+      builder->MatMul(cols, builder->Weight(weight_)),
+      builder->Weight(bias_));
+  return builder->Reshape(out, {shape[0], oh, ow, out_channels_});
 }
 
 LayerNorm::LayerNorm(int dim)
@@ -78,6 +99,27 @@ Var Mlp::Forward(const Var& x) const {
   for (size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i]->Forward(h);
     if (i + 1 < layers_.size()) h = Activate(h, act_);
+  }
+  return h;
+}
+
+int Mlp::BuildGraph(graph::GraphBuilder* builder, int x) const {
+  int h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->BuildGraph(builder, h);
+    if (i + 1 < layers_.size()) {
+      switch (act_) {
+        case Activation::kRelu:
+          h = builder->Relu(h);
+          break;
+        case Activation::kGelu:
+          h = builder->Gelu(h);
+          break;
+        case Activation::kTanh:
+          h = builder->Tanh(h);
+          break;
+      }
+    }
   }
   return h;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/graph.h"
 #include "nn/module.h"
 
 namespace vsd::nn {
@@ -16,6 +17,10 @@ class Linear : public Module {
   Linear(int in_features, int out_features, Rng* rng);
 
   Var Forward(const Var& x) const;
+
+  /// Lowers `Forward` onto a compiled graph (same ops, same order);
+  /// returns the output node id.
+  int BuildGraph(graph::GraphBuilder* builder, int x) const;
 
   std::vector<Var> Parameters() const override { return {weight_, bias_}; }
 
@@ -37,6 +42,10 @@ class Conv2d : public Module {
          Rng* rng);
 
   Var Forward(const Var& x) const;
+
+  /// Lowers `Forward` (im2col + matmul + bias + reshape) onto a compiled
+  /// graph; `x` must be a 4-D [N,H,W,C] node.
+  int BuildGraph(graph::GraphBuilder* builder, int x) const;
 
   std::vector<Var> Parameters() const override { return {weight_, bias_}; }
 
@@ -88,6 +97,9 @@ class Mlp : public Module {
   Mlp(const std::vector<int>& dims, Activation act, Rng* rng);
 
   Var Forward(const Var& x) const;
+
+  /// Lowers the Linear/activation stack onto a compiled graph.
+  int BuildGraph(graph::GraphBuilder* builder, int x) const;
 
   std::vector<Var> Parameters() const override;
 

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace vsd::autograd {
 
@@ -246,11 +247,7 @@ Var Gelu(const Var& a) {
   auto an = a.node();
   constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
   Tensor y(a.value().shape());
-  for (int i = 0; i < y.size(); ++i) {
-    const float x = a.value().at(i);
-    const float inner = kC * (x + 0.044715f * x * x * x);
-    y.at(i) = 0.5f * x * (1.0f + std::tanh(inner));
-  }
+  t::kernels::GeluInto(a.value().data(), y.data(), y.size());
   return MakeOp(y, {an}, [an](Node* self) {
     Tensor g(self->grad.shape());
     for (int i = 0; i < g.size(); ++i) {
@@ -274,10 +271,8 @@ Var Concat(const Var& a, const Var& b) {
   const int da = a.value().dim(1);
   const int db = b.value().dim(1);
   Tensor y({n, da + db});
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < da; ++j) y.at(i, j) = a.value().at(i, j);
-    for (int j = 0; j < db; ++j) y.at(i, da + j) = b.value().at(i, j);
-  }
+  t::kernels::ConcatRowsInto(a.value().data(), b.value().data(), y.data(),
+                             n, da, db);
   auto an = a.node();
   auto bn = b.node();
   return MakeOp(y, {an, bn}, [an, bn, n, da, db](Node* self) {
@@ -501,26 +496,8 @@ Var Im2Col(const Var& x, int kh, int kw, int stride, int pad) {
   const int ow = ConvOutDim(w, kw, stride, pad);
   VSD_CHECK(oh > 0 && ow > 0) << "Im2Col degenerate output";
   Tensor cols({n * oh * ow, kh * kw * c});
-  const Tensor& xv = x.value();
-  for (int b = 0; b < n; ++b) {
-    for (int oy = 0; oy < oh; ++oy) {
-      for (int ox = 0; ox < ow; ++ox) {
-        const int row = (b * oh + oy) * ow + ox;
-        int col = 0;
-        for (int ky = 0; ky < kh; ++ky) {
-          const int iy = oy * stride + ky - pad;
-          for (int kx = 0; kx < kw; ++kx) {
-            const int ix = ox * stride + kx - pad;
-            for (int ch = 0; ch < c; ++ch, ++col) {
-              if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
-                cols.at(row, col) = xv.at4(b, iy, ix, ch);
-              }
-            }
-          }
-        }
-      }
-    }
-  }
+  t::kernels::Im2ColInto(x.value().data(), cols.data(), n, h, w, c, kh, kw,
+                         stride, pad);
   auto xn = x.node();
   return MakeOp(cols, {xn},
                 [xn, n, c, h, w, oh, ow, kh, kw, stride, pad](Node* self) {

@@ -1,0 +1,47 @@
+#ifndef VSD_TENSOR_KERNELS_H_
+#define VSD_TENSOR_KERNELS_H_
+
+namespace vsd::tensor::kernels {
+
+// ---- Shared raw-pointer compute kernels ----
+//
+// Every op that appears both in the eager tensor/autograd forward pass and
+// in the compiled graph executor (`nn::graph`) is implemented exactly once
+// here and called from both places. Bit-identity between the two execution
+// modes is therefore structural: there is a single compiled instance of
+// each accumulation loop, so no amount of compiler freedom (FMA
+// contraction, reassociation within one translation unit) can make the
+// paths diverge. `tests/graph_exec_test.cc` pins the contract.
+//
+// Kernels fully define their output range (zero-initializing first where
+// the loop accumulates or writes sparsely), so callers may hand them
+// arbitrary dirty memory — e.g. a reused arena slot.
+
+/// [M,K]x[K,N] -> [M,N] with rows of zeros in `a` skipped (the one-hot /
+/// sparse-mask fast path the eager MatMul relies on).
+void MatMulInto(const float* a, const float* b, float* out, int m, int k,
+                int n);
+
+/// Row-broadcast sum: out[i,j] = a[i,j] + bias[j] for a [rows,cols].
+void AddRowsInto(const float* a, const float* bias, float* out, int rows,
+                 int cols);
+
+/// Element-wise maps over `n` contiguous floats.
+void ReluInto(const float* x, float* out, int n);
+void TanhInto(const float* x, float* out, int n);
+void SigmoidInto(const float* x, float* out, int n);
+/// GELU, tanh approximation — the only form the model uses.
+void GeluInto(const float* x, float* out, int n);
+
+/// Row-wise concat of a [rows,da] and b [rows,db] into out [rows,da+db].
+void ConcatRowsInto(const float* a, const float* b, float* out, int rows,
+                    int da, int db);
+
+/// im2col over NHWC input x [n,h,w,c] into out [n*oh*ow, kh*kw*c] where
+/// oh/ow follow `autograd::ConvOutDim`. Out-of-bounds taps read as zero.
+void Im2ColInto(const float* x, float* out, int n, int h, int w, int c,
+                int kh, int kw, int stride, int pad);
+
+}  // namespace vsd::tensor::kernels
+
+#endif  // VSD_TENSOR_KERNELS_H_

@@ -4,7 +4,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
-#include "common/math_util.h"
+#include "tensor/kernels.h"
 
 namespace vsd::tensor {
 namespace {
@@ -196,6 +196,14 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Op op, const char* name) {
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
+  // Row-broadcast adds go through the shared kernel so the eager path and
+  // the compiled graph executor run the same compiled loop (bit-identity).
+  if (ClassifyBroadcast(a, b) == BroadcastKind::kRowB) {
+    Tensor out(a.shape());
+    kernels::AddRowsInto(a.data(), b.data(), out.data(), a.dim(0),
+                         a.dim(1));
+    return out;
+  }
   return BinaryOp(a, b, [](float x, float y) { return x + y; }, "Add");
 }
 
@@ -220,18 +228,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int k = a.dim(1);
   const int n = b.dim(1);
   Tensor out({m, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* op = out.data();
-  for (int i = 0; i < m; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const float av = ap[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = bp + p * n;
-      float* orow = op + i * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::MatMulInto(a.data(), b.data(), out.data(), m, k, n);
   return out;
 }
 
@@ -267,17 +264,21 @@ Tensor UnaryOp(const Tensor& a, Op op) {
 }  // namespace
 
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  Tensor out(a.shape());
+  kernels::ReluInto(a.data(), out.data(), a.size());
+  return out;
 }
 
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::tanh(x); });
+  Tensor out(a.shape());
+  kernels::TanhInto(a.data(), out.data(), a.size());
+  return out;
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(a, [](float x) {
-    return static_cast<float>(vsd::Sigmoid(static_cast<double>(x)));
-  });
+  Tensor out(a.shape());
+  kernels::SigmoidInto(a.data(), out.data(), a.size());
+  return out;
 }
 
 Tensor Exp(const Tensor& a) {

@@ -5,11 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/au_vocab.h"
 #include "common/result.h"
-// au.h is a leaf AU-vocabulary header (names/masks only, no face-layer deps);
-// once the AU catalog moves down to common this allow goes away.
-// vsd-lint: allow(layering)
-#include "face/au.h"
 
 namespace vsd::text {
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/batching.h"
 #include "common/logging.h"
@@ -20,7 +21,16 @@ using nn::Var;
 using tensor::Tensor;
 
 FoundationModel::FoundationModel(const FoundationModelConfig& config)
-    : config_(config) {
+    : config_(config),
+      describe_forward_([this](nn::graph::GraphBuilder* builder, int n) {
+        return BuildDescribeGraph(builder, n);
+      }),
+      assess_forward_([this](nn::graph::GraphBuilder* builder, int n) {
+        return BuildAssessGraph(builder, n);
+      }),
+      highlight_forward_([this](nn::graph::GraphBuilder* builder, int n) {
+        return BuildHighlightGraph(builder, n);
+      }) {
   Rng rng(config.seed);
   vision_ = std::make_shared<VisionTower>(config.vision_dim, &rng);
   trunk_ = std::make_shared<nn::Linear>(2 * config.vision_dim,
@@ -174,6 +184,130 @@ Var FoundationModel::OneHotRows(const std::vector<int>& labels,
   return Var(rows);
 }
 
+int FoundationModel::BuildTrunkGraph(nn::graph::GraphBuilder* builder,
+                                     int features) const {
+  return builder->Concat(
+      builder->Gelu(trunk_->BuildGraph(builder, features)), features);
+}
+
+int FoundationModel::BuildDescribeGraph(nn::graph::GraphBuilder* builder,
+                                        int n) const {
+  const int features = builder->Input({n, 2 * config_.vision_dim});
+  return describe_head_->BuildGraph(builder,
+                                    BuildTrunkGraph(builder, features));
+}
+
+int FoundationModel::BuildAssessGraph(nn::graph::GraphBuilder* builder,
+                                      int n) const {
+  const int features = builder->Input({n, 2 * config_.vision_dim});
+  const int masks = builder->Input({n, kNumAus});
+  const int hidden = BuildTrunkGraph(builder, features);
+  const int au_feat = au_embed_->BuildGraph(builder, masks);
+  const int posterior =
+      builder->Sigmoid(describe_head_->BuildGraph(builder, hidden));
+  return assess_head_->BuildGraph(
+      builder, builder->Concat(builder->Concat(hidden, posterior), au_feat));
+}
+
+int FoundationModel::BuildHighlightGraph(nn::graph::GraphBuilder* builder,
+                                         int n) const {
+  const int features = builder->Input({n, 2 * config_.vision_dim});
+  const int masks = builder->Input({n, kNumAus});
+  const int onehot = builder->Input({n, 2});
+  const int hidden = BuildTrunkGraph(builder, features);
+  const int au_feat = au_embed_->BuildGraph(builder, masks);
+  return highlight_head_->BuildGraph(
+      builder, builder->Concat(builder->Concat(hidden, au_feat), onehot));
+}
+
+namespace {
+
+// The fill helpers write EVERY slot: executor arenas are reused across
+// executions, so any skipped slot would read a stale value from the
+// previous batch.
+
+void FillMaskRows(std::span<const AuMask> masks, float* dst) {
+  for (size_t i = 0; i < masks.size(); ++i) {
+    for (int j = 0; j < kNumAus; ++j) {
+      dst[i * kNumAus + j] = masks[i][j] ? 1.0f : 0.0f;
+    }
+  }
+}
+
+void FillOneHotRows(std::span<const int> labels, int classes, float* dst) {
+  for (size_t i = 0; i < labels.size(); ++i) {
+    for (int j = 0; j < classes; ++j) {
+      dst[i * static_cast<size_t>(classes) + j] =
+          labels[i] == j ? 1.0f : 0.0f;
+    }
+  }
+}
+
+/// Copies a lease's output into a fresh [n, cols] tensor.
+Tensor CopyOutput(const nn::graph::CompiledForward::Lease& lease, int n,
+                  int cols) {
+  Tensor out({n, cols});
+  std::memcpy(out.data(), lease->OutputData(),
+              static_cast<size_t>(out.size()) * sizeof(float));
+  return out;
+}
+
+}  // namespace
+
+Tensor FoundationModel::DescribeLogits(const Tensor& features) const {
+  const int n = features.dim(0);
+  if (n > 0 && nn::graph::GraphExecEnabled()) {
+    nn::graph::CompiledForward::Lease lease = describe_forward_.Acquire(n);
+    std::memcpy(lease->InputData(0), features.data(),
+                static_cast<size_t>(features.size()) * sizeof(float));
+    lease->Execute();
+    return CopyOutput(lease, n, kNumAus);
+  }
+  return DescribeLogitsVar(TrunkForward(Var(features))).value();
+}
+
+Tensor FoundationModel::AssessLogits(
+    const Tensor& features, std::span<const AuMask> descriptions) const {
+  const int n = features.dim(0);
+  VSD_CHECK(static_cast<int>(descriptions.size()) == n)
+      << "AssessLogits description mismatch";
+  if (n > 0 && nn::graph::GraphExecEnabled()) {
+    nn::graph::CompiledForward::Lease lease = assess_forward_.Acquire(n);
+    std::memcpy(lease->InputData(0), features.data(),
+                static_cast<size_t>(features.size()) * sizeof(float));
+    FillMaskRows(descriptions, lease->InputData(1));
+    lease->Execute();
+    return CopyOutput(lease, n, 2);
+  }
+  return AssessLogitsVar(
+             TrunkForward(Var(features)),
+             MaskRows({descriptions.begin(), descriptions.end()}))
+      .value();
+}
+
+Tensor FoundationModel::HighlightLogits(
+    const Tensor& features, std::span<const AuMask> descriptions,
+    std::span<const int> assessments) const {
+  const int n = features.dim(0);
+  VSD_CHECK(static_cast<int>(descriptions.size()) == n &&
+            static_cast<int>(assessments.size()) == n)
+      << "HighlightLogits input mismatch";
+  if (n > 0 && nn::graph::GraphExecEnabled()) {
+    nn::graph::CompiledForward::Lease lease = highlight_forward_.Acquire(n);
+    std::memcpy(lease->InputData(0), features.data(),
+                static_cast<size_t>(features.size()) * sizeof(float));
+    FillMaskRows(descriptions, lease->InputData(1));
+    FillOneHotRows(assessments, 2, lease->InputData(2));
+    lease->Execute();
+    return CopyOutput(lease, n, kNumAus);
+  }
+  return HighlightLogitsVar(
+             TrunkForward(Var(features)),
+             MaskRows({descriptions.begin(), descriptions.end()}),
+             OneHotRows({assessments.begin(), assessments.end()}, 2))
+      .value();
+}
+
 std::vector<double> FoundationModel::DescribeProbs(
     const data::VideoSample& sample) const {
   const data::VideoSample* one[] = {&sample};
@@ -182,12 +316,12 @@ std::vector<double> FoundationModel::DescribeProbs(
 
 std::vector<std::vector<double>> FoundationModel::DescribeProbsBatch(
     SampleSpan batch) const {
-  Var logits = DescribeLogitsVar(HiddenForBatch(batch));
+  const Tensor logits = DescribeLogits(VideoFeatureRows(batch));
   std::vector<std::vector<double>> probs(batch.size(),
                                          std::vector<double>(kNumAus));
   for (size_t i = 0; i < batch.size(); ++i) {
     for (int j = 0; j < kNumAus; ++j) {
-      probs[i][j] = vsd::Sigmoid(logits.value().at(static_cast<int>(i), j));
+      probs[i][j] = vsd::Sigmoid(logits.at(static_cast<int>(i), j));
     }
   }
   return probs;
@@ -204,13 +338,13 @@ DescribeResult FoundationModel::Describe(const data::VideoSample& sample,
 std::vector<DescribeResult> FoundationModel::DescribeBatch(
     SampleSpan batch, double temperature, std::span<Rng* const> rngs) const {
   VSD_CHECK(rngs.size() == batch.size()) << "DescribeBatch rng mismatch";
-  Var logits = DescribeLogitsVar(HiddenForBatch(batch));
+  const Tensor logits = DescribeLogits(VideoFeatureRows(batch));
   const double t = std::max(temperature, 1e-3);
   std::vector<DescribeResult> results(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     DescribeResult& result = results[i];
     for (int j = 0; j < kNumAus; ++j) {
-      const double z = logits.value().at(static_cast<int>(i), j);
+      const double z = logits.at(static_cast<int>(i), j);
       const bool active = rngs[i]->Bernoulli(vsd::Sigmoid(z / t));
       result.mask[j] = active;
       // Likelihood is reported at the model's native temperature (T=1).
@@ -234,11 +368,11 @@ std::vector<double> FoundationModel::DescriptionLogProbBatch(
     SampleSpan batch, std::span<const AuMask> masks) const {
   VSD_CHECK(masks.size() == batch.size())
       << "DescriptionLogProbBatch mask mismatch";
-  Var logits = DescribeLogitsVar(HiddenForBatch(batch));
+  const Tensor logits = DescribeLogits(VideoFeatureRows(batch));
   std::vector<double> log_probs(batch.size(), 0.0);
   for (size_t i = 0; i < batch.size(); ++i) {
     for (int j = 0; j < kNumAus; ++j) {
-      const double z = logits.value().at(static_cast<int>(i), j);
+      const double z = logits.at(static_cast<int>(i), j);
       log_probs[i] += masks[i][j]
                           ? std::log(std::max(vsd::Sigmoid(z), 1e-12))
                           : std::log(std::max(vsd::Sigmoid(-z), 1e-12));
@@ -263,14 +397,11 @@ std::vector<AssessResult> FoundationModel::AssessBatch(
       << "AssessBatch description mismatch";
   VSD_CHECK(rngs.empty() || rngs.size() == batch.size())
       << "AssessBatch rng mismatch";
-  Var logits = AssessLogitsVar(
-      HiddenForBatch(batch),
-      MaskRows({descriptions.begin(), descriptions.end()}));
+  const Tensor logits = AssessLogits(VideoFeatureRows(batch), descriptions);
   std::vector<AssessResult> results(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     const int row = static_cast<int>(i);
-    const double margin = logits.value().at(row, 1) -
-                          logits.value().at(row, 0) +
+    const double margin = logits.at(row, 1) - logits.at(row, 0) +
                           EffectiveBias(descriptions[i]);
     AssessResult& result = results[i];
     result.prob_stressed = vsd::Sigmoid(margin);
@@ -297,14 +428,11 @@ std::vector<double> FoundationModel::AssessProbStressedBatch(
     SampleSpan batch, std::span<const AuMask> descriptions) const {
   VSD_CHECK(descriptions.size() == batch.size())
       << "AssessProbStressedBatch description mismatch";
-  Var logits = AssessLogitsVar(
-      HiddenForBatch(batch),
-      MaskRows({descriptions.begin(), descriptions.end()}));
+  const Tensor logits = AssessLogits(VideoFeatureRows(batch), descriptions);
   std::vector<double> probs(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     const int row = static_cast<int>(i);
-    probs[i] = vsd::Sigmoid(logits.value().at(row, 1) -
-                            logits.value().at(row, 0) +
+    probs[i] = vsd::Sigmoid(logits.at(row, 1) - logits.at(row, 0) +
                             EffectiveBias(descriptions[i]));
   }
   return probs;
@@ -323,13 +451,12 @@ std::vector<double> FoundationModel::AssessProbStressedWithFramesBatch(
     std::span<const img::Image* const> neutral,
     const AuMask& description) const {
   const int n = static_cast<int>(expressive.size());
-  Var hidden = TrunkForward(Var(vision_->EmbedPairs(expressive, neutral)));
-  Var logits = AssessLogitsVar(
-      hidden, MaskRows(std::vector<AuMask>(expressive.size(), description)));
+  const std::vector<AuMask> descriptions(expressive.size(), description);
+  const Tensor logits =
+      AssessLogits(vision_->EmbedPairs(expressive, neutral), descriptions);
   std::vector<double> probs(expressive.size());
   for (int i = 0; i < n; ++i) {
-    probs[i] = vsd::Sigmoid(logits.value().at(i, 1) -
-                            logits.value().at(i, 0) +
+    probs[i] = vsd::Sigmoid(logits.at(i, 1) - logits.at(i, 0) +
                             EffectiveBias(description));
   }
   return probs;
@@ -354,13 +481,11 @@ std::vector<double> FoundationModel::AssessProbStressedWithFramesBatch(
       rows.at(i, dim + j) = encoded.at(n, j);
     }
   }
-  Var hidden = TrunkForward(Var(rows));
-  Var logits = AssessLogitsVar(
-      hidden, MaskRows(std::vector<AuMask>(expressive.size(), description)));
+  const std::vector<AuMask> descriptions(expressive.size(), description);
+  const Tensor logits = AssessLogits(rows, descriptions);
   std::vector<double> probs(expressive.size());
   for (int i = 0; i < n; ++i) {
-    probs[i] = vsd::Sigmoid(logits.value().at(i, 1) -
-                            logits.value().at(i, 0) +
+    probs[i] = vsd::Sigmoid(logits.at(i, 1) - logits.at(i, 0) +
                             EffectiveBias(description));
   }
   return probs;
@@ -396,7 +521,7 @@ namespace {
 /// Plackett-Luce sampling without replacement over the described AU set
 /// (all AUs when the description is empty), reading row `row` of the
 /// batched highlight logits. rng == nullptr means greedy argmax.
-HighlightResult SampleRationale(const Var& logits, int row,
+HighlightResult SampleRationale(const Tensor& logits, int row,
                                 const AuMask& description, int top_m,
                                 double temperature, Rng* rng) {
   std::vector<int> candidates = face::AuMaskToIndices(description);
@@ -412,11 +537,10 @@ HighlightResult SampleRationale(const Var& logits, int row,
     std::vector<double> weights(remaining.size());
     double max_z = -1e30;
     for (int i : remaining) {
-      max_z = std::max(max_z, (double)logits.value().at(row, i));
+      max_z = std::max(max_z, (double)logits.at(row, i));
     }
     for (size_t i = 0; i < remaining.size(); ++i) {
-      weights[i] =
-          std::exp((logits.value().at(row, remaining[i]) - max_z) / t);
+      weights[i] = std::exp((logits.at(row, remaining[i]) - max_z) / t);
     }
     int pick;
     if (rng == nullptr) {
@@ -457,10 +581,8 @@ std::vector<HighlightResult> FoundationModel::HighlightBatch(
       << "HighlightBatch input mismatch";
   VSD_CHECK(rngs.empty() || rngs.size() == batch.size())
       << "HighlightBatch rng mismatch";
-  Var logits = HighlightLogitsVar(
-      HiddenForBatch(batch),
-      MaskRows({descriptions.begin(), descriptions.end()}),
-      OneHotRows({assessments.begin(), assessments.end()}, 2));
+  const Tensor logits =
+      HighlightLogits(VideoFeatureRows(batch), descriptions, assessments);
   std::vector<HighlightResult> results;
   results.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "data/sample.h"
 #include "face/au.h"
+#include "nn/graph.h"
 #include "nn/layers.h"
 #include "nn/module.h"
 #include "vlm/vision.h"
@@ -308,6 +309,32 @@ class FoundationModel : public nn::Module {
   static nn::Var MaskRows(const std::vector<face::AuMask>& masks);
   static nn::Var OneHotRows(const std::vector<int>& labels, int classes);
 
+  // ---- Compiled head forwards ----
+  //
+  // The batched inference methods route through these Tensor-returning
+  // helpers, which dispatch to a compiled graph when
+  // `nn::graph::GraphExecEnabled()` and to the eager Var composition
+  // otherwise. Both paths run the kernels in tensor/kernels.h, so the
+  // logits are bit-identical; training losses always stay eager (they
+  // need gradients).
+
+  /// Lowers TrunkForward onto a graph: features node -> hidden node.
+  int BuildTrunkGraph(nn::graph::GraphBuilder* builder, int features) const;
+  int BuildDescribeGraph(nn::graph::GraphBuilder* builder, int n) const;
+  int BuildAssessGraph(nn::graph::GraphBuilder* builder, int n) const;
+  int BuildHighlightGraph(nn::graph::GraphBuilder* builder, int n) const;
+
+  /// [N,kNumAus] describe logits for [N,2*vision_dim] feature rows.
+  tensor::Tensor DescribeLogits(const tensor::Tensor& features) const;
+  /// [N,2] assess logits given per-sample description masks.
+  tensor::Tensor AssessLogits(
+      const tensor::Tensor& features,
+      std::span<const face::AuMask> descriptions) const;
+  /// [N,kNumAus] highlight logits given descriptions and assessments.
+  tensor::Tensor HighlightLogits(const tensor::Tensor& features,
+                                 std::span<const face::AuMask> descriptions,
+                                 std::span<const int> assessments) const;
+
   FoundationModelConfig config_;
   std::shared_ptr<VisionTower> vision_;
   std::shared_ptr<nn::Linear> trunk_;
@@ -317,6 +344,12 @@ class FoundationModel : public nn::Module {
   std::shared_ptr<nn::Mlp> highlight_head_;
 
   mutable std::unordered_map<int, tensor::Tensor> feature_cache_;
+
+  /// Per-batch-size compiled graphs for the three inference heads, with
+  /// pooled executors for concurrent callers (explainer ThreadPool loops).
+  mutable nn::graph::CompiledForward describe_forward_;
+  mutable nn::graph::CompiledForward assess_forward_;
+  mutable nn::graph::CompiledForward highlight_forward_;
 };
 
 }  // namespace vsd::vlm

@@ -16,7 +16,11 @@ using nn::Var;
 using tensor::Tensor;
 
 VisionTower::VisionTower(int embed_dim, Rng* rng, int input_size)
-    : embed_dim_(embed_dim), input_size_(input_size) {
+    : embed_dim_(embed_dim),
+      input_size_(input_size),
+      encode_forward_([this](nn::graph::GraphBuilder* builder, int n) {
+        return BuildEncodeGraph(builder, n);
+      }) {
   VSD_CHECK(input_size_ % 4 == 0) << "input size must be divisible by 4";
   conv1_ = std::make_shared<nn::Conv2d>(1, 8, /*kernel=*/5, /*stride=*/2,
                                         /*pad=*/2, rng);
@@ -42,33 +46,64 @@ Tensor VisionTower::PackImages(
     const std::vector<const img::Image*>& images) const {
   const int n = static_cast<int>(images.size());
   Tensor packed({n, input_size_, input_size_, 1});
+  PackImagesInto(images, packed.data());
+  return packed;
+}
+
+void VisionTower::PackImagesInto(
+    const std::vector<const img::Image*>& images, float* dst) const {
+  const int n = static_cast<int>(images.size());
   for (int i = 0; i < n; ++i) {
     img::Image small = (images[i]->width() == input_size_ &&
                         images[i]->height() == input_size_)
                            ? *images[i]
                            : img::Resize(*images[i], input_size_,
                                          input_size_);
+    float* frame =
+        dst + static_cast<size_t>(i) * input_size_ * input_size_;
     for (int y = 0; y < input_size_; ++y) {
       for (int x = 0; x < input_size_; ++x) {
-        packed.at4(i, y, x, 0) = small.at(y, x);
+        frame[y * input_size_ + x] = small.at(y, x);
       }
     }
   }
-  return packed;
 }
 
-Tensor VisionTower::EncodeBatch(
-    std::span<const img::Image* const> images) const {
-  const int n = static_cast<int>(images.size());
-  Tensor packed = PackImages({images.begin(), images.end()});
-  Var out = Forward(Var(packed));
+int VisionTower::BuildEncodeGraph(nn::graph::GraphBuilder* builder,
+                                  int n) const {
+  const int spatial = input_size_ / 4;
+  const int x = builder->Input({n, input_size_, input_size_, 1});
+  int h = builder->Relu(conv1_->BuildGraph(builder, x));   // /2
+  h = builder->Relu(conv2_->BuildGraph(builder, h));       // /4
+  h = builder->Reshape(h, {n, spatial * spatial * 16});
+  return proj_->BuildGraph(builder, h);                    // [N,dim]
+}
+
+Tensor VisionTower::EncodeRows(
+    const std::vector<const img::Image*>& frames) const {
+  const int n = static_cast<int>(frames.size());
   Tensor rows({n, embed_dim_});
+  if (n == 0) return rows;
+  if (nn::graph::GraphExecEnabled()) {
+    nn::graph::CompiledForward::Lease lease = encode_forward_.Acquire(n);
+    PackImagesInto(frames, lease->InputData(0));
+    lease->Execute();
+    std::memcpy(rows.data(), lease->OutputData(),
+                static_cast<size_t>(n) * embed_dim_ * sizeof(float));
+    return rows;
+  }
+  Var out = Forward(Var(PackImages(frames)));
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < embed_dim_; ++j) {
       rows.at(i, j) = out.value().at(i, j);
     }
   }
   return rows;
+}
+
+Tensor VisionTower::EncodeBatch(
+    std::span<const img::Image* const> images) const {
+  return EncodeRows({images.begin(), images.end()});
 }
 
 Tensor VisionTower::EmbedPairs(
@@ -84,12 +119,12 @@ Tensor VisionTower::EmbedPairs(
     frames.push_back(expressive[i]);
     frames.push_back(neutral[i]);
   }
-  Var out = Forward(Var(PackImages(frames)));
+  Tensor out = EncodeRows(frames);
   Tensor pairs({n, 2 * embed_dim_});
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < embed_dim_; ++j) {
-      pairs.at(i, j) = out.value().at(2 * i, j);
-      pairs.at(i, embed_dim_ + j) = out.value().at(2 * i + 1, j);
+      pairs.at(i, j) = out.at(2 * i, j);
+      pairs.at(i, embed_dim_ + j) = out.at(2 * i + 1, j);
     }
   }
   return pairs;

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "img/image.h"
+#include "nn/graph.h"
 #include "nn/layers.h"
 #include "nn/module.h"
 #include "tensor/tensor.h"
@@ -103,11 +104,29 @@ class VisionTower : public nn::Module {
   std::vector<nn::Var> Parameters() const override;
 
  private:
+  /// Shared implementation of EncodeBatch/EmbedPairs: N frames -> [N,dim]
+  /// rows, through the compiled graph when `graph::GraphExecEnabled()`
+  /// (bit-identical — both paths run the kernels in tensor/kernels.h) and
+  /// the eager autograd forward otherwise.
+  tensor::Tensor EncodeRows(
+      const std::vector<const img::Image*>& frames) const;
+
+  /// Lowers `Forward` for batch size `n` onto a compiled graph.
+  int BuildEncodeGraph(nn::graph::GraphBuilder* builder, int n) const;
+
+  /// Packs images into `dst` (size n*input*input floats), resizing as
+  /// needed; the writing twin of PackImages, usable on arena memory.
+  void PackImagesInto(const std::vector<const img::Image*>& images,
+                      float* dst) const;
+
   int embed_dim_;
   int input_size_;
   std::shared_ptr<nn::Conv2d> conv1_;  // 1 -> 8, /2
   std::shared_ptr<nn::Conv2d> conv2_;  // 8 -> 16, /2
   std::shared_ptr<nn::Linear> proj_;   // (input/4)^2*16 -> dim
+  /// Per-batch-size compiled encode graphs with pooled executors (the
+  /// explainers call EncodeBatch concurrently from a ThreadPool).
+  mutable nn::graph::CompiledForward encode_forward_;
 };
 
 }  // namespace vsd::vlm

@@ -1,0 +1,211 @@
+// Property/fuzz suite for the arena lifetime planner (nn/arena.h): over
+// seeded random request lists, no two live intervals may share bytes, the
+// arena never exceeds the no-reuse total, offsets stay aligned, and the
+// plan is a pure function of the request list — identical across repeated
+// runs and across thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "nn/arena.h"
+
+namespace vsd::nn {
+namespace {
+
+BufferRequest Req(size_t size, int first_use, int last_use) {
+  BufferRequest req;
+  req.size = size;
+  req.first_use = first_use;
+  req.last_use = last_use;
+  return req;
+}
+
+size_t Aligned(size_t size) {
+  return (size + kArenaAlignFloats - 1) / kArenaAlignFloats *
+         kArenaAlignFloats;
+}
+
+/// Random request list: a mix of pre-written inputs (first_use = -1) and
+/// op outputs with assorted sizes (including zero) and lifetimes.
+std::vector<BufferRequest> RandomRequests(Rng* rng) {
+  const int n = 1 + rng->UniformInt(40);
+  std::vector<BufferRequest> requests;
+  requests.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const int first = rng->Bernoulli(0.15) ? -1 : rng->UniformInt(60);
+    const int last = first + rng->UniformInt(0, 25);
+    const size_t size =
+        rng->Bernoulli(0.1) ? 0 : static_cast<size_t>(rng->UniformInt(1, 300));
+    requests.push_back(Req(size, first, last));
+  }
+  return requests;
+}
+
+bool IntervalsOverlap(const BufferRequest& a, const BufferRequest& b) {
+  return a.first_use <= b.last_use && b.first_use <= a.last_use;
+}
+
+/// The planner's core guarantee: buffers whose live intervals overlap get
+/// disjoint byte ranges.
+void ExpectNoLiveOverlap(const std::vector<BufferRequest>& requests,
+                         const ArenaPlan& plan) {
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].size == 0) continue;
+    for (size_t j = i + 1; j < requests.size(); ++j) {
+      if (requests[j].size == 0) continue;
+      if (!IntervalsOverlap(requests[i], requests[j])) continue;
+      const size_t ai = plan.offsets[i];
+      const size_t bi = ai + Aligned(requests[i].size);
+      const size_t aj = plan.offsets[j];
+      const size_t bj = aj + Aligned(requests[j].size);
+      EXPECT_TRUE(bi <= aj || bj <= ai)
+          << "buffers " << i << " [" << ai << "," << bi << ") and " << j
+          << " [" << aj << "," << bj << ") are live together and overlap";
+    }
+  }
+}
+
+/// Peak concurrently-live bytes: a lower bound no valid plan can beat.
+size_t PeakLiveBytes(const std::vector<BufferRequest>& requests) {
+  size_t peak = 0;
+  for (const BufferRequest& at : requests) {
+    for (const int t : {at.first_use, at.last_use}) {
+      size_t live = 0;
+      for (const BufferRequest& req : requests) {
+        if (req.first_use <= t && t <= req.last_use) {
+          live += Aligned(req.size);
+        }
+      }
+      peak = std::max(peak, live);
+    }
+  }
+  return peak;
+}
+
+TEST(ArenaTest, SequentialChainReusesMemory) {
+  // A pipeline a->b->c->d: each buffer is written at step i and last read
+  // at step i+1, so at most two are ever live; the arena must not grow
+  // linearly with chain length.
+  std::vector<BufferRequest> requests;
+  for (int i = 0; i < 32; ++i) {
+    requests.push_back(Req(100, i, i + 1));
+  }
+  const ArenaPlan plan = PlanBufferLifetimes(requests);
+  EXPECT_EQ(plan.arena_size, 2 * Aligned(100));
+  ExpectNoLiveOverlap(requests, plan);
+}
+
+TEST(ArenaTest, DisjointLifetimesShareOneSlot) {
+  std::vector<BufferRequest> requests = {
+      Req(64, 0, 1), Req(64, 2, 3), Req(64, 4, 5)};
+  const ArenaPlan plan = PlanBufferLifetimes(requests);
+  EXPECT_EQ(plan.arena_size, Aligned(64));
+  EXPECT_EQ(plan.offsets[0], 0u);
+  EXPECT_EQ(plan.offsets[1], 0u);
+  EXPECT_EQ(plan.offsets[2], 0u);
+}
+
+TEST(ArenaTest, InputsLiveFromBeforeStepZero) {
+  // first_use = -1 marks caller-written inputs: they may not share bytes
+  // with anything live up to their last consumer.
+  std::vector<BufferRequest> requests = {Req(32, -1, 4), Req(32, 0, 4),
+                                         Req(32, 5, 6)};
+  const ArenaPlan plan = PlanBufferLifetimes(requests);
+  ExpectNoLiveOverlap(requests, plan);
+  // The third buffer starts after both die and can reuse offset 0.
+  EXPECT_EQ(plan.offsets[2], 0u);
+  EXPECT_EQ(plan.arena_size, 2 * Aligned(32));
+}
+
+TEST(ArenaTest, ZeroSizeRequestsTakeNoSpace) {
+  std::vector<BufferRequest> requests = {Req(0, 0, 10), Req(48, 0, 10)};
+  const ArenaPlan plan = PlanBufferLifetimes(requests);
+  EXPECT_EQ(plan.arena_size, Aligned(48));
+  EXPECT_EQ(plan.offsets[0], 0u);
+}
+
+TEST(ArenaTest, OffsetsAreAligned) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::vector<BufferRequest> requests = RandomRequests(&rng);
+    const ArenaPlan plan = PlanBufferLifetimes(requests);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(plan.offsets[i] % kArenaAlignFloats, 0u)
+          << "trial " << trial << " buffer " << i;
+    }
+  }
+}
+
+TEST(ArenaTest, FuzzNoLiveOverlapAndBoundedSize) {
+  for (int trial = 0; trial < 200; ++trial) {
+    Rng rng(1000 + 17 * static_cast<uint64_t>(trial));
+    const std::vector<BufferRequest> requests = RandomRequests(&rng);
+    const ArenaPlan plan = PlanBufferLifetimes(requests);
+
+    ExpectNoLiveOverlap(requests, plan);
+
+    // Never worse than no reuse at all...
+    size_t total = 0;
+    for (const BufferRequest& req : requests) total += Aligned(req.size);
+    EXPECT_LE(plan.arena_size, total) << "trial " << trial;
+    // ...and never better than the peak of concurrently live bytes.
+    EXPECT_GE(plan.arena_size, PeakLiveBytes(requests))
+        << "trial " << trial;
+
+    // Every buffer fits inside the arena.
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (requests[i].size == 0) continue;
+      EXPECT_LE(plan.offsets[i] + Aligned(requests[i].size),
+                plan.arena_size)
+          << "trial " << trial << " buffer " << i;
+    }
+  }
+}
+
+TEST(ArenaTest, PlanIsDeterministic) {
+  for (int trial = 0; trial < 25; ++trial) {
+    Rng rng(77 + static_cast<uint64_t>(trial));
+    const std::vector<BufferRequest> requests = RandomRequests(&rng);
+    const ArenaPlan first = PlanBufferLifetimes(requests);
+    const ArenaPlan second = PlanBufferLifetimes(requests);
+    EXPECT_EQ(first.arena_size, second.arena_size) << "trial " << trial;
+    EXPECT_EQ(first.offsets, second.offsets) << "trial " << trial;
+  }
+}
+
+TEST(ArenaTest, PlanIsIdenticalAcrossThreadCounts) {
+  // The planner is called from whatever thread compiles a graph first; its
+  // output must be a pure function of the requests, not of the calling
+  // context. Plan the same lists serially and from pool workers at several
+  // thread counts.
+  std::vector<std::vector<BufferRequest>> inputs;
+  Rng rng(4242);
+  for (int i = 0; i < 8; ++i) inputs.push_back(RandomRequests(&rng));
+
+  std::vector<ArenaPlan> serial;
+  serial.reserve(inputs.size());
+  for (const auto& requests : inputs) {
+    serial.push_back(PlanBufferLifetimes(requests));
+  }
+
+  for (const int threads : {1, 4}) {
+    ThreadPool::SetGlobalThreads(threads);
+    std::vector<ArenaPlan> parallel(inputs.size());
+    ParallelFor(static_cast<int64_t>(inputs.size()), [&](int64_t i) {
+      parallel[i] = PlanBufferLifetimes(inputs[i]);
+    });
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      EXPECT_EQ(parallel[i].arena_size, serial[i].arena_size)
+          << "threads " << threads << " input " << i;
+      EXPECT_EQ(parallel[i].offsets, serial[i].offsets)
+          << "threads " << threads << " input " << i;
+    }
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+}  // namespace
+}  // namespace vsd::nn

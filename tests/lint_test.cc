@@ -452,6 +452,67 @@ TEST(UnguardedCaptureRule, FlagsByRefWritesInParallelBodies) {
   EXPECT_TRUE(HasRule(Rules("src/serve/x.cc", submit), "unguarded-capture"));
 }
 
+TEST(UnguardedCaptureRule, FlagsWritesThroughReferenceAliases) {
+  // A body-local reference is a second name for the captured object; the
+  // write still races.
+  const std::string alias_write = R"cc(
+    ParallelFor(n, [&](int64_t i) {
+      auto& slot = results;
+      slot.push_back(F(i));
+    });
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/core/x.cc", alias_write),
+                      "unguarded-capture"));
+  const std::string member_alias = R"cc(
+    pool.Submit([this]() {
+      double& h = this->hidden_;
+      h += Step();
+    });
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/serve/x.cc", member_alias),
+                      "unguarded-capture"));
+  // Two hops resolve transitively.
+  const std::string chained = R"cc(
+    ParallelFor(n, [&](int64_t i) {
+      auto& a = total;
+      auto& b = a;
+      b += v[i];
+    });
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/explain/x.cc", chained),
+                      "unguarded-capture"));
+}
+
+TEST(UnguardedCaptureRule, AllowsAliasesOfPerIndexSlotsAndLocals) {
+  // A reference into a subscripted slot names per-index storage.
+  const std::string per_index_alias = R"cc(
+    std::vector<double> out(n);
+    ParallelFor(n, [&](int64_t i) {
+      double& cell = out[i];
+      cell = F(i);
+    });
+  )cc";
+  EXPECT_TRUE(Rules("src/explain/x.cc", per_index_alias).empty());
+  // A reference to a body-local object is still local state.
+  const std::string local_alias = R"cc(
+    ParallelFor(n, [&](int64_t i) {
+      double acc = 0.0;
+      double& a = acc;
+      a += w[i];
+      out[i] = a;
+    });
+  )cc";
+  EXPECT_TRUE(Rules("src/explain/x.cc", local_alias).empty());
+  // A reference to a call result aliases a temporary, not captured state.
+  const std::string call_alias = R"cc(
+    ParallelFor(n, [&](int64_t i) {
+      auto& row = rows.at(i);
+      row = F(i);
+    });
+  )cc";
+  EXPECT_TRUE(Rules("src/core/x.cc", call_alias).empty());
+}
+
 TEST(UnguardedCaptureRule, AllowsPerIndexLocalsAtomicsLocksAndByValue) {
   const std::string per_index = R"cc(
     std::vector<double> out(n);
@@ -624,6 +685,26 @@ TEST(IncludeGraphTest, DownwardAndSameLayerIncludesAreClean) {
   });
   EXPECT_TRUE(CheckLayering(graph).empty());
   EXPECT_TRUE(CheckCycles(graph).empty());
+}
+
+// Pins the AU-vocabulary layering: text (L1) may not reach up into face
+// (L2), which is why the vocabulary lives in common/au_vocab.h — the one
+// `allow(layering)` suppression this move retired must stay retired.
+TEST(IncludeGraphTest, TextReachesAuVocabularyThroughCommonOnly) {
+  const IncludeGraph upward = GraphOf({
+      {"src/text/templates.h", "#include \"face/au.h\"\n"},
+      {"src/face/au.h", ""},
+  });
+  const std::vector<Finding> findings = CheckLayering(upward);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_EQ(findings[0].file, "src/text/templates.h");
+  const IncludeGraph through_common = GraphOf({
+      {"src/text/templates.h", "#include \"common/au_vocab.h\"\n"},
+      {"src/common/au_vocab.h", ""},
+      {"src/face/au.h", "#include \"common/au_vocab.h\"\n"},
+  });
+  EXPECT_TRUE(CheckLayering(through_common).empty());
 }
 
 TEST(IncludeGraphTest, CycleIsReportedOnceWithTheFullPath) {
