@@ -1,0 +1,36 @@
+// Perf sidecar for the linter itself: times a full whole-program lint of
+// the repo (per-file rules plus the include-graph and dataflow passes) and
+// writes BENCH_lint.json, so CI tracks lint cost as the tree and the
+// analyses grow. Exits 1 if the tree is not lint-clean — the timing of a
+// dirty run is not comparable.
+//
+// Usage: bench_lint [--quick] [--threads N]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  const vsd::bench::BenchOptions options =
+      vsd::bench::ParseBenchArgs(argc, argv);
+  const std::vector<std::string> subdirs = {"src", "bench", "tools", "tests",
+                                            "examples"};
+  const std::vector<std::string> files =
+      vsd::lint::ListSourceFiles(VSD_SOURCE_DIR, subdirs);
+
+  vsd::bench::PerfTimer timer;
+  const std::vector<vsd::lint::Finding> findings =
+      vsd::lint::LintTree(VSD_SOURCE_DIR, subdirs);
+  const double wall = timer.Seconds();
+
+  for (const vsd::lint::Finding& f : findings) {
+    std::fprintf(stderr, "%s\n", f.ToString().c_str());
+  }
+  vsd::bench::WriteBenchPerfJson("lint", wall,
+                                 static_cast<int64_t>(files.size()), options);
+  std::printf("bench_lint: %zu files, %zu finding(s), %.3fs\n", files.size(),
+              findings.size(), wall);
+  return findings.empty() ? 0 : 1;
+}

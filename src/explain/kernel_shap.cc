@@ -53,6 +53,8 @@ Attribution KernelShapExplainer::Explain(
   ParallelFor(NumBatches(num_coalitions, batch_size), [&](int64_t b) {
     const auto [begin, end] = BatchBounds(num_coalitions, batch_size, b);
     std::vector<img::Image> perturbed;
+    // Per-batch staging buffer: sized once per chunk, not per sample.
+    // vsd-lint: allow(hot-path-alloc)
     perturbed.reserve(end - begin);
     for (int64_t i = begin; i < end; ++i) {
       Rng& stream = streams[i];
@@ -61,6 +63,8 @@ Attribution KernelShapExplainer::Explain(
           stream.SampleWithoutReplacement(d, size);
       std::vector<float> keep(d, 0.0f);
       for (int j : chosen) keep[j] = 1.0f;
+      // Appends into the pre-reserved batch buffer; capacity never grows.
+      // vsd-lint: allow(hot-path-alloc)
       perturbed.push_back(ApplySegmentMask(image, segmentation, keep));
       masks[i] = std::move(keep);
     }

@@ -35,6 +35,8 @@ Attribution LimeExplainer::Explain(const BatchClassifierFn& classifier,
   ParallelFor(NumBatches(num_samples_, batch_size), [&](int64_t b) {
     const auto [begin, end] = BatchBounds(num_samples_, batch_size, b);
     std::vector<img::Image> perturbed;
+    // Per-batch staging buffer: sized once per chunk, not per sample.
+    // vsd-lint: allow(hot-path-alloc)
     perturbed.reserve(end - begin);
     for (int64_t s = begin; s < end; ++s) {
       Rng& stream = streams[s];
@@ -44,6 +46,8 @@ Attribution LimeExplainer::Explain(const BatchClassifierFn& classifier,
         keep[j] = stream.Bernoulli(0.5) ? 1.0f : 0.0f;
         kept += keep[j] > 0.0f;
       }
+      // Appends into the pre-reserved batch buffer; capacity never grows.
+      // vsd-lint: allow(hot-path-alloc)
       perturbed.push_back(ApplySegmentMask(image, segmentation, keep));
       // Exponential kernel on cosine distance to the all-ones mask:
       // cos(z, 1) = |z| / sqrt(|z| * d) = sqrt(|z| / d).

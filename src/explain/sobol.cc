@@ -91,8 +91,12 @@ Attribution SobolExplainer::Explain(const BatchClassifierFn& classifier,
         ParallelFor(NumBatches(total, batch_size), [&](int64_t b) {
           const auto [begin, end] = BatchBounds(total, batch_size, b);
           std::vector<img::Image> perturbed;
+          // Per-batch staging buffer: sized once per chunk, not per row.
+          // vsd-lint: allow(hot-path-alloc)
           perturbed.reserve(end - begin);
           for (int64_t i = begin; i < end; ++i) {
+            // Appends into the pre-reserved batch buffer above.
+            // vsd-lint: allow(hot-path-alloc)
             perturbed.push_back(
                 ApplySegmentMask(image, segmentation, rows[i]));
           }

@@ -1,13 +1,17 @@
 #include "lint/lint.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "lint/captures.h"
+#include "lint/dataflow.h"
 #include "lint/include_graph.h"
 #include "lint/lexer.h"
 
@@ -177,7 +181,7 @@ void CheckRngFork(const FileCtx& ctx) {
 // kernels is almost always a tolerance bug that shifts reported tables.
 // Scoped to src/core/metrics.* and src/common/math_util.*; legitimate exact
 // guards (e.g. `total == 0.0` before dividing) carry an explicit
-// `// vsd-lint: allow(float-eq)` with a reason.
+// allow(float-eq) suppression comment with a reason.
 // ---------------------------------------------------------------------------
 void CheckFloatEq(const FileCtx& ctx) {
   if (!StartsWith(ctx.path, "src/core/metrics.") &&
@@ -401,7 +405,7 @@ void CheckUnorderedIter(const FileCtx& ctx) {
 // Route the loop through PredictBatch/PredictLabelBatch/
 // EvaluatePredictorBatched instead; genuinely per-sample protocols (e.g.
 // retrieval that threads one rng stream across samples) carry an explicit
-// `// vsd-lint: allow(per-sample-predict)` with a reason.
+// allow(per-sample-predict) suppression comment with a reason.
 // ---------------------------------------------------------------------------
 void CheckPerSamplePredict(const FileCtx& ctx) {
   if (!StartsWith(ctx.path, "bench/") && !StartsWith(ctx.path, "src/core/")) {
@@ -491,7 +495,7 @@ void CheckPerSamplePredict(const FileCtx& ctx) {
 // never come. Scoped to src/serve/: all waits there must be bounded
 // (wait_for/wait_until), and futures polled with wait_for before get().
 // Intentional unbounded waits carry an explicit
-// `// vsd-lint: allow(blocking-wait-no-deadline)` with a reason.
+// allow(blocking-wait-no-deadline) suppression comment with a reason.
 // ---------------------------------------------------------------------------
 void CheckBlockingWait(const FileCtx& ctx) {
   if (!StartsWith(ctx.path, "src/serve/")) return;
@@ -641,6 +645,7 @@ const std::vector<std::string>& AllRules() {
       "per-sample-predict", "blocking-wait-no-deadline",
       "unguarded-capture",  "wall-clock", "thread-id",
       "pointer-key",    "layering",      "include-cycle",
+      "lock-order",     "nondet-taint",  "hot-path-alloc",
   };
   return kRules;
 }
@@ -658,10 +663,12 @@ bool IsSuppressed(const Finding& f,
   return false;
 }
 
-/// All per-file checks over an already-lexed file, suppressions applied,
-/// sorted by line. The graph rules (layering, include-cycle) need the whole
-/// tree and live in LintTree.
-std::vector<Finding> LintLexed(const std::string& path, const LexResult& lex) {
+/// All per-file checks over an already-lexed file, raw (no suppression
+/// filtering, unsorted). The whole-program rules (layering, include-cycle,
+/// lock-order, hot-path-alloc) need the full tree and live in
+/// ProgramFindings / LintTree.
+std::vector<Finding> CollectFileFindings(const std::string& path,
+                                         const LexResult& lex) {
   std::vector<Finding> findings;
   FileCtx ctx{path, lex, &findings};
   CheckRawRand(ctx);
@@ -676,9 +683,34 @@ std::vector<Finding> LintLexed(const std::string& path, const LexResult& lex) {
   CheckThreadId(ctx);
   CheckPointerKey(ctx);
   CheckUnguardedCaptures(path, lex, &findings);
+  for (Finding& f : CheckNondetTaint(path, lex)) {
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+/// The whole-program dataflow rules, raw.
+std::vector<Finding> ProgramFindings(const DataflowProgram& program) {
+  std::vector<Finding> findings = CheckHotPathAlloc(program);
+  for (Finding& f : CheckLockOrder(BuildLockGraph(program))) {
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+}  // namespace
+
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content) {
+  const LexResult lex = Lex(content);
+  std::vector<Finding> findings = CollectFileFindings(path, lex);
+  // One-file program, so the dataflow rules work on fixtures too.
+  DataflowProgram program;
+  program.AddFile(path, lex);
+  for (Finding& f : ProgramFindings(program)) findings.push_back(std::move(f));
 
   std::vector<Finding> kept;
-  for (auto& f : findings) {
+  for (Finding& f : findings) {
     if (!IsSuppressed(f, lex.suppressions)) kept.push_back(std::move(f));
   }
   std::stable_sort(kept.begin(), kept.end(),
@@ -686,13 +718,6 @@ std::vector<Finding> LintLexed(const std::string& path, const LexResult& lex) {
                      return a.line < b.line;
                    });
   return kept;
-}
-
-}  // namespace
-
-std::vector<Finding> LintContent(const std::string& path,
-                                 const std::string& content) {
-  return LintLexed(path, Lex(content));
 }
 
 std::vector<std::string> ListSourceFiles(
@@ -730,26 +755,56 @@ bool ReadFileToString(const std::string& root, const std::string& rel,
   return true;
 }
 
+namespace {
+
+/// Per-file lex + analysis result, computed in parallel by LintTree and
+/// AuditFiles and merged serially in path order.
+struct LintedFile {
+  bool ok = false;
+  LexResult lex;
+  std::vector<Finding> raw;  ///< Unfiltered per-file findings.
+};
+
+LintedFile LintOneFile(const std::string& path, const std::string& content) {
+  LintedFile out;
+  out.ok = true;
+  out.lex = Lex(content);
+  out.raw = CollectFileFindings(path, out.lex);
+  return out;
+}
+
+}  // namespace
+
 std::vector<Finding> LintTree(const std::string& root,
                               const std::vector<std::string>& subdirs) {
+  const std::vector<std::string> files = ListSourceFiles(root, subdirs);
+  // Lex + per-file analysis in parallel; each index writes only its own
+  // slot, so any VSD_THREADS count produces the same vector.
+  const std::vector<LintedFile> per = ParallelMap<LintedFile>(
+      static_cast<int64_t>(files.size()), [&](int64_t i) {
+        std::string content;
+        if (!ReadFileToString(root, files[i], &content)) return LintedFile{};
+        return LintOneFile(files[i], content);
+      });
+
+  // Deterministic serial merge in sorted path order.
   std::vector<Finding> findings;
   IncludeGraphBuilder builder;
+  DataflowProgram program;
   // Per-file suppression tables, kept so they also apply to the tree-level
-  // graph findings (e.g. a reasoned allow(layering) on an #include line).
+  // findings (e.g. a reasoned allow(layering) on an #include line).
   std::map<std::string, std::map<int, std::set<std::string>>> suppressions;
-  for (const std::string& rel : ListSourceFiles(root, subdirs)) {
-    std::string content;
-    if (!ReadFileToString(root, rel, &content)) {
-      findings.push_back(Finding{rel, 0, "io-error", "cannot read file"});
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (!per[i].ok) {
+      findings.push_back(Finding{files[i], 0, "io-error", "cannot read file"});
       continue;
     }
-    LexResult lex = Lex(content);
-    builder.AddFile(rel, lex);
-    suppressions[rel] = lex.suppressions;
-    std::vector<Finding> file_findings = LintLexed(rel, lex);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
+    builder.AddFile(files[i], per[i].lex);
+    program.AddFile(files[i], per[i].lex);
+    suppressions[files[i]] = per[i].lex.suppressions;
+    for (const Finding& f : per[i].raw) {
+      if (!IsSuppressed(f, per[i].lex.suppressions)) findings.push_back(f);
+    }
   }
 
   const IncludeGraph graph = builder.Build();
@@ -760,12 +815,123 @@ std::vector<Finding> LintTree(const std::string& root,
       }
     }
   }
+  for (Finding& f : ProgramFindings(program)) {
+    if (!IsSuppressed(f, suppressions[f.file])) {
+      findings.push_back(std::move(f));
+    }
+  }
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      return a.file != b.file ? a.file < b.file
                                              : a.line < b.line;
                    });
   return findings;
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  };
+  std::string out = "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"file\": \"" + escape(f.file) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           escape(f.rule) + "\", \"message\": \"" + escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+std::vector<Finding> AuditFiles(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  // Raw findings (no suppression filtering) for every file plus the
+  // tree-level rules: a suppression is live iff some raw finding of its
+  // rule lands on its line or the next one.
+  IncludeGraphBuilder builder;
+  DataflowProgram program;
+  std::map<std::string, std::map<int, std::set<std::string>>> suppressions;
+  std::map<std::string, std::map<int, std::set<std::string>>> live;
+  auto note = [&](const Finding& f) { live[f.file][f.line].insert(f.rule); };
+
+  for (const auto& [path, content] : files) {
+    const LintedFile linted = LintOneFile(path, content);
+    builder.AddFile(path, linted.lex);
+    program.AddFile(path, linted.lex);
+    suppressions[path] = linted.lex.suppressions;
+    for (const Finding& f : linted.raw) note(f);
+  }
+  const IncludeGraph graph = builder.Build();
+  for (const Finding& f : CheckLayering(graph)) note(f);
+  for (const Finding& f : CheckCycles(graph)) note(f);
+  for (const Finding& f : ProgramFindings(program)) note(f);
+
+  const std::vector<std::string>& known = AllRules();
+  std::vector<Finding> stale;
+  for (const auto& [path, table] : suppressions) {
+    for (const auto& [line, rules] : table) {
+      for (const std::string& rule : rules) {
+        // A suppression of a rule that does not exist never suppressed
+        // anything (doc comments quoting the syntax parse this way), and a
+        // typo'd rule name is already exposed by the lint run itself — the
+        // unsuppressed finding still fires there.
+        if (std::find(known.begin(), known.end(), rule) == known.end()) {
+          continue;
+        }
+        bool matched = false;
+        for (int l : {line, line + 1}) {
+          auto fit = live[path].find(l);
+          if (fit != live[path].end() && fit->second.count(rule)) {
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          stale.push_back(Finding{
+              path, line, "stale-suppression",
+              "'// vsd-lint: allow(" + rule + ")' matches no '" + rule +
+                  "' finding on this line or the next; the rule stopped "
+                  "firing here — delete the comment (or fix the rule name)"});
+        }
+      }
+    }
+  }
+  std::stable_sort(stale.begin(), stale.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.file != b.file ? a.file < b.file
+                                             : a.line < b.line;
+                   });
+  return stale;
+}
+
+std::vector<Finding> AuditSuppressions(
+    const std::string& root, const std::vector<std::string>& subdirs) {
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const std::string& rel : ListSourceFiles(root, subdirs)) {
+    std::string content;
+    if (!ReadFileToString(root, rel, &content)) continue;
+    files.emplace_back(rel, std::move(content));
+  }
+  return AuditFiles(files);
 }
 
 }  // namespace vsd::lint

@@ -2,6 +2,7 @@
 #define VSD_LINT_LINT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vsd::lint {
@@ -39,6 +40,16 @@ struct Finding {
 ///  * layering       — upward #include across the architecture layers
 ///    (include_graph.h; tree-level, reported by LintTree)
 ///  * include-cycle  — cycle in the project include graph (tree-level)
+///  * lock-order     — cycle in the whole-program lock-acquisition graph
+///    (dataflow.h; an edge A -> B means B acquired while A held, including
+///    through one level of direct calls — a cycle is a potential deadlock)
+///  * nondet-taint   — value derived from a nondeterministic source (wall
+///    clock, thread id, shared-Rng draw, pointer-to-int cast) flows through
+///    assignments/container inserts into a result sink (dataflow.h)
+///  * hot-path-alloc — heap allocation reachable from
+///    GraphExecutor::Execute, inside src/tensor/kernels, or inside an
+///    explainer ParallelFor body (dataflow.h; the static twin of the
+///    runtime counting-operator-new contract)
 ///
 /// All rule names, for CLI validation and tests.
 const std::vector<std::string>& AllRules();
@@ -62,13 +73,34 @@ bool ReadFileToString(const std::string& root, const std::string& rel,
 
 /// Walks `root` and lints every source file under the given subdirectories
 /// (repo-relative, e.g. {"src", "bench", "tools", "tests"}), then runs the
-/// whole-program checks (layering, include-cycle) over the include graph of
-/// the same walk. Files are visited in sorted order and findings come back
-/// sorted by (file, line) so output is deterministic. Unreadable files
-/// produce a finding with rule "io-error" rather than aborting the walk.
-/// `// vsd-lint: allow(...)` suppressions apply to graph findings too.
+/// whole-program checks (layering, include-cycle, lock-order,
+/// hot-path-alloc) over the include graph and dataflow program of the same
+/// walk. Per-file lexing and analysis run on the global thread pool
+/// (VSD_THREADS), but findings are merged in sorted path order and come
+/// back sorted by (file, line), so output is byte-identical at any thread
+/// count. Unreadable files produce a finding with rule "io-error" rather
+/// than aborting the walk. `// vsd-lint: allow(...)` suppressions apply to
+/// tree-level findings too.
 std::vector<Finding> LintTree(const std::string& root,
                               const std::vector<std::string>& subdirs);
+
+/// Findings as a JSON array of {"file", "line", "rule", "message"} objects
+/// (for `vsd_lint --format=json` and CI artifacts). Deterministic: one
+/// object per line, input order preserved, trailing newline.
+std::string FindingsToJson(const std::vector<Finding>& findings);
+
+/// Stale-suppression audit over in-memory (path, content) pairs: every
+/// `// vsd-lint: allow(<rule>)` comment must still match a raw (pre-
+/// suppression) finding of that rule on its own line or the next one —
+/// including the tree-level and dataflow rules. Dead comments come back as
+/// rule "stale-suppression" findings (not part of AllRules: the rule
+/// cannot be suppressed, only deleted).
+std::vector<Finding> AuditFiles(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+/// AuditFiles over the standard tree walk (for --audit-suppressions).
+std::vector<Finding> AuditSuppressions(const std::string& root,
+                                       const std::vector<std::string>& subdirs);
 
 }  // namespace vsd::lint
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "lint/include_graph.h"
 #include "lint/lexer.h"
 
@@ -755,6 +756,186 @@ TEST(SuppressionTest, OnlyNamedRuleIsSuppressed) {
   EXPECT_TRUE(HasRule(Rules("src/cot/x.cc", src), "raw-rand"));
 }
 
+// ---------------------------------------------------- dataflow rules -------
+// Engine-level coverage lives in dataflow_test.cc; these pin the rules as
+// they fire through the normal LintContent entry point, suppressions
+// included. Fixtures are raw strings so the repo's own lint run skips them.
+
+TEST(LockOrderRuleTest, OpposingAcquisitionOrdersAreReported) {
+  const std::string src = R"cc(
+    std::mutex a;
+    std::mutex b;
+    void First() {
+      std::lock_guard<std::mutex> ga(a);
+      std::lock_guard<std::mutex> gb(b);
+    }
+    void Second() {
+      std::lock_guard<std::mutex> gb(b);
+      std::lock_guard<std::mutex> ga(a);
+    }
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/common/locks.cc", src), "lock-order"));
+}
+
+TEST(LockOrderRuleTest, SuppressionOnTheClosingEdgeSilencesIt) {
+  const std::string src = R"cc(
+    std::mutex a;
+    std::mutex b;
+    void First() {
+      std::lock_guard<std::mutex> ga(a);
+      // vsd-lint: allow(lock-order)
+      std::lock_guard<std::mutex> gb(b);
+    }
+    void Second() {
+      std::lock_guard<std::mutex> gb(b);
+      // vsd-lint: allow(lock-order)
+      std::lock_guard<std::mutex> ga(a);
+    }
+  )cc";
+  EXPECT_FALSE(HasRule(Rules("src/common/locks.cc", src), "lock-order"));
+}
+
+TEST(NondetTaintRuleTest, LaunderedClockIntoATableIsReported) {
+  const std::string src = R"cc(
+    void Report(Table& table) {
+      const auto now = std::chrono::system_clock::now();
+      const double stamp = ToSeconds(now);
+      table.AddRow("run", stamp);
+    }
+  )cc";
+  // tools/ is outside the wall-clock result paths: only the taint rule
+  // sees the laundered value reach the sink.
+  const std::vector<std::string> rules = Rules("tools/report.cc", src);
+  EXPECT_TRUE(HasRule(rules, "nondet-taint"));
+  EXPECT_FALSE(HasRule(rules, "wall-clock"));
+}
+
+TEST(NondetTaintRuleTest, SuppressionOnTheSinkSilencesIt) {
+  const std::string src = R"cc(
+    void Report(Table& table) {
+      const auto now = std::chrono::system_clock::now();
+      // vsd-lint: allow(nondet-taint)
+      table.AddRow("run", now);
+    }
+  )cc";
+  EXPECT_FALSE(HasRule(Rules("tools/report.cc", src), "nondet-taint"));
+}
+
+TEST(HotPathAllocRuleTest, KernelAllocationIsReported) {
+  const std::string src = R"cc(
+    void MatMul(std::vector<float>& out) {
+      out.push_back(1.0f);
+    }
+  )cc";
+  EXPECT_TRUE(
+      HasRule(Rules("src/tensor/kernels.cc", src), "hot-path-alloc"));
+  // The same code outside a hot path is fine.
+  EXPECT_FALSE(HasRule(Rules("src/tensor/ops.cc", src), "hot-path-alloc"));
+}
+
+TEST(HotPathAllocRuleTest, SuppressionSilencesIt) {
+  const std::string src = R"cc(
+    void MatMul(std::vector<float>& out) {
+      // vsd-lint: allow(hot-path-alloc)
+      out.push_back(1.0f);
+    }
+  )cc";
+  EXPECT_FALSE(
+      HasRule(Rules("src/tensor/kernels.cc", src), "hot-path-alloc"));
+}
+
+// ---------------------------------------------------------- json output ----
+
+TEST(FindingsToJsonTest, FormatsOneObjectPerLineAndEscapes) {
+  const std::vector<Finding> findings = {
+      Finding{"a.cc", 3, "float-eq", "say \"hi\"\n\tdone"},
+      Finding{"b\\c.cc", 7, "raw-rand", "plain"},
+  };
+  EXPECT_EQ(FindingsToJson(findings),
+            "[\n"
+            "  {\"file\": \"a.cc\", \"line\": 3, \"rule\": \"float-eq\", "
+            "\"message\": \"say \\\"hi\\\"\\n\\tdone\"},\n"
+            "  {\"file\": \"b\\\\c.cc\", \"line\": 7, \"rule\": "
+            "\"raw-rand\", \"message\": \"plain\"}\n"
+            "]\n");
+}
+
+TEST(FindingsToJsonTest, EmptyIsAnEmptyArray) {
+  EXPECT_EQ(FindingsToJson({}), "[]\n");
+}
+
+// ------------------------------------------------------ suppression audit ----
+
+TEST(AuditFilesTest, FlagsStaleKeepsLiveAndIgnoresUnknownRules) {
+  const std::string live = R"cc(
+    // vsd-lint: allow(float-eq) — exact guard is intended here.
+    bool Same(double x, double y) { return x == y; }
+  )cc";
+  const std::string stale = R"cc(
+    // vsd-lint: allow(float-eq) — nothing fires here anymore.
+    int Answer() { return 42; }
+  )cc";
+  const std::string unknown = R"cc(
+    // Doc text quoting the syntax, vsd-lint: allow(<rule>), parses too —
+    // placeholder names are not real rules and are never audited.
+    int Docs() { return 1; }
+  )cc";
+  const std::vector<Finding> findings = AuditFiles({
+      {"src/core/metrics.cc", live},
+      {"src/core/stale.cc", stale},
+      {"src/core/docs.cc", unknown},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "stale-suppression");
+  EXPECT_EQ(findings[0].file, "src/core/stale.cc");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(AuditFilesTest, TreeLevelRulesCountAsLive) {
+  // A live lock-order suppression: the finding it matches is produced by
+  // the whole-program pass, not the per-file one.
+  const std::string src = R"cc(
+    std::mutex a;
+    std::mutex b;
+    void First() {
+      std::lock_guard<std::mutex> ga(a);
+      // vsd-lint: allow(lock-order)
+      std::lock_guard<std::mutex> gb(b);
+    }
+    void Second() {
+      std::lock_guard<std::mutex> gb(b);
+      // vsd-lint: allow(lock-order)
+      std::lock_guard<std::mutex> ga(a);
+    }
+  )cc";
+  // Exactly one of the two comments matches the cycle's closing edge; the
+  // other is reported as stale — the audit is precise about which line the
+  // finding lands on.
+  const std::vector<Finding> findings =
+      AuditFiles({{"src/common/locks.cc", src}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "stale-suppression");
+}
+
+// ------------------------------------------------------------ parallelism ----
+
+// LintTree's contract: output is byte-identical at any thread count.
+TEST(LintTreeTest, OutputIsByteIdenticalAcrossThreadCounts) {
+  const int before = ThreadPool::GlobalThreads();
+  ThreadPool::SetGlobalThreads(1);
+  const std::vector<Finding> serial = LintTree(
+      VSD_SOURCE_DIR, {"src", "bench", "tools", "tests", "examples"});
+  ThreadPool::SetGlobalThreads(4);
+  const std::vector<Finding> parallel = LintTree(
+      VSD_SOURCE_DIR, {"src", "bench", "tools", "tests", "examples"});
+  ThreadPool::SetGlobalThreads(before);
+
+  std::string a, b;
+  for (const Finding& f : serial) a += f.ToString() + "\n";
+  for (const Finding& f : parallel) b += f.ToString() + "\n";
+  EXPECT_EQ(a, b);
+}
+
 // ---------------------------------------------------------------- misc -----
 
 TEST(FindingTest, ToStringIsClickable) {
@@ -769,6 +950,7 @@ TEST(AllRulesTest, NamesAreStable) {
       "per-sample-predict", "blocking-wait-no-deadline",
       "unguarded-capture",  "wall-clock", "thread-id",
       "pointer-key",    "layering",      "include-cycle",
+      "lock-order",     "nondet-taint",  "hot-path-alloc",
   };
   EXPECT_EQ(AllRules(), expected);
 }

@@ -6,25 +6,39 @@
 // unguarded by-reference capture writes inside ParallelFor bodies, no exact
 // float comparison in metric kernels, no wall-clock/thread-id/pointer-key
 // nondeterminism in result paths, header hygiene, no unordered-container
-// iteration in result paths — plus the whole-program include graph checks:
-// architecture layering and include cycles.
+// iteration in result paths — plus the whole-program checks: include-graph
+// layering and cycles, lock-order deadlock cycles, nondeterminism taint
+// flow, and hot-path allocation (see src/lint/dataflow.h).
 //
 // Usage:
-//   vsd_lint [--root DIR] [--fix] [--dump-graph] [SUBDIR...]
+//   vsd_lint [--root DIR] [--fix] [--format=json] [--dump-graph]
+//            [--dump-lock-graph] [--audit-suppressions] [SUBDIR...]
 //
 // With no SUBDIRs, lints src bench tools tests examples under --root
 // (default: the current directory). Exit code 0 = clean, 1 = findings,
 // 2 = usage error.
 //
-//   --fix         rewrite mechanical findings (include-order, header-guard)
-//                 in place, then re-lint; the exit code reflects what is
-//                 left after fixing.
-//   --dump-graph  print the module-level include graph as DOT on stdout
-//                 (for `dot -Tsvg` and docs/INTERNALS.md) and exit; the
-//                 exit code is 1 if the graph has include cycles (a cyclic
-//                 graph has no valid layering at all — not suppressible),
-//                 0 otherwise. Layering violations go through the normal
-//                 lint run, where `allow(layering)` suppressions apply.
+//   --fix             rewrite mechanical findings (include-order,
+//                     header-guard) in place, then re-lint; the exit code
+//                     reflects what is left after fixing.
+//   --format=json     print findings as a JSON array (file/line/rule/
+//                     message per finding) instead of text; the finding
+//                     count still goes to stderr.
+//   --dump-graph      print the module-level include graph as DOT on stdout
+//                     (for `dot -Tsvg` and docs/INTERNALS.md) and exit; the
+//                     exit code is 1 if the graph has include cycles (a
+//                     cyclic graph has no valid layering at all — not
+//                     suppressible), 0 otherwise. Layering violations go
+//                     through the normal lint run, where `allow(layering)`
+//                     suppressions apply.
+//   --dump-lock-graph print the whole-program lock-acquisition graph as DOT
+//                     on stdout and exit; exit code 1 if the graph has a
+//                     cycle (a potential deadlock — not suppressible via
+//                     this flag; the lint run honors allow(lock-order)).
+//   --audit-suppressions
+//                     flag stale `// vsd-lint: allow(<rule>)` comments
+//                     whose rule no longer fires on that line, and exit 1
+//                     if any are found.
 //
 // Suppress a finding with `// vsd-lint: allow(<rule>)` on the offending
 // line or the line above (always include a reason in the comment).
@@ -34,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/dataflow.h"
 #include "lint/fix.h"
 #include "lint/include_graph.h"
 #include "lint/lint.h"
@@ -43,6 +58,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> subdirs;
   bool fix = false;
   bool dump_graph = false;
+  bool dump_lock_graph = false;
+  bool audit = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
@@ -50,6 +68,14 @@ int main(int argc, char** argv) {
       fix = true;
     } else if (std::strcmp(argv[i], "--dump-graph") == 0) {
       dump_graph = true;
+    } else if (std::strcmp(argv[i], "--dump-lock-graph") == 0) {
+      dump_lock_graph = true;
+    } else if (std::strcmp(argv[i], "--audit-suppressions") == 0) {
+      audit = true;
+    } else if (std::strcmp(argv[i], "--format=json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--format=text") == 0) {
+      json = false;
     } else if (std::strcmp(argv[i], "--list-rules") == 0) {
       for (const std::string& rule : vsd::lint::AllRules()) {
         std::printf("%s\n", rule.c_str());
@@ -57,7 +83,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: vsd_lint [--root DIR] [--fix] [--dump-graph] "
+          "usage: vsd_lint [--root DIR] [--fix] [--format=json] "
+          "[--dump-graph] [--dump-lock-graph] [--audit-suppressions] "
           "[--list-rules] [SUBDIR...]\n");
       return 0;
     } else if (argv[i][0] == '-') {
@@ -86,6 +113,41 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (dump_lock_graph) {
+    const vsd::lint::LockGraph graph =
+        vsd::lint::BuildLockGraphFromTree(root, subdirs);
+    std::fputs(vsd::lint::DumpLockDot(graph).c_str(), stdout);
+    const std::vector<vsd::lint::Finding> cycles =
+        vsd::lint::CheckLockOrder(graph);
+    for (const auto& f : cycles) {
+      std::fprintf(stderr, "%s\n", f.ToString().c_str());
+    }
+    if (!cycles.empty()) {
+      std::fprintf(stderr, "vsd_lint: lock graph has %zu cycle(s)\n",
+                   cycles.size());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (audit) {
+    const std::vector<vsd::lint::Finding> stale =
+        vsd::lint::AuditSuppressions(root, subdirs);
+    if (json) {
+      std::fputs(vsd::lint::FindingsToJson(stale).c_str(), stdout);
+    } else {
+      for (const auto& f : stale) {
+        std::printf("%s\n", f.ToString().c_str());
+      }
+    }
+    if (!stale.empty()) {
+      std::fprintf(stderr, "vsd_lint: %zu stale suppression(s)\n",
+                   stale.size());
+      return 1;
+    }
+    return 0;
+  }
+
   if (fix) {
     for (const vsd::lint::FixedFile& f : vsd::lint::FixTree(root, subdirs)) {
       std::fprintf(stderr, "vsd_lint: fixed %s (%d fix(es))\n",
@@ -95,8 +157,12 @@ int main(int argc, char** argv) {
 
   const std::vector<vsd::lint::Finding> findings =
       vsd::lint::LintTree(root, subdirs);
-  for (const auto& f : findings) {
-    std::printf("%s\n", f.ToString().c_str());
+  if (json) {
+    std::fputs(vsd::lint::FindingsToJson(findings).c_str(), stdout);
+  } else {
+    for (const auto& f : findings) {
+      std::printf("%s\n", f.ToString().c_str());
+    }
   }
   if (!findings.empty()) {
     std::fprintf(stderr, "vsd_lint: %zu finding(s)\n", findings.size());
