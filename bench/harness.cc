@@ -1,5 +1,6 @@
 #include "bench/harness.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -16,6 +17,7 @@
 #include "data/folds.h"
 #include "data/generator.h"
 #include "face/renderer.h"
+#include "vlm/quantize.h"
 
 namespace vsd::bench {
 
@@ -44,74 +46,82 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
   return options;
 }
 
-void WriteBenchPerfJson(const std::string& name, double wall_seconds,
-                        int64_t samples, const BenchOptions& options) {
-  const std::string path = "BENCH_" + name + ".json";
+bool WriteSidecarFile(const std::string& path, const std::string& content) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
-    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
-    return;
+    std::fprintf(stderr, "[bench] cannot open %s for writing: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
   }
+  bool ok =
+      std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  // fclose flushes; a full disk often only surfaces here.
+  if (std::fclose(file) != 0) ok = false;
+  if (!ok) {
+    std::fprintf(stderr, "[bench] failed writing %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+  }
+  return ok;
+}
+
+void WriteBenchPerfJson(const std::string& name, double wall_seconds,
+                        int64_t samples, const BenchOptions& options) {
   const double rate =
       wall_seconds > 0.0 ? static_cast<double>(samples) / wall_seconds : 0.0;
-  std::fprintf(file,
-               "{\n"
-               "  \"bench\": \"%s\",\n"
-               "  \"quick\": %s,\n"
-               "  \"folds\": %d,\n"
-               "  \"seed\": %llu,\n"
-               "  \"threads\": %d,\n"
-               "  \"batch_size\": %d,\n"
-               "  \"samples\": %lld,\n"
-               "  \"wall_time_s\": %.6f,\n"
-               "  \"samples_per_sec\": %.3f\n"
-               "}\n",
-               name.c_str(), options.quick ? "true" : "false", options.folds,
-               static_cast<unsigned long long>(options.seed),
-               ThreadPool::GlobalThreads(), DefaultBatchSize(),
-               static_cast<long long>(samples), wall_seconds, rate);
-  std::fclose(file);
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\n"
+                "  \"bench\": \"%s\",\n"
+                "  \"quick\": %s,\n"
+                "  \"folds\": %d,\n"
+                "  \"seed\": %llu,\n"
+                "  \"threads\": %d,\n"
+                "  \"batch_size\": %d,\n"
+                "  \"samples\": %lld,\n"
+                "  \"wall_time_s\": %.6f,\n"
+                "  \"samples_per_sec\": %.3f\n"
+                "}\n",
+                name.c_str(), options.quick ? "true" : "false", options.folds,
+                static_cast<unsigned long long>(options.seed),
+                ThreadPool::GlobalThreads(), DefaultBatchSize(),
+                static_cast<long long>(samples), wall_seconds, rate);
+  WriteSidecarFile("BENCH_" + name + ".json", json);
 }
 
 void WriteBenchPerfJson(const std::string& name, double wall_seconds,
                         int64_t samples, const BenchOptions& options,
                         const ServePerf& serve) {
-  const std::string path = "BENCH_" + name + ".json";
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
-    return;
-  }
   const double rate =
       wall_seconds > 0.0 ? static_cast<double>(samples) / wall_seconds : 0.0;
-  std::fprintf(file,
-               "{\n"
-               "  \"bench\": \"%s\",\n"
-               "  \"quick\": %s,\n"
-               "  \"folds\": %d,\n"
-               "  \"seed\": %llu,\n"
-               "  \"threads\": %d,\n"
-               "  \"batch_size\": %d,\n"
-               "  \"samples\": %lld,\n"
-               "  \"wall_time_s\": %.6f,\n"
-               "  \"samples_per_sec\": %.3f,\n"
-               "  \"serve\": {\n"
-               "    \"batches_cut\": %lld,\n"
-               "    \"mean_batch_fill\": %.3f,\n"
-               "    \"retries\": %lld,\n"
-               "    \"degraded\": %lld,\n"
-               "    \"faults_injected\": %lld\n"
-               "  }\n"
-               "}\n",
-               name.c_str(), options.quick ? "true" : "false", options.folds,
-               static_cast<unsigned long long>(options.seed),
-               ThreadPool::GlobalThreads(), DefaultBatchSize(),
-               static_cast<long long>(samples), wall_seconds, rate,
-               static_cast<long long>(serve.batches_cut),
-               serve.mean_batch_fill, static_cast<long long>(serve.retries),
-               static_cast<long long>(serve.degraded),
-               static_cast<long long>(serve.faults_injected));
-  std::fclose(file);
+  char json[1024];
+  std::snprintf(json, sizeof(json),
+                "{\n"
+                "  \"bench\": \"%s\",\n"
+                "  \"quick\": %s,\n"
+                "  \"folds\": %d,\n"
+                "  \"seed\": %llu,\n"
+                "  \"threads\": %d,\n"
+                "  \"batch_size\": %d,\n"
+                "  \"samples\": %lld,\n"
+                "  \"wall_time_s\": %.6f,\n"
+                "  \"samples_per_sec\": %.3f,\n"
+                "  \"serve\": {\n"
+                "    \"batches_cut\": %lld,\n"
+                "    \"mean_batch_fill\": %.3f,\n"
+                "    \"retries\": %lld,\n"
+                "    \"degraded\": %lld,\n"
+                "    \"faults_injected\": %lld\n"
+                "  }\n"
+                "}\n",
+                name.c_str(), options.quick ? "true" : "false", options.folds,
+                static_cast<unsigned long long>(options.seed),
+                ThreadPool::GlobalThreads(), DefaultBatchSize(),
+                static_cast<long long>(samples), wall_seconds, rate,
+                static_cast<long long>(serve.batches_cut),
+                serve.mean_batch_fill, static_cast<long long>(serve.retries),
+                static_cast<long long>(serve.degraded),
+                static_cast<long long>(serve.faults_injected));
+  WriteSidecarFile("BENCH_" + name + ".json", json);
 }
 
 BenchData MakeBenchData(const BenchOptions& options) {
@@ -181,6 +191,10 @@ const vlm::FoundationModel& ApiModel(vlm::ApiModelKind kind,
     auto model = std::make_unique<vlm::FoundationModel>(spec.config);
     vlm::PretrainGeneralist(model.get(), spec,
                             options.seed * 13 + 7 + key);
+    // API models are frozen once pretrained (zero-shot rows only), so
+    // VSD_QUANT=int8 applies here. The backbone in PretrainedBase must
+    // stay fp32 — it is cloned and fine-tuned.
+    if (vlm::QuantEnabled()) vlm::QuantizeFrozenModel(model.get());
     it = cache.emplace(key, std::move(model)).first;
   }
   return *it->second;

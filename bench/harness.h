@@ -56,6 +56,12 @@ class PerfTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Writes a machine-readable sidecar (JSON, CSV, ...) with full error
+/// handling: open, write, and close failures all log to stderr (with
+/// errno) and return false instead of silently dropping output. Every
+/// bench/tool sidecar goes through this one helper.
+bool WriteSidecarFile(const std::string& path, const std::string& content);
+
 /// Writes `BENCH_<name>.json` next to the CSVs: wall time, throughput, and
 /// the batch/thread configuration, so perf runs are machine-comparable.
 /// `samples` is the number of sample evaluations the bench is sized by

@@ -632,6 +632,48 @@ void CheckPointerKey(const FileCtx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// kernel-bypass: every multiply-accumulate inner loop in the model layers
+// must go through the registry-dispatched kernels (tensor/kernels.h) so it
+// picks up the SIMD and int8 backends and stays inside the bit-identity
+// contract. A raw `out[...] += a * b` loop in src/tensor/, src/nn/, or
+// src/vlm/ outside the kernel TUs is a hand-rolled matmul/conv that the
+// registry can neither vectorize nor quantize. Kernel implementations
+// themselves (src/tensor/kernels*) are exempt — they are the one place
+// such loops belong.
+// ---------------------------------------------------------------------------
+void CheckKernelBypass(const FileCtx& ctx) {
+  const bool scoped = StartsWith(ctx.path, "src/tensor/") ||
+                      StartsWith(ctx.path, "src/nn/") ||
+                      StartsWith(ctx.path, "src/vlm/");
+  if (!scoped || StartsWith(ctx.path, "src/tensor/kernels")) return;
+  const auto& toks = ctx.lex.tokens;
+  for (size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct || toks[i].text != "+=") continue;
+    if (toks[i - 1].text != "]") continue;  // Accumulate into a subscript.
+    // The RHS (up to the statement end) must multiply two values — the
+    // multiply-accumulate shape of a matmul/conv inner loop. `*` is a
+    // multiply (not a deref) when it follows a value token.
+    bool has_mul = false;
+    for (size_t j = i + 2; j < toks.size() && toks[j].text != ";"; ++j) {
+      if (toks[j].kind != TokenKind::kPunct || toks[j].text != "*") continue;
+      const Token& prev = toks[j - 1];
+      if (prev.kind == TokenKind::kIdentifier ||
+          prev.kind == TokenKind::kNumber || prev.text == ")" ||
+          prev.text == "]") {
+        has_mul = true;
+        break;
+      }
+    }
+    if (!has_mul) continue;
+    ctx.Report(toks[i].line, "kernel-bypass",
+               "raw multiply-accumulate loop outside the kernel layer; "
+               "route matmul-shaped work through tensor/kernels.h so it "
+               "dispatches via the registry (SIMD/int8 backends, "
+               "bit-identity contract) instead of a hand-rolled float loop");
+  }
+}
+
 }  // namespace
 
 std::string Finding::ToString() const {
@@ -646,6 +688,7 @@ const std::vector<std::string>& AllRules() {
       "unguarded-capture",  "wall-clock", "thread-id",
       "pointer-key",    "layering",      "include-cycle",
       "lock-order",     "nondet-taint",  "hot-path-alloc",
+      "kernel-bypass",
   };
   return kRules;
 }
@@ -682,6 +725,7 @@ std::vector<Finding> CollectFileFindings(const std::string& path,
   CheckWallClock(ctx);
   CheckThreadId(ctx);
   CheckPointerKey(ctx);
+  CheckKernelBypass(ctx);
   CheckUnguardedCaptures(path, lex, &findings);
   for (Finding& f : CheckNondetTaint(path, lex)) {
     findings.push_back(std::move(f));

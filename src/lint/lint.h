@@ -50,6 +50,10 @@ struct Finding {
 ///    GraphExecutor::Execute, inside src/tensor/kernels, or inside an
 ///    explainer ParallelFor body (dataflow.h; the static twin of the
 ///    runtime counting-operator-new contract)
+///  * kernel-bypass  — raw `out[...] += a * b` multiply-accumulate loop in
+///    src/tensor/, src/nn/, or src/vlm/ outside src/tensor/kernels*; such
+///    loops must route through tensor/kernels.h so they dispatch via the
+///    kernel registry (SIMD/int8 backends, bit-identity contract)
 ///
 /// All rule names, for CLI validation and tests.
 const std::vector<std::string>& AllRules();

@@ -7,23 +7,25 @@
 
 namespace vsd::nn {
 
-/// Offsets are aligned to this many floats (64 bytes), so every planned
-/// buffer starts on a cache-line boundary.
-inline constexpr size_t kArenaAlignFloats = 16;
+/// Offsets are aligned to this many bytes (one cache line), so every
+/// planned buffer starts on a cache-line boundary regardless of its dtype.
+inline constexpr size_t kArenaAlignBytes = 64;
 
 /// One intermediate buffer of a compiled forward pass, as the planner sees
-/// it: a size in floats and a live interval over the topological op order.
-/// The buffer is written at step `first_use` and last read at `last_use`
+/// it: a size in bytes and a live interval over the topological op order.
+/// Sizes are bytes (not elements) so mixed-dtype graphs plan byte-accurate
+/// buffers — the caller multiplies element counts by `DTypeSize`. The
+/// buffer is written at step `first_use` and last read at `last_use`
 /// (inclusive); `first_use = -1` marks buffers written before execution
 /// starts (graph inputs). Zero-sized requests are legal and get offset 0.
 struct BufferRequest {
-  size_t size = 0;    ///< Element (float) count.
+  size_t size = 0;    ///< Byte count.
   int first_use = 0;  ///< Topological step of the producing op.
   int last_use = 0;   ///< Topological step of the last consuming op.
 };
 
-/// Result of lifetime planning: one offset (in floats) per request into a
-/// single arena of `arena_size` floats.
+/// Result of lifetime planning: one byte offset per request into a single
+/// arena of `arena_size` bytes.
 struct ArenaPlan {
   size_t arena_size = 0;
   std::vector<size_t> offsets;
@@ -45,7 +47,7 @@ struct ArenaPlan {
 /// `tests/arena_test.cc` fuzzes these invariants over random DAG
 /// lifetimes.
 ArenaPlan PlanBufferLifetimes(std::span<const BufferRequest> requests,
-                              size_t align = kArenaAlignFloats);
+                              size_t align = kArenaAlignBytes);
 
 }  // namespace vsd::nn
 

@@ -63,6 +63,16 @@ const OpNode& GraphBuilder::Operand(int id) const {
   return nodes_[id];
 }
 
+const OpNode& GraphBuilder::F32Operand(int id) const {
+  const OpNode& node = Operand(id);
+  // Compute stays fp32 everywhere; int8 weights are legal only as the
+  // rhs of MatMul, where the fused kernel dequantizes inline.
+  VSD_CHECK(node.dtype == tensor::DType::kF32)
+      << "graph operand " << id << " must be f32, got "
+      << tensor::DTypeName(node.dtype);
+  return node;
+}
+
 int GraphBuilder::Input(std::vector<int> shape) {
   OpNode node;
   node.kind = OpKind::kInput;
@@ -77,13 +87,14 @@ int GraphBuilder::Weight(const autograd::Var& param) {
   OpNode node;
   node.kind = OpKind::kWeight;
   node.shape = param.value().shape();
+  node.dtype = param.value().dtype();
   node.weight = param;
   return Append(std::move(node));
 }
 
 int GraphBuilder::MatMul(int a, int b) {
-  const OpNode& av = Operand(a);
-  const OpNode& bv = Operand(b);
+  const OpNode& av = F32Operand(a);
+  const OpNode& bv = Operand(b);  // rhs may be an int8 weight
   VSD_CHECK(av.shape.size() == 2 && bv.shape.size() == 2)
       << "graph MatMul requires 2-D";
   VSD_CHECK(av.shape[1] == bv.shape[0]) << "graph MatMul inner dim";
@@ -96,8 +107,8 @@ int GraphBuilder::MatMul(int a, int b) {
 }
 
 int GraphBuilder::AddRows(int a, int bias) {
-  const OpNode& av = Operand(a);
-  const OpNode& bv = Operand(bias);
+  const OpNode& av = F32Operand(a);
+  const OpNode& bv = F32Operand(bias);
   VSD_CHECK(av.shape.size() == 2) << "graph AddRows requires 2-D lhs";
   VSD_CHECK(bv.size == av.shape[1]) << "graph AddRows bias width";
   OpNode node;
@@ -121,24 +132,24 @@ OpNode Elementwise(OpKind kind, const OpNode& operand, int a) {
 }  // namespace
 
 int GraphBuilder::Relu(int a) {
-  return Append(Elementwise(OpKind::kRelu, Operand(a), a));
+  return Append(Elementwise(OpKind::kRelu, F32Operand(a), a));
 }
 
 int GraphBuilder::Gelu(int a) {
-  return Append(Elementwise(OpKind::kGelu, Operand(a), a));
+  return Append(Elementwise(OpKind::kGelu, F32Operand(a), a));
 }
 
 int GraphBuilder::Tanh(int a) {
-  return Append(Elementwise(OpKind::kTanh, Operand(a), a));
+  return Append(Elementwise(OpKind::kTanh, F32Operand(a), a));
 }
 
 int GraphBuilder::Sigmoid(int a) {
-  return Append(Elementwise(OpKind::kSigmoid, Operand(a), a));
+  return Append(Elementwise(OpKind::kSigmoid, F32Operand(a), a));
 }
 
 int GraphBuilder::Concat(int a, int b) {
-  const OpNode& av = Operand(a);
-  const OpNode& bv = Operand(b);
+  const OpNode& av = F32Operand(a);
+  const OpNode& bv = F32Operand(b);
   VSD_CHECK(av.shape.size() == 2 && bv.shape.size() == 2)
       << "graph Concat requires 2-D";
   VSD_CHECK(av.shape[0] == bv.shape[0]) << "graph Concat row mismatch";
@@ -151,7 +162,7 @@ int GraphBuilder::Concat(int a, int b) {
 }
 
 int GraphBuilder::Im2Col(int x, int kh, int kw, int stride, int pad) {
-  const OpNode& xv = Operand(x);
+  const OpNode& xv = F32Operand(x);
   VSD_CHECK(xv.shape.size() == 4) << "graph Im2Col requires [N,H,W,C]";
   const int oh = autograd::ConvOutDim(xv.shape[1], kh, stride, pad);
   const int ow = autograd::ConvOutDim(xv.shape[2], kw, stride, pad);
@@ -168,7 +179,7 @@ int GraphBuilder::Im2Col(int x, int kh, int kw, int stride, int pad) {
 }
 
 int GraphBuilder::Reshape(int a, std::vector<int> shape) {
-  const OpNode& av = Operand(a);
+  const OpNode& av = F32Operand(a);
   VSD_CHECK(av.kind != OpKind::kWeight) << "graph Reshape of a weight";
   OpNode node;
   node.kind = OpKind::kReshape;
@@ -202,7 +213,11 @@ CompiledGraph::CompiledGraph(GraphBuilder builder, int output)
     }
     node_buffer[id] = static_cast<int>(requests.size());
     BufferRequest req;
-    req.size = static_cast<size_t>(node.size);
+    // Byte-accurate per dtype. Today every planned buffer is f32 (int8
+    // lives only in weight tensors, which are not arena-planned), but the
+    // sizing stays correct if a narrow-dtype intermediate ever lands here.
+    req.size =
+        static_cast<size_t>(node.size) * tensor::DTypeSize(node.dtype);
     // Inputs are written before execution starts, so their buffers must
     // not be handed to any op, ever earlier than their last consumer.
     req.first_use = node.kind == OpKind::kInput ? -1 : id;
@@ -224,7 +239,7 @@ CompiledGraph::CompiledGraph(GraphBuilder builder, int output)
   requests[out_buf].last_use = n;
 
   const ArenaPlan plan = PlanBufferLifetimes(requests);
-  arena_floats_ = plan.arena_size;
+  arena_bytes_ = plan.arena_size;
   node_offset_.assign(n, 0);
   for (int id = 0; id < n; ++id) {
     if (node_buffer[id] >= 0) {
@@ -242,12 +257,25 @@ const std::vector<int>& CompiledGraph::input_shape(int input_index) const {
 // ---- GraphExecutor ----
 
 GraphExecutor::GraphExecutor(std::shared_ptr<const CompiledGraph> graph)
-    : graph_(std::move(graph)), arena_(graph_->arena_floats(), 0.0f) {}
+    : graph_(std::move(graph)),
+      // Offsets are in bytes but the arena stays a float vector (every
+      // planned buffer is f32); offsets are 64-byte aligned, so the
+      // byte-to-float index conversion in ArenaAt is always exact.
+      arena_((graph_->arena_bytes() + sizeof(float) - 1) / sizeof(float),
+             0.0f) {}
+
+float* GraphExecutor::ArenaAt(size_t byte_offset) {
+  return arena_.data() + byte_offset / sizeof(float);
+}
+
+const float* GraphExecutor::ArenaAt(size_t byte_offset) const {
+  return arena_.data() + byte_offset / sizeof(float);
+}
 
 float* GraphExecutor::InputData(int input_index) {
   VSD_CHECK(input_index >= 0 && input_index < graph_->num_inputs())
       << "graph input index " << input_index;
-  return arena_.data() + graph_->node_offset_[graph_->inputs_[input_index]];
+  return ArenaAt(graph_->node_offset_[graph_->inputs_[input_index]]);
 }
 
 const float* GraphExecutor::OutputData() const {
@@ -257,7 +285,7 @@ const float* GraphExecutor::OutputData() const {
 const float* GraphExecutor::NodeData(int id) const {
   const OpNode& node = graph_->nodes_[id];
   if (node.kind == OpKind::kWeight) return node.weight.value().data();
-  return arena_.data() + graph_->node_offset_[id];
+  return ArenaAt(graph_->node_offset_[id]);
 }
 
 void GraphExecutor::Execute() {
@@ -268,12 +296,20 @@ void GraphExecutor::Execute() {
         node.kind == OpKind::kReshape) {
       continue;
     }
-    float* out = arena_.data() + graph_->node_offset_[id];
+    float* out = ArenaAt(graph_->node_offset_[id]);
     switch (node.kind) {
       case OpKind::kMatMul: {
         const OpNode& a = nodes[node.a];
-        k::MatMulInto(NodeData(node.a), NodeData(node.b), out, a.shape[0],
-                      a.shape[1], node.shape[1]);
+        const OpNode& b = nodes[node.b];
+        if (b.dtype == tensor::DType::kI8) {
+          const tensor::Tensor& w = b.weight.value();
+          k::MatMulI8Into(NodeData(node.a), w.qdata(), w.qscale(),
+                          w.qzero(), out, a.shape[0], a.shape[1],
+                          node.shape[1]);
+        } else {
+          k::MatMulInto(NodeData(node.a), NodeData(node.b), out, a.shape[0],
+                        a.shape[1], node.shape[1]);
+        }
         break;
       }
       case OpKind::kAddRows:
@@ -344,10 +380,22 @@ CompiledForward::Lease CompiledForward::Acquire(int batch) {
   return Lease(this, batch, std::make_unique<GraphExecutor>(compiled));
 }
 
+void CompiledForward::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
 void CompiledForward::Release(int batch,
                               std::unique_ptr<GraphExecutor> exec) {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_[batch].idle.push_back(std::move(exec));
+  auto it = entries_.find(batch);
+  // Discard executors whose graph is no longer the pooled one (Clear ran
+  // while the lease was out) — pooling them would resurrect a graph that
+  // was compiled against stale weight shapes/dtypes.
+  if (it == entries_.end() || it->second.compiled.get() != &exec->graph()) {
+    return;
+  }
+  it->second.idle.push_back(std::move(exec));
 }
 
 }  // namespace vsd::nn::graph

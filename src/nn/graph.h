@@ -10,6 +10,7 @@
 
 #include "nn/arena.h"
 #include "tensor/autograd.h"
+#include "tensor/dtype.h"
 
 namespace vsd::nn::graph {
 
@@ -59,6 +60,10 @@ struct OpNode {
   OpKind kind = OpKind::kInput;
   std::vector<int> shape;  ///< Row-major output dims.
   int size = 0;            ///< Output element count.
+  /// Storage dtype of the node's value. Non-weight nodes are always fp32
+  /// (compute stays float); kWeight mirrors the parameter tensor's dtype,
+  /// which is kI8 for quantized frozen weights (MatMul rhs only).
+  tensor::DType dtype = tensor::DType::kF32;
   int a = -1;              ///< First operand node id (-1 if none).
   int b = -1;              ///< Second operand node id (-1 if none).
   int kh = 0, kw = 0, stride = 0, pad = 0;  ///< kIm2Col parameters.
@@ -98,6 +103,8 @@ class GraphBuilder {
 
   int Append(OpNode node);
   const OpNode& Operand(int id) const;
+  /// Operand that must hold fp32 data (everything except a MatMul rhs).
+  const OpNode& F32Operand(int id) const;
 
   std::vector<OpNode> nodes_;
   std::vector<int> inputs_;  ///< Node ids of kInput, in declaration order.
@@ -118,8 +125,9 @@ class CompiledGraph {
   const std::vector<int>& input_shape(int input_index) const;
   const std::vector<int>& output_shape() const { return nodes_[output_].shape; }
   int output_size() const { return nodes_[output_].size; }
-  /// Total arena floats an executor allocates once at construction.
-  size_t arena_floats() const { return arena_floats_; }
+  /// Total arena bytes an executor allocates once at construction. Byte
+  /// sizing is per-dtype accurate (`DTypeSize`), not element-count based.
+  size_t arena_bytes() const { return arena_bytes_; }
 
  private:
   friend class GraphExecutor;
@@ -127,8 +135,8 @@ class CompiledGraph {
   std::vector<OpNode> nodes_;
   std::vector<int> inputs_;
   int output_;
-  std::vector<size_t> node_offset_;  ///< Arena offset (floats) per node.
-  size_t arena_floats_ = 0;
+  std::vector<size_t> node_offset_;  ///< Arena offset (bytes) per node.
+  size_t arena_bytes_ = 0;
 };
 
 /// Runs a CompiledGraph. Owns the arena (allocated once, in the
@@ -154,6 +162,10 @@ class GraphExecutor {
 
  private:
   const float* NodeData(int id) const;
+  /// Byte offset -> arena pointer (offsets are 64-byte aligned, so the
+  /// conversion to a float index is exact).
+  float* ArenaAt(size_t byte_offset);
+  const float* ArenaAt(size_t byte_offset) const;
 
   std::shared_ptr<const CompiledGraph> graph_;
   std::vector<float> arena_;
@@ -201,6 +213,13 @@ class CompiledForward {
   /// Compiles the graph for `batch` on first use, then hands out a pooled
   /// (or freshly constructed) executor for it.
   Lease Acquire(int batch);
+
+  /// Drops every compiled graph and pooled executor, forcing the next
+  /// Acquire to rebuild. Call after anything the build function captures
+  /// changes shape or dtype — e.g. quantizing a model's weights in place.
+  /// Outstanding leases stay valid; their executors are discarded (not
+  /// pooled) on release because they reference the dropped graphs.
+  void Clear();
 
  private:
   struct Entry {

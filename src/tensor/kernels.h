@@ -1,26 +1,40 @@
 #ifndef VSD_TENSOR_KERNELS_H_
 #define VSD_TENSOR_KERNELS_H_
 
+#include <cstdint>
+
 namespace vsd::tensor::kernels {
 
-// ---- Shared raw-pointer compute kernels ----
+// ---- Shared compute kernels (backend-dispatched) ----
 //
 // Every op that appears both in the eager tensor/autograd forward pass and
-// in the compiled graph executor (`nn::graph`) is implemented exactly once
-// here and called from both places. Bit-identity between the two execution
-// modes is therefore structural: there is a single compiled instance of
-// each accumulation loop, so no amount of compiler freedom (FMA
-// contraction, reassociation within one translation unit) can make the
-// paths diverge. `tests/graph_exec_test.cc` pins the contract.
+// in the compiled graph executor (`nn::graph`) is reached exactly once
+// through the entry points below, which dispatch through the
+// KernelRegistry (tensor/registry.h) keyed by (OpKind, DType, Backend).
+// Bit-identity between the execution modes is therefore structural: both
+// resolve to the same registered kernel for a given backend, and every
+// non-scalar backend is required to be bit-identical to the scalar
+// reference (fixed k-order accumulation, separate mul/add rounding — see
+// docs/INTERNALS.md "Kernel registry, dtypes & backends").
+// `tests/graph_exec_test.cc` and `tests/quant_test.cc` pin the contract.
 //
 // Kernels fully define their output range (zero-initializing first where
 // the loop accumulates or writes sparsely), so callers may hand them
-// arbitrary dirty memory — e.g. a reused arena slot.
+// arbitrary dirty memory — e.g. a reused arena slot. Dispatch is a fixed
+// array lookup: no heap allocation, safe inside Execute's zero-allocation
+// contract.
 
 /// [M,K]x[K,N] -> [M,N] with rows of zeros in `a` skipped (the one-hot /
 /// sparse-mask fast path the eager MatMul relies on).
 void MatMulInto(const float* a, const float* b, float* out, int m, int k,
                 int n);
+
+/// [M,K]x[K,N] -> [M,N] where b is int8 row-quantized: bq[p*n+j] with
+/// per-k-row scale/zero_point (tensor/quant.h format). Dequantizes inline
+/// in the same fixed k-order as the fp32 kernel and accumulates in fp32,
+/// so the result is bit-identical to MatMulInto over the dequantized b.
+void MatMulI8Into(const float* a, const int8_t* bq, const float* bscale,
+                  const int32_t* bzero, float* out, int m, int k, int n);
 
 /// Row-broadcast sum: out[i,j] = a[i,j] + bias[j] for a [rows,cols].
 void AddRowsInto(const float* a, const float* bias, float* out, int rows,

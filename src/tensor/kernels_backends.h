@@ -1,0 +1,66 @@
+#ifndef VSD_TENSOR_KERNELS_BACKENDS_H_
+#define VSD_TENSOR_KERNELS_BACKENDS_H_
+
+#include <cstdint>
+
+namespace vsd::tensor::kernels {
+
+// ---- Backend implementations (internal) ----
+//
+// Declarations shared between the backend translation units and the
+// registry, which wires them into the dispatch table. Callers outside
+// src/tensor/ go through the dispatchers in tensor/kernels.h; these
+// symbols are not part of the public kernel API.
+//
+// Both backends are compiled with -ffp-contract=off (see
+// src/tensor/CMakeLists.txt): the bit-identity contract requires every
+// multiply-accumulate to round the product and the sum separately, and a
+// build with FMA enabled (-mfma / -march=native) must not contract one
+// backend differently from the other.
+
+namespace scalar {
+
+void MatMulInto(const float* a, const float* b, float* out, int m, int k,
+                int n);
+void MatMulI8Into(const float* a, const int8_t* bq, const float* bscale,
+                  const int32_t* bzero, float* out, int m, int k, int n);
+void AddRowsInto(const float* a, const float* bias, float* out, int rows,
+                 int cols);
+void ReluInto(const float* x, float* out, int n);
+void TanhInto(const float* x, float* out, int n);
+void SigmoidInto(const float* x, float* out, int n);
+void GeluInto(const float* x, float* out, int n);
+void ConcatRowsInto(const float* a, const float* b, float* out, int rows,
+                    int da, int db);
+void Im2ColInto(const float* x, float* out, int n, int h, int w, int c,
+                int kh, int kw, int stride, int pad);
+
+}  // namespace scalar
+
+namespace simd {
+
+/// False when the translation unit was built without vector-extension
+/// support; the registry then leaves the simd slots empty and dispatch
+/// falls back to scalar.
+bool Available();
+
+void MatMulInto(const float* a, const float* b, float* out, int m, int k,
+                int n);
+void MatMulI8Into(const float* a, const int8_t* bq, const float* bscale,
+                  const int32_t* bzero, float* out, int m, int k, int n);
+void AddRowsInto(const float* a, const float* bias, float* out, int rows,
+                 int cols);
+void ReluInto(const float* x, float* out, int n);
+void GeluInto(const float* x, float* out, int n);
+void ConcatRowsInto(const float* a, const float* b, float* out, int rows,
+                    int da, int db);
+// Tanh/Sigmoid/Im2Col have no vector variant: the transcendental maps
+// must call the exact same libm function per element to stay
+// bit-identical, and im2col is a pure copy/scatter already bounded by
+// memory. The registry registers the scalar functions under the simd key.
+
+}  // namespace simd
+
+}  // namespace vsd::tensor::kernels
+
+#endif  // VSD_TENSOR_KERNELS_BACKENDS_H_

@@ -1,0 +1,231 @@
+// Vectorized backend via GCC/Clang vector extensions (portable: the
+// compiler lowers vf to AVX when targeted, SSE pairs or scalar code
+// otherwise). Every loop keeps the scalar backend's exact rounding:
+//   * accumulation stays in fixed k-order (vectorization is along the
+//     row-independent output columns only),
+//   * multiply and add round separately — this TU is compiled with
+//     -ffp-contract=off (src/tensor/CMakeLists.txt) so no FMA contraction
+//     can merge them even under -march=native,
+//   * tails reuse the same per-element expression as the vector body.
+// The scalar/simd bitwise sweeps in tests/quant_test.cc and
+// tests/graph_exec_test.cc pin the contract.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "tensor/kernels_backends.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define VSD_SIMD_VECTOR_EXT 1
+#endif
+
+#ifdef __AVX2__
+#include <immintrin.h>
+#endif
+
+namespace vsd::tensor::kernels::simd {
+
+#ifdef VSD_SIMD_VECTOR_EXT
+
+namespace {
+
+// Vector width follows the target ISA: 8 lanes (32-byte ymm) only when
+// AVX2 is compiled in — without it GCC *scalarizes* 32-byte compares,
+// selects, and integer ops instead of splitting them, which is slower
+// than the plain loops. The 4-lane (16-byte xmm) types lower to single
+// SSE2 instructions on every x86-64 baseline build.
+#ifdef __AVX2__
+typedef float vf __attribute__((vector_size(32)));
+typedef int32_t vs __attribute__((vector_size(32)));
+constexpr int kLanes = 8;
+#else
+typedef float vf __attribute__((vector_size(16)));
+typedef int32_t vs __attribute__((vector_size(16)));
+constexpr int kLanes = 4;
+#endif
+
+// Scalar-vector binary ops broadcast, so these work at either width.
+inline vf Splat(float s) { return vf{} + s; }
+inline vs SplatI(int32_t s) { return vs{} + s; }
+
+// Unaligned load/store through memcpy — compiles to single vector moves.
+inline vf LoadF(const float* p) {
+  vf v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline void StoreF(float* p, vf v) { std::memcpy(p, &v, sizeof(v)); }
+
+#ifdef __AVX2__
+// Sign-extending load of 8 int8 lanes into int32 lanes. GCC scalarizes
+// __builtin_convertvector out of narrow int8 vectors, so use the
+// single-instruction widen (vpmovsxbd) instead.
+inline vs LoadQ(const int8_t* p) {
+  return (vs)_mm256_cvtepi8_epi32(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+}
+#endif
+
+}  // namespace
+
+bool Available() { return true; }
+
+void MatMulInto(const float* a, const float* b, float* out, int m, int k,
+                int n) {
+  std::memset(out, 0, static_cast<size_t>(m) * n * sizeof(float));
+  const int n8 = n - n % kLanes;
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<long long>(p) * n;
+      float* orow = out + static_cast<long long>(i) * n;
+      const vf avv = Splat(av);
+      int j = 0;
+      for (; j < n8; j += kLanes) {
+        StoreF(orow + j, LoadF(orow + j) + avv * LoadF(brow + j));
+      }
+      for (; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulI8Into(const float* a, const int8_t* bq, const float* bscale,
+                  const int32_t* bzero, float* out, int m, int k, int n) {
+#ifndef __AVX2__
+  // Without the single-instruction int8 widen (vpmovsxbd) the hand-rolled
+  // loop loses to what the auto-vectorizer makes of the scalar reference;
+  // delegate rather than ship a slower "optimized" path. (Bit-identical
+  // either way — it is the same arithmetic.)
+  scalar::MatMulI8Into(a, bq, bscale, bzero, out, m, k, n);
+#else
+  std::memset(out, 0, static_cast<size_t>(m) * n * sizeof(float));
+  const int n8 = n - n % kLanes;
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const int8_t* brow = bq + static_cast<long long>(p) * n;
+      const float scale = bscale[p];
+      const int32_t zero = bzero[p];
+      float* orow = out + static_cast<long long>(i) * n;
+      const vf avv = Splat(av);
+      const vf scv = Splat(scale);
+      const vs zv = SplatI(zero);
+      int j = 0;
+      for (; j < n8; j += kLanes) {
+        // Same op order as scalar::MatMulI8Into: widen, subtract the zero
+        // point exactly in int32, convert, one rounding for scale*(q-z).
+        const vf w = scv * __builtin_convertvector(LoadQ(brow + j) - zv, vf);
+        StoreF(orow + j, LoadF(orow + j) + avv * w);
+      }
+      for (; j < n; ++j) {
+        const float w =
+            scale * static_cast<float>(static_cast<int32_t>(brow[j]) - zero);
+        orow[j] += av * w;
+      }
+    }
+  }
+#endif  // __AVX2__
+}
+
+void AddRowsInto(const float* a, const float* bias, float* out, int rows,
+                 int cols) {
+  const int c8 = cols - cols % kLanes;
+  for (int i = 0; i < rows; ++i) {
+    const float* arow = a + static_cast<long long>(i) * cols;
+    float* orow = out + static_cast<long long>(i) * cols;
+    int j = 0;
+    for (; j < c8; j += kLanes) {
+      StoreF(orow + j, LoadF(arow + j) + LoadF(bias + j));
+    }
+    for (; j < cols; ++j) orow[j] = arow[j] + bias[j];
+  }
+}
+
+void ReluInto(const float* x, float* out, int n) {
+  const int n8 = n - n % kLanes;
+  const vf zero = Splat(0.0f);
+  int i = 0;
+  for (; i < n8; i += kLanes) {
+    const vf v = LoadF(x + i);
+    // The vector ternary reproduces the scalar `v > 0 ? v : 0.0f` exactly
+    // (NaN and -0.0f compare false and collapse to +0.0f, positive values
+    // pass through bit-unchanged) and stays in the vector domain on SSE2
+    // and AVX alike — an explicit int-mask formulation scalarizes to
+    // per-lane comiss without AVX.
+    StoreF(out + i, v > zero ? v : zero);
+  }
+  for (; i < n; ++i) out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void GeluInto(const float* x, float* out, int n) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kCube = 0.044715f;
+  const int n8 = n - n % kLanes;
+  const vf kcv = Splat(kC);
+  const vf cubev = Splat(kCube);
+  const vf halfv = Splat(0.5f);
+  const vf onev = Splat(1.0f);
+  int i = 0;
+  for (; i < n8; i += kLanes) {
+    const vf v = LoadF(x + i);
+    // Same association as scalar::GeluInto: ((kCube*v)*v)*v, then kC*(...).
+    const vf inner = kcv * (v + ((cubev * v) * v) * v);
+    // tanh must hit the exact same libm call per element; no vector libm.
+    alignas(sizeof(vf)) float lanes[kLanes];
+    StoreF(lanes, inner);
+    for (int l = 0; l < kLanes; ++l) lanes[l] = std::tanh(lanes[l]);
+    const vf t = LoadF(lanes);
+    StoreF(out + i, (halfv * v) * (onev + t));
+  }
+  for (; i < n; ++i) {
+    const float v = x[i];
+    const float inner = kC * (v + kCube * v * v * v);
+    out[i] = 0.5f * v * (1.0f + std::tanh(inner));
+  }
+}
+
+void ConcatRowsInto(const float* a, const float* b, float* out, int rows,
+                    int da, int db) {
+  const int d = da + db;
+  for (int i = 0; i < rows; ++i) {
+    std::memcpy(out + static_cast<long long>(i) * d,
+                a + static_cast<long long>(i) * da,
+                static_cast<size_t>(da) * sizeof(float));
+    std::memcpy(out + static_cast<long long>(i) * d + da,
+                b + static_cast<long long>(i) * db,
+                static_cast<size_t>(db) * sizeof(float));
+  }
+}
+
+#else  // !VSD_SIMD_VECTOR_EXT — forward to scalar so the symbols exist.
+
+bool Available() { return false; }
+
+void MatMulInto(const float* a, const float* b, float* out, int m, int k,
+                int n) {
+  scalar::MatMulInto(a, b, out, m, k, n);
+}
+void MatMulI8Into(const float* a, const int8_t* bq, const float* bscale,
+                  const int32_t* bzero, float* out, int m, int k, int n) {
+  scalar::MatMulI8Into(a, bq, bscale, bzero, out, m, k, n);
+}
+void AddRowsInto(const float* a, const float* bias, float* out, int rows,
+                 int cols) {
+  scalar::AddRowsInto(a, bias, out, rows, cols);
+}
+void ReluInto(const float* x, float* out, int n) {
+  scalar::ReluInto(x, out, n);
+}
+void GeluInto(const float* x, float* out, int n) {
+  scalar::GeluInto(x, out, n);
+}
+void ConcatRowsInto(const float* a, const float* b, float* out, int rows,
+                    int da, int db) {
+  scalar::ConcatRowsInto(a, b, out, rows, da, db);
+}
+
+#endif  // VSD_SIMD_VECTOR_EXT
+
+}  // namespace vsd::tensor::kernels::simd

@@ -1,0 +1,50 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vsd::tensor {
+
+namespace {
+constexpr int kQMin = -128;
+constexpr int kQMax = 127;
+}  // namespace
+
+RowQuant QuantizeRowInt8(const float* x, int n, int8_t* q) {
+  VSD_CHECK(n > 0) << "QuantizeRowInt8: empty row";
+  // Widen the range to include zero so the zero-point lands inside
+  // [kQMin, kQMax] and a true 0.0f input survives the round trip exactly
+  // (the MatMul zero-row fast path depends on zeros staying zeros).
+  float lo = 0.0f;
+  float hi = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    lo = std::min(lo, x[i]);
+    hi = std::max(hi, x[i]);
+  }
+  RowQuant params;
+  const float range = hi - lo;
+  params.scale =
+      range > 0.0f ? range / static_cast<float>(kQMax - kQMin) : 1.0f;
+  params.zero_point = static_cast<int32_t>(
+      kQMin - std::lround(static_cast<double>(lo / params.scale)));
+  params.zero_point = std::clamp(params.zero_point, kQMin, kQMax);
+  for (int i = 0; i < n; ++i) {
+    const long v =
+        std::lround(static_cast<double>(x[i] / params.scale)) +
+        params.zero_point;
+    q[i] = static_cast<int8_t>(std::clamp<long>(v, kQMin, kQMax));
+  }
+  return params;
+}
+
+void DequantizeRowInt8(const int8_t* q, int n, float scale,
+                       int32_t zero_point, float* out) {
+  for (int i = 0; i < n; ++i) {
+    out[i] =
+        scale * static_cast<float>(static_cast<int32_t>(q[i]) - zero_point);
+  }
+}
+
+}  // namespace vsd::tensor

@@ -1,0 +1,38 @@
+#ifndef VSD_TENSOR_QUANT_H_
+#define VSD_TENSOR_QUANT_H_
+
+#include <cstdint>
+
+namespace vsd::tensor {
+
+// ---- Per-row int8 quantization primitives ----
+//
+// Weight matrices are quantized one row at a time with an asymmetric
+// affine map: real = scale * (q - zero_point), q in [-128, 127]. Rows are
+// the MatMul reduction dimension (a [K,N] weight quantizes per k-row), so
+// the int8 MatMul kernel can dequantize inline while preserving the fixed
+// k-order accumulation contract. Each row is a pure function of its own
+// values — quantization is deterministic at every thread count.
+
+struct RowQuant {
+  float scale = 1.0f;
+  int32_t zero_point = 0;
+};
+
+/// Quantizes `n` floats into `q` (int8) and returns the row's parameters.
+/// The range is widened to include 0 so the zero-point is exactly
+/// representable; degenerate all-constant rows get scale 1. Every input
+/// satisfies |x - Dequantize(Quantize(x))| <= scale / 2 (up to one float
+/// rounding of the scale computation).
+RowQuant QuantizeRowInt8(const float* x, int n, int8_t* q);
+
+/// Reconstructs `n` floats from a quantized row: out[i] =
+/// scale * (q[i] - zero_point), computed in exactly the op order the int8
+/// MatMul kernel uses inline, so dequantize-then-MatMul is bit-identical
+/// to the fused int8 MatMul.
+void DequantizeRowInt8(const int8_t* q, int n, float scale,
+                       int32_t zero_point, float* out);
+
+}  // namespace vsd::tensor
+
+#endif  // VSD_TENSOR_QUANT_H_

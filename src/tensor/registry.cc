@@ -1,0 +1,122 @@
+#include "tensor/registry.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "tensor/kernels_backends.h"
+
+namespace vsd::tensor::kernels {
+
+namespace {
+
+int EnvBackend() {
+  const char* env = std::getenv("VSD_BACKEND");
+  if (env == nullptr || env[0] == '\0') return -1;
+  if (std::strcmp(env, "scalar") == 0) return 0;
+  if (std::strcmp(env, "simd") == 0) return 1;
+  VSD_CHECK(false) << "VSD_BACKEND must be 'scalar' or 'simd', got '" << env
+                   << "'";
+  return -1;
+}
+
+/// -1 = unset (fall back to the environment); set by SetBackend.
+std::atomic<int>& BackendOverrideSlot() {
+  static std::atomic<int> override_flag{-1};
+  return override_flag;
+}
+
+Backend ClampToCompiled(int flag) {
+  if (flag == 1 && simd::Available()) return Backend::kSimd;
+  return Backend::kScalar;
+}
+
+}  // namespace
+
+bool SimdCompiled() { return simd::Available(); }
+
+Backend ActiveBackend() {
+  const int override_flag =
+      BackendOverrideSlot().load(std::memory_order_relaxed);
+  if (override_flag >= 0) return ClampToCompiled(override_flag);
+  static const int env_flag = EnvBackend();
+  if (env_flag >= 0) return ClampToCompiled(env_flag);
+  // Default: prefer the vectorized backend. Safe because fp32 SIMD is
+  // bit-identical to scalar (the equivalence suites pin this).
+  return ClampToCompiled(1);
+}
+
+void SetBackend(Backend backend) {
+  BackendOverrideSlot().store(backend == Backend::kSimd ? 1 : 0,
+                              std::memory_order_relaxed);
+}
+
+void ClearBackendOverride() {
+  BackendOverrideSlot().store(-1, std::memory_order_relaxed);
+}
+
+// ---- KernelRegistry ----
+
+KernelRegistry& KernelRegistry::Instance() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+void KernelRegistry::Register(OpKind op, DType dtype, Backend backend,
+                              AnyKernelFn fn) {
+  table_[static_cast<int>(op)][static_cast<int>(dtype)]
+        [static_cast<int>(backend)] = fn;
+}
+
+AnyKernelFn KernelRegistry::Find(OpKind op, DType dtype,
+                                 Backend backend) const {
+  return table_[static_cast<int>(op)][static_cast<int>(dtype)]
+               [static_cast<int>(backend)];
+}
+
+AnyKernelFn KernelRegistry::Resolve(OpKind op, DType dtype,
+                                    Backend backend) const {
+  AnyKernelFn fn = Find(op, dtype, backend);
+  if (fn == nullptr) fn = Find(op, dtype, Backend::kScalar);
+  VSD_CHECK(fn != nullptr) << "no kernel registered for op "
+                           << static_cast<int>(op) << " dtype "
+                           << DTypeName(dtype);
+  return fn;
+}
+
+KernelRegistry::KernelRegistry() {
+  const DType f32 = DType::kF32;
+  const DType i8 = DType::kI8;
+  const Backend sc = Backend::kScalar;
+  auto reg = [this](OpKind op, DType dtype, Backend backend, auto* fn) {
+    Register(op, dtype, backend, reinterpret_cast<AnyKernelFn>(fn));
+  };
+
+  reg(OpKind::kMatMul, f32, sc, &scalar::MatMulInto);
+  reg(OpKind::kMatMul, i8, sc, &scalar::MatMulI8Into);
+  reg(OpKind::kAddRows, f32, sc, &scalar::AddRowsInto);
+  reg(OpKind::kRelu, f32, sc, &scalar::ReluInto);
+  reg(OpKind::kTanh, f32, sc, &scalar::TanhInto);
+  reg(OpKind::kSigmoid, f32, sc, &scalar::SigmoidInto);
+  reg(OpKind::kGelu, f32, sc, &scalar::GeluInto);
+  reg(OpKind::kConcatRows, f32, sc, &scalar::ConcatRowsInto);
+  reg(OpKind::kIm2Col, f32, sc, &scalar::Im2ColInto);
+
+  if (simd::Available()) {
+    const Backend sd = Backend::kSimd;
+    reg(OpKind::kMatMul, f32, sd, &simd::MatMulInto);
+    reg(OpKind::kMatMul, i8, sd, &simd::MatMulI8Into);
+    reg(OpKind::kAddRows, f32, sd, &simd::AddRowsInto);
+    reg(OpKind::kRelu, f32, sd, &simd::ReluInto);
+    reg(OpKind::kGelu, f32, sd, &simd::GeluInto);
+    reg(OpKind::kConcatRows, f32, sd, &simd::ConcatRowsInto);
+    // Transcendental maps and im2col must call the same libm code per
+    // element to stay bit-identical; register scalar under the simd key.
+    reg(OpKind::kTanh, f32, sd, &scalar::TanhInto);
+    reg(OpKind::kSigmoid, f32, sd, &scalar::SigmoidInto);
+    reg(OpKind::kIm2Col, f32, sd, &scalar::Im2ColInto);
+  }
+}
+
+}  // namespace vsd::tensor::kernels

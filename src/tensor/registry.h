@@ -1,0 +1,115 @@
+#ifndef VSD_TENSOR_REGISTRY_H_
+#define VSD_TENSOR_REGISTRY_H_
+
+#include <cstdint>
+
+#include "tensor/dtype.h"
+
+namespace vsd::tensor::kernels {
+
+// ---- Kernel registry: (OpKind, DType, Backend) -> implementation ----
+//
+// The public kernel entry points in tensor/kernels.h are thin dispatchers
+// over this table, so the eager tensor/autograd path and the compiled
+// graph executor still share a single dispatch site per op (the
+// single-compiled-instance bit-identity contract). The table is a fixed
+// 3-D array resolved by plain indexing — dispatch performs no heap
+// allocation and is safe inside GraphExecutor::Execute's zero-allocation
+// contract.
+//
+// Backends must be bit-identical to scalar for fp32 (docs/INTERNALS.md
+// "Kernel registry, dtypes & backends" states the rules); scalar is the
+// always-registered reference, and Resolve falls back to it when a
+// (op, dtype, backend) entry is absent.
+
+/// Op vocabulary of the kernel layer. Mirrors the compute ops of
+/// nn::graph::OpKind minus the structural ones (Input/Weight/Reshape),
+/// which have no kernel.
+enum class OpKind {
+  kMatMul = 0,
+  kAddRows,
+  kRelu,
+  kTanh,
+  kSigmoid,
+  kGelu,
+  kConcatRows,
+  kIm2Col,
+};
+
+inline constexpr int kNumOps = 8;
+
+enum class Backend {
+  kScalar = 0,  ///< Reference implementation; always registered.
+  kSimd = 1,    ///< Vectorized fp32 / int8 variants; bit-identical to scalar.
+};
+
+inline constexpr int kNumBackends = 2;
+
+constexpr const char* BackendName(Backend backend) {
+  return backend == Backend::kSimd ? "simd" : "scalar";
+}
+
+/// True when the vectorized backend was compiled in (GCC/Clang vector
+/// extensions; lowered to whatever SIMD ISA the build targets, or scalar
+/// code on targets without one — the "portable vector path").
+bool SimdCompiled();
+
+/// The backend the dispatchers use: a SetBackend override wins, else the
+/// VSD_BACKEND environment variable ("scalar" | "simd"), else kSimd when
+/// compiled in (safe because fp32 SIMD is bit-identical to scalar).
+Backend ActiveBackend();
+
+/// Runtime override of VSD_BACKEND (tests, benches). Requesting kSimd
+/// when it is not compiled in falls back to scalar at dispatch time.
+void SetBackend(Backend backend);
+
+/// Drops the SetBackend override, returning control to the environment.
+void ClearBackendOverride();
+
+// ---- Kernel signatures ----
+
+using MatMulF32Fn = void (*)(const float* a, const float* b, float* out,
+                             int m, int k, int n);
+/// Int8 row-quantized weight MatMul: b is [K,N] int8 with per-k-row
+/// scale/zero_point; accumulation is fp32 in the same fixed k-order as the
+/// fp32 kernel.
+using MatMulI8Fn = void (*)(const float* a, const int8_t* bq,
+                            const float* bscale, const int32_t* bzero,
+                            float* out, int m, int k, int n);
+using AddRowsFn = void (*)(const float* a, const float* bias, float* out,
+                           int rows, int cols);
+using MapFn = void (*)(const float* x, float* out, int n);
+using ConcatRowsFn = void (*)(const float* a, const float* b, float* out,
+                              int rows, int da, int db);
+using Im2ColFn = void (*)(const float* x, float* out, int n, int h, int w,
+                          int c, int kh, int kw, int stride, int pad);
+
+/// Generic function-pointer slot; entries are cast back to the exact
+/// signature they were registered with (per (op, dtype) above).
+using AnyKernelFn = void (*)();
+
+/// Fixed-size dispatch table. One process-wide instance registers the
+/// built-in backends in its constructor; tests may Register additional
+/// entries (last registration wins).
+class KernelRegistry {
+ public:
+  static KernelRegistry& Instance();
+
+  void Register(OpKind op, DType dtype, Backend backend, AnyKernelFn fn);
+
+  /// Exact lookup; nullptr when the slot is empty.
+  AnyKernelFn Find(OpKind op, DType dtype, Backend backend) const;
+
+  /// Lookup with scalar fallback; aborts if not even scalar is registered
+  /// (a registration bug, not a runtime condition).
+  AnyKernelFn Resolve(OpKind op, DType dtype, Backend backend) const;
+
+ private:
+  KernelRegistry();
+
+  AnyKernelFn table_[kNumOps][kNumDTypes][kNumBackends] = {};
+};
+
+}  // namespace vsd::tensor::kernels
+
+#endif  // VSD_TENSOR_REGISTRY_H_

@@ -4,7 +4,9 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "tensor/kernels.h"
+#include "tensor/quant.h"
 
 namespace vsd::tensor {
 namespace {
@@ -69,6 +71,70 @@ int Tensor::dim(int i) const {
   return shape_[i];
 }
 
+float* Tensor::data() {
+  VSD_CHECK(dtype_ == DType::kF32) << "data() on int8 tensor";
+  return data_->data();
+}
+const float* Tensor::data() const {
+  VSD_CHECK(dtype_ == DType::kF32) << "data() on int8 tensor";
+  return data_->data();
+}
+
+const int8_t* Tensor::qdata() const {
+  VSD_CHECK(dtype_ == DType::kI8) << "qdata() on fp32 tensor";
+  return qstore_->q.data();
+}
+const float* Tensor::qscale() const {
+  VSD_CHECK(dtype_ == DType::kI8) << "qscale() on fp32 tensor";
+  return qstore_->scale.data();
+}
+const int32_t* Tensor::qzero() const {
+  VSD_CHECK(dtype_ == DType::kI8) << "qzero() on fp32 tensor";
+  return qstore_->zero.data();
+}
+
+Tensor Tensor::QuantizeInt8() const {
+  VSD_CHECK(dtype_ == DType::kF32) << "QuantizeInt8 on int8 tensor";
+  VSD_CHECK(ndim() == 2) << "QuantizeInt8 requires 2-D, got rank " << ndim();
+  const int rows = shape_[0];
+  const int cols = shape_[1];
+  VSD_CHECK(rows == 0 || cols > 0) << "QuantizeInt8 on zero-width rows";
+  auto store = std::make_shared<QuantStorage>();
+  store->q.resize(static_cast<size_t>(size_));
+  store->scale.resize(static_cast<size_t>(rows));
+  store->zero.resize(static_cast<size_t>(rows));
+  const float* src = data_->data();
+  // Rows quantize independently, so the split across workers cannot
+  // change the result — quantization is deterministic per VSD_THREADS.
+  ParallelFor(rows, [&](int64_t r) {
+    const RowQuant params = QuantizeRowInt8(
+        src + r * cols, cols, store->q.data() + r * cols);
+    store->scale[static_cast<size_t>(r)] = params.scale;
+    store->zero[static_cast<size_t>(r)] = params.zero_point;
+  });
+  Tensor t;
+  t.shape_ = shape_;
+  t.size_ = size_;
+  t.dtype_ = DType::kI8;
+  t.qstore_ = std::move(store);
+  return t;
+}
+
+Tensor Tensor::DequantizeF32() const {
+  VSD_CHECK(dtype_ == DType::kI8) << "DequantizeF32 on fp32 tensor";
+  const int rows = shape_[0];
+  const int cols = shape_[1];
+  Tensor out(shape_);
+  float* dst = out.data();
+  for (int r = 0; r < rows; ++r) {
+    DequantizeRowInt8(qstore_->q.data() + static_cast<size_t>(r) * cols,
+                      cols, qstore_->scale[static_cast<size_t>(r)],
+                      qstore_->zero[static_cast<size_t>(r)],
+                      dst + static_cast<size_t>(r) * cols);
+  }
+  return out;
+}
+
 float& Tensor::at(int i) { return (*data_)[i]; }
 float Tensor::at(int i) const { return (*data_)[i]; }
 
@@ -86,11 +152,17 @@ Tensor Tensor::Clone() const {
   Tensor t;
   t.shape_ = shape_;
   t.size_ = size_;
-  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  t.dtype_ = dtype_;
+  if (dtype_ == DType::kI8) {
+    t.qstore_ = std::make_shared<const QuantStorage>(*qstore_);
+  } else {
+    t.data_ = std::make_shared<std::vector<float>>(*data_);
+  }
   return t;
 }
 
 Tensor Tensor::Reshape(std::vector<int> shape) const {
+  VSD_CHECK(dtype_ == DType::kF32) << "Reshape on int8 tensor";
   Tensor t;
   t.shape_ = std::move(shape);
   t.size_ = ShapeProduct(t.shape_);
@@ -228,7 +300,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int k = a.dim(1);
   const int n = b.dim(1);
   Tensor out({m, n});
-  kernels::MatMulInto(a.data(), b.data(), out.data(), m, k, n);
+  if (b.dtype() == DType::kI8) {
+    kernels::MatMulI8Into(a.data(), b.qdata(), b.qscale(), b.qzero(),
+                          out.data(), m, k, n);
+  } else {
+    kernels::MatMulInto(a.data(), b.data(), out.data(), m, k, n);
+  }
   return out;
 }
 

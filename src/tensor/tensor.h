@@ -1,20 +1,30 @@
 #ifndef VSD_TENSOR_TENSOR_H_
 #define VSD_TENSOR_TENSOR_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "tensor/dtype.h"
 
 namespace vsd::tensor {
 
-/// \brief A dense row-major float32 N-dimensional array.
+/// \brief A dense row-major N-dimensional array, fp32 by default.
 ///
 /// Copies are shallow (shared storage); use `Clone()` for a deep copy.
 /// All shape errors are programming errors and abort via VSD_CHECK — tensors
 /// sit on the hot path and returning `Status` from every op would be
 /// prohibitive; callers validate shapes at API boundaries instead.
+///
+/// A tensor may alternatively hold int8 row-quantized storage
+/// (`dtype() == DType::kI8`, produced by `QuantizeInt8()`): a 2-D int8
+/// payload plus per-row scale/zero_point in the tensor/quant.h format.
+/// Int8 tensors are frozen-weight storage only — they support shape
+/// queries, Clone/Reshape-free passing, the q* accessors, and appearing as
+/// the rhs of `MatMul`; every float accessor (`data()`, `at()`, ...)
+/// aborts on them. Training code never sees an int8 tensor.
 class Tensor {
  public:
   /// An empty (rank-0, size-0) tensor.
@@ -45,8 +55,28 @@ class Tensor {
   int size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  float* data() { return data_->data(); }
-  const float* data() const { return data_->data(); }
+  DType dtype() const { return dtype_; }
+
+  /// Float payload; aborts on int8 tensors (use the q* accessors).
+  float* data();
+  const float* data() const;
+
+  /// Int8 payload accessors; abort on fp32 tensors.
+  const int8_t* qdata() const;
+  /// Per-row scales, [dim(0)].
+  const float* qscale() const;
+  /// Per-row zero points, [dim(0)].
+  const int32_t* qzero() const;
+
+  /// Row-quantizes a 2-D fp32 tensor into an int8 tensor of the same
+  /// shape (rows are dim 0 — the MatMul reduction dim when this tensor is
+  /// the rhs). Per-row parameters are computed independently, so the
+  /// result is identical under any thread count.
+  Tensor QuantizeInt8() const;
+
+  /// Expands an int8 tensor back to a fresh fp32 tensor (the exact values
+  /// the fused int8 MatMul kernel sees).
+  Tensor DequantizeF32() const;
 
   /// Flat accessor.
   float& at(int i);
@@ -82,9 +112,19 @@ class Tensor {
   std::string ToString() const;
 
  private:
+  /// Shared int8 payload (immutable once built — int8 tensors are frozen
+  /// weights, so shallow copies never race on it).
+  struct QuantStorage {
+    std::vector<int8_t> q;      ///< [rows*cols] row-major
+    std::vector<float> scale;   ///< [rows]
+    std::vector<int32_t> zero;  ///< [rows]
+  };
+
   std::vector<int> shape_;
   int size_ = 0;
+  DType dtype_ = DType::kF32;
   std::shared_ptr<std::vector<float>> data_;
+  std::shared_ptr<const QuantStorage> qstore_;
 };
 
 /// True when shapes are identical.

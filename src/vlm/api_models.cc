@@ -4,6 +4,7 @@
 #include "data/generator.h"
 #include "nn/optimizer.h"
 #include "tensor/autograd.h"
+#include "vlm/quantize.h"
 
 namespace vsd::vlm {
 
@@ -183,6 +184,9 @@ std::unique_ptr<FoundationModel> MakePretrainedApiModel(ApiModelKind kind,
   spec.config.seed ^= seed;
   auto model = std::make_unique<FoundationModel>(spec.config);
   PretrainGeneralist(model.get(), spec, seed * 7919 + 13);
+  // The API simulations are frozen after pretraining (they are never
+  // fine-tuned), so they are eligible for int8 weight storage.
+  if (QuantEnabled()) QuantizeFrozenModel(model.get());
   return model;
 }
 

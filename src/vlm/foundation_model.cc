@@ -112,6 +112,13 @@ void FoundationModel::PrecomputeFeatures(const data::Dataset& dataset) {
 
 void FoundationModel::ClearFeatureCache() { feature_cache_.clear(); }
 
+void FoundationModel::InvalidateCompiledGraphs() {
+  describe_forward_.Clear();
+  assess_forward_.Clear();
+  highlight_forward_.Clear();
+  vision_->InvalidateCompiledGraphs();
+}
+
 Var FoundationModel::TrunkForward(const Var& video_features) const {
   return ag::Concat(ag::Gelu(trunk_->Forward(video_features)),
                     video_features);

@@ -105,6 +105,12 @@ class FoundationModel : public nn::Module {
   void PrecomputeFeatures(const data::Dataset& dataset);
   void ClearFeatureCache();
 
+  /// Drops every compiled head/encode graph so the next forward recompiles
+  /// against the parameters' current dtypes. Call after mutating parameter
+  /// storage in place (vlm/quantize.h); outstanding executor leases finish
+  /// on their old graphs and are discarded on release.
+  void InvalidateCompiledGraphs();
+
   // ---- Differentiable internals (batched) ----
 
   /// Residual trunk: [N, 2*vision_dim] -> [N, hidden_dim + 2*vision_dim]

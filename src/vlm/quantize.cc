@@ -1,0 +1,58 @@
+#include "vlm/quantize.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/dtype.h"
+#include "vlm/foundation_model.h"
+
+namespace vsd::vlm {
+
+namespace {
+
+int EnvQuant() {
+  const char* env = std::getenv("VSD_QUANT");
+  return env != nullptr && std::strcmp(env, "int8") == 0 ? 1 : 0;
+}
+
+/// -1 = unset (fall back to the environment); set by SetQuantEnabled.
+std::atomic<int>& QuantOverrideSlot() {
+  static std::atomic<int> override_flag{-1};
+  return override_flag;
+}
+
+}  // namespace
+
+bool QuantEnabled() {
+  const int override_flag =
+      QuantOverrideSlot().load(std::memory_order_relaxed);
+  if (override_flag >= 0) return override_flag != 0;
+  static const int env_flag = EnvQuant();
+  return env_flag != 0;
+}
+
+void SetQuantEnabled(bool enabled) {
+  QuantOverrideSlot().store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void ClearQuantOverride() {
+  QuantOverrideSlot().store(-1, std::memory_order_relaxed);
+}
+
+int QuantizeFrozenModel(FoundationModel* model) {
+  int converted = 0;
+  for (const nn::Var& param : model->Parameters()) {
+    const tensor::Tensor& value = param.value();
+    if (value.ndim() != 2 || value.dtype() != tensor::DType::kF32) continue;
+    // In-place storage swap on the autograd node: every eager forward and
+    // every recompiled graph sees the int8 tensor from here on.
+    param.node()->value = value.QuantizeInt8();
+    ++converted;
+  }
+  model->InvalidateCompiledGraphs();
+  model->ClearFeatureCache();
+  return converted;
+}
+
+}  // namespace vsd::vlm

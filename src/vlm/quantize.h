@@ -1,0 +1,46 @@
+#ifndef VSD_VLM_QUANTIZE_H_
+#define VSD_VLM_QUANTIZE_H_
+
+namespace vsd::vlm {
+
+class FoundationModel;
+
+// ---- Int8 weight quantization for frozen models ----
+//
+// Converts every 2-D fp32 parameter of a model — exactly the MatMul rhs
+// weights: Linear [in,out] and Conv2d [k*k*in,out] — to int8 row-quantized
+// storage (tensor/quant.h). Biases and norm parameters stay fp32, and all
+// activations/compute stay fp32 (the fused int8 MatMul kernel dequantizes
+// inline, accumulating in fp32), so the pass trades 4x weight memory for a
+// bounded accuracy delta; `tools/quantize_calibrate` measures the delta on
+// the Table I benches and writes BENCH_quant.json.
+//
+// The pass mutates parameter storage in place: any later MatMul against
+// the weight — eager or compiled — dispatches to the int8 kernel. It must
+// only run on *frozen* models (no Backward after it; gradients through
+// int8 storage abort), which is why the automatic hook only fires for the
+// pretrained off-the-shelf API models, never for models that will be
+// fine-tuned.
+
+/// True when int8 weight quantization is requested: a SetQuantEnabled
+/// override wins, else the `VSD_QUANT` environment variable ("int8" = on,
+/// anything else or unset = off).
+bool QuantEnabled();
+
+/// Runtime override of VSD_QUANT (tests, the calibration tool).
+void SetQuantEnabled(bool enabled);
+
+/// Drops the SetQuantEnabled override, returning control to the
+/// environment.
+void ClearQuantOverride();
+
+/// Quantizes every 2-D fp32 parameter of `model` in place, invalidates its
+/// compiled graphs, and clears its feature cache (cached features were
+/// computed by the fp32 vision tower). Returns the number of tensors
+/// converted; already-quantized parameters are skipped, so the pass is
+/// idempotent.
+int QuantizeFrozenModel(FoundationModel* model);
+
+}  // namespace vsd::vlm
+
+#endif  // VSD_VLM_QUANTIZE_H_

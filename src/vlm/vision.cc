@@ -295,4 +295,6 @@ std::vector<Var> VisionTower::Parameters() const {
   return params;
 }
 
+void VisionTower::InvalidateCompiledGraphs() { encode_forward_.Clear(); }
+
 }  // namespace vsd::vlm

@@ -103,6 +103,11 @@ class VisionTower : public nn::Module {
 
   std::vector<nn::Var> Parameters() const override;
 
+  /// Drops the compiled encode graphs (and their pooled executors) so the
+  /// next encode recompiles against the parameters' current dtypes. Call
+  /// after mutating parameter storage in place (vlm/quantize.h).
+  void InvalidateCompiledGraphs();
+
  private:
   /// Shared implementation of EncodeBatch/EmbedPairs: N frames -> [N,dim]
   /// rows, through the compiled graph when `graph::GraphExecEnabled()`

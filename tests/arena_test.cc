@@ -1,5 +1,5 @@
 // Property/fuzz suite for the arena lifetime planner (nn/arena.h): over
-// seeded random request lists, no two live intervals may share bytes, the
+// seeded random request lists, no two live intervals may share bytes (sizes and offsets are in bytes), the
 // arena never exceeds the no-reuse total, offsets stay aligned, and the
 // plan is a pure function of the request list — identical across repeated
 // runs and across thread counts.
@@ -24,8 +24,8 @@ BufferRequest Req(size_t size, int first_use, int last_use) {
 }
 
 size_t Aligned(size_t size) {
-  return (size + kArenaAlignFloats - 1) / kArenaAlignFloats *
-         kArenaAlignFloats;
+  return (size + kArenaAlignBytes - 1) / kArenaAlignBytes *
+         kArenaAlignBytes;
 }
 
 /// Random request list: a mix of pre-written inputs (first_use = -1) and
@@ -133,7 +133,7 @@ TEST(ArenaTest, OffsetsAreAligned) {
     const std::vector<BufferRequest> requests = RandomRequests(&rng);
     const ArenaPlan plan = PlanBufferLifetimes(requests);
     for (size_t i = 0; i < requests.size(); ++i) {
-      EXPECT_EQ(plan.offsets[i] % kArenaAlignFloats, 0u)
+      EXPECT_EQ(plan.offsets[i] % kArenaAlignBytes, 0u)
           << "trial " << trial << " buffer " << i;
     }
   }

@@ -32,7 +32,9 @@
 #include "img/slic.h"
 #include "nn/graph.h"
 #include "nn/layers.h"
+#include "tensor/registry.h"
 #include "vlm/foundation_model.h"
+#include "vlm/quantize.h"
 
 namespace vsd {
 namespace {
@@ -53,6 +55,18 @@ class GraphModeGuard {
 
  private:
   bool previous_;
+};
+
+/// Pins the kernel backend for a scope (tensor/registry.h) and drops the
+/// override on exit, so tests compose regardless of VSD_BACKEND.
+class BackendGuard {
+ public:
+  explicit BackendGuard(tensor::kernels::Backend backend) {
+    tensor::kernels::SetBackend(backend);
+  }
+  ~BackendGuard() { tensor::kernels::ClearBackendOverride(); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
 };
 
 /// Same small untrained world as batch_equivalence_test: deterministic and
@@ -317,6 +331,53 @@ TEST_P(GraphExecTest, RepeatedExecutionOnReusedArenaStaysIdentical) {
   }
 }
 
+TEST_P(GraphExecTest, SimdBackendMatchesScalarBitwise) {
+  // The SIMD kernels keep the scalar k-order, so the whole model forward —
+  // eager and compiled alike — must be bitwise identical across backends
+  // at every (batch, threads) point of the sweep.
+  if (!tensor::kernels::SimdCompiled()) {
+    GTEST_SKIP() << "SIMD backend not compiled in";
+  }
+  ModelWorld world;
+  cot::ChainConfig chain;
+  cot::ChainPipeline pipeline(&world.model, chain);
+  const auto samples = world.Pointers(world.dataset.size());
+
+  for (bool compiled : {false, true}) {
+    GraphModeGuard mode(compiled);
+    std::vector<double> scalar_probs;
+    {
+      BackendGuard scalar(tensor::kernels::Backend::kScalar);
+      scalar_probs = pipeline.PredictBatch(samples);
+    }
+    BackendGuard simd(tensor::kernels::Backend::kSimd);
+    EXPECT_EQ(pipeline.PredictBatch(samples), scalar_probs)
+        << "compiled=" << compiled;
+  }
+}
+
+TEST_P(GraphExecTest, QuantizedModelCompiledMatchesEager) {
+  // Int8 weights flow through the fused MatMulI8 kernel in both execution
+  // modes; compiled-vs-eager identity must survive quantization.
+  ModelWorld world;
+  const int converted = vlm::QuantizeFrozenModel(&world.model);
+  ASSERT_GT(converted, 0);
+  cot::ChainConfig chain;
+  cot::ChainPipeline pipeline(&world.model, chain);
+  const auto samples = world.Pointers(world.dataset.size());
+
+  std::vector<double> eager_probs;
+  std::vector<int> eager_labels;
+  {
+    GraphModeGuard eager(false);
+    eager_probs = pipeline.PredictBatch(samples);
+    eager_labels = pipeline.PredictLabelBatch(samples);
+  }
+  GraphModeGuard compiled(true);
+  EXPECT_EQ(pipeline.PredictBatch(samples), eager_probs);
+  EXPECT_EQ(pipeline.PredictLabelBatch(samples), eager_labels);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     BatchThreadSweep, GraphExecTest,
     ::testing::Combine(::testing::Values(1, 2, 7, 32),
@@ -392,6 +453,36 @@ TEST(GraphAllocTest, ExecuteAloneIsAllocationFreeOnEveryCall) {
   }
 
   executor.Execute();  // Warm-up (the arena was already constructor-owned).
+  const uint64_t before = AllocCount();
+  for (int repeat = 0; repeat < 100; ++repeat) {
+    executor.Execute();
+  }
+  const uint64_t after = AllocCount();
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(GraphAllocTest, ExecuteWithInt8WeightsIsAllocationFree) {
+  // The fused int8 MatMul dispatches through the same registry lookup and
+  // reads quantized storage in place, so the zero-allocation contract must
+  // hold for quantized graphs too.
+  ASSERT_TRUE(AllocHookInstalled());
+  Rng rng(7);
+  const nn::Linear linear(12, 3, &rng);
+  for (const nn::Var& param : linear.Parameters()) {
+    if (param.value().ndim() == 2) {
+      param.node()->value = param.value().QuantizeInt8();
+    }
+  }
+  graph::GraphBuilder builder;
+  const int output = linear.BuildGraph(&builder, builder.Input({5, 12}));
+  auto compiled =
+      std::make_shared<const graph::CompiledGraph>(std::move(builder), output);
+  graph::GraphExecutor executor(compiled);
+  for (int i = 0; i < 5 * 12; ++i) {
+    executor.InputData(0)[i] = 0.1f * static_cast<float>(i % 13);
+  }
+
+  executor.Execute();  // Warm-up.
   const uint64_t before = AllocCount();
   for (int repeat = 0; repeat < 100; ++repeat) {
     executor.Execute();

@@ -622,6 +622,43 @@ TEST(PointerKeyRule, AllowsValueKeysPointerValuesAndOtherPaths) {
       Rules("src/tensor/x.cc", "std::map<Node*, int> order;").empty());
 }
 
+TEST(KernelBypassRule, FlagsRawMacLoopsInModelLayers) {
+  const std::string mac = R"(
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+          out[i * n + j] += a[i * k + p] * b[p * n + j];
+        }
+      }
+  )";
+  EXPECT_TRUE(HasRule(Rules("src/nn/layers.cc", mac), "kernel-bypass"));
+  EXPECT_TRUE(HasRule(Rules("src/vlm/vision.cc", mac), "kernel-bypass"));
+  EXPECT_TRUE(HasRule(Rules("src/tensor/autograd.cc", mac), "kernel-bypass"));
+  // Parenthesized factors still count as a multiply-accumulate.
+  EXPECT_TRUE(HasRule(
+      Rules("src/nn/x.cc", "acc[j] += (scale * q[j]) * w;"), "kernel-bypass"));
+}
+
+TEST(KernelBypassRule, AllowsKernelTUsOtherPathsAndNonMacUpdates) {
+  const std::string mac = "out[j] += av * brow[j];";
+  // The kernel TUs are the one place MAC loops belong.
+  EXPECT_TRUE(Rules("src/tensor/kernels.cc", mac).empty());
+  EXPECT_TRUE(Rules("src/tensor/kernels_simd.cc", mac).empty());
+  // Outside the model layers the rule does not apply.
+  EXPECT_TRUE(Rules("src/explain/lime.cc", mac).empty());
+  EXPECT_TRUE(Rules("bench/harness.cc", mac).empty());
+  // Plain accumulation (no multiply) is not a MAC.
+  EXPECT_TRUE(Rules("src/nn/x.cc", "grad[j] += delta;").empty());
+  // Scalar accumulators (no subscript store) are reductions, not kernels.
+  EXPECT_TRUE(Rules("src/nn/x.cc", "sum += a[i] * b[i];").empty());
+  // `*` as a dereference is not a multiply.
+  EXPECT_TRUE(Rules("src/nn/x.cc", "out[j] += *p;").empty());
+  // Suppression with a reason still works.
+  EXPECT_TRUE(Rules("src/nn/x.cc",
+                    "// vsd-lint: allow(kernel-bypass)\n"
+                    "out[j] += av * brow[j];")
+                  .empty());
+}
+
 // -------------------------------------------------------- include graph ----
 
 TEST(IncludeGraphTest, LayerTableMatchesArchitecture) {
@@ -951,6 +988,7 @@ TEST(AllRulesTest, NamesAreStable) {
       "unguarded-capture",  "wall-clock", "thread-id",
       "pointer-key",    "layering",      "include-cycle",
       "lock-order",     "nondet-taint",  "hot-path-alloc",
+      "kernel-bypass",
   };
   EXPECT_EQ(AllRules(), expected);
 }

@@ -1,0 +1,92 @@
+// Int8 quantization calibration harness: measures the accuracy cost of
+// VSD_QUANT=int8 on the Table I zero-shot rows. For each frozen API-model
+// simulation it evaluates the fp32 model, quantizes a clone in place
+// (vlm/quantize.h), re-evaluates, and reports the per-dataset deltas.
+// Writes BENCH_quant.json and exits nonzero when the worst absolute
+// accuracy delta exceeds --max-delta (default 0.02), so CI can assert the
+// quantization bound.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/zero_shot_lfm.h"
+#include "bench/harness.h"
+#include "core/evaluation.h"
+#include "vlm/api_models.h"
+#include "vlm/quantize.h"
+
+using namespace vsd;
+using bench::BenchOptions;
+using core::Metrics;
+
+int main(int argc, char** argv) {
+  BenchOptions options = bench::ParseBenchArgs(argc, argv);
+  double max_delta = 0.02;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-delta") == 0 && i + 1 < argc) {
+      max_delta = std::atof(argv[++i]);
+    }
+  }
+  bench::BenchData data = bench::MakeBenchData(options);
+
+  std::string rows;
+  char buf[512];
+  double worst_delta = 0.0;
+  for (auto kind : {vlm::ApiModelKind::kGpt4o, vlm::ApiModelKind::kClaude35,
+                    vlm::ApiModelKind::kGemini15}) {
+    const auto& fp32_model = bench::ApiModel(kind, options);
+    baselines::ZeroShotLfm fp32_lfm(&fp32_model, vlm::ApiModelName(kind));
+    const Metrics fp32_uvsd = core::EvaluateClassifier(fp32_lfm, data.uvsd);
+    const Metrics fp32_rsl = core::EvaluateClassifier(fp32_lfm, data.rsl);
+
+    // Quantize a clone so the process-wide cached model stays fp32.
+    auto quant_model = fp32_model.Clone();
+    const int converted = vlm::QuantizeFrozenModel(quant_model.get());
+    baselines::ZeroShotLfm quant_lfm(quant_model.get(),
+                                     vlm::ApiModelName(kind));
+    const Metrics q_uvsd = core::EvaluateClassifier(quant_lfm, data.uvsd);
+    const Metrics q_rsl = core::EvaluateClassifier(quant_lfm, data.rsl);
+
+    const double d_uvsd = std::fabs(q_uvsd.accuracy - fp32_uvsd.accuracy);
+    const double d_rsl = std::fabs(q_rsl.accuracy - fp32_rsl.accuracy);
+    worst_delta = std::max({worst_delta, d_uvsd, d_rsl});
+    std::printf(
+        "%-18s int8 tensors=%d | UVSD acc %.4f -> %.4f (d=%.4f) | "
+        "RSL acc %.4f -> %.4f (d=%.4f)\n",
+        vlm::ApiModelName(kind), converted, fp32_uvsd.accuracy,
+        q_uvsd.accuracy, d_uvsd, fp32_rsl.accuracy, q_rsl.accuracy, d_rsl);
+
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"model\": \"%s\", \"int8_tensors\": %d,\n"
+                  "     \"uvsd\": {\"acc_fp32\": %.6f, \"acc_int8\": %.6f,"
+                  " \"f1_fp32\": %.6f, \"f1_int8\": %.6f},\n"
+                  "     \"rsl\": {\"acc_fp32\": %.6f, \"acc_int8\": %.6f,"
+                  " \"f1_fp32\": %.6f, \"f1_int8\": %.6f}}",
+                  vlm::ApiModelName(kind), converted, fp32_uvsd.accuracy,
+                  q_uvsd.accuracy, fp32_uvsd.f1, q_uvsd.f1,
+                  fp32_rsl.accuracy, q_rsl.accuracy, fp32_rsl.f1, q_rsl.f1);
+    if (!rows.empty()) rows += ",\n";
+    rows += buf;
+  }
+
+  const bool pass = worst_delta <= max_delta;
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"bench\": \"quant\",\n"
+                "  \"quick\": %s,\n"
+                "  \"seed\": %llu,\n"
+                "  \"max_abs_accuracy_delta\": %.6f,\n"
+                "  \"asserted_bound\": %.6f,\n"
+                "  \"pass\": %s,\n"
+                "  \"models\": [\n",
+                options.quick ? "true" : "false",
+                static_cast<unsigned long long>(options.seed), worst_delta,
+                max_delta, pass ? "true" : "false");
+  const std::string json = std::string(buf) + rows + "\n  ]\n}\n";
+  if (!bench::WriteSidecarFile("BENCH_quant.json", json)) return 1;
+
+  std::printf("worst |accuracy delta| = %.4f (bound %.4f): %s\n",
+              worst_delta, max_delta, pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
