@@ -96,7 +96,10 @@ int Main(int argc, char** argv) {
   config.retry.max_retries = 2;
   config.retry.initial_backoff_micros = 100;
   config.retry.max_backoff_micros = 1000;
-  config.breaker_threshold = 0;  // Breaker state is timing-dependent.
+  // Breaker off here: this bench runs threaded on the real clock, where
+  // open/half-open transitions depend on wall time. bench_serve_load runs
+  // the breaker enabled on a virtual clock, deterministically.
+  config.breaker_threshold = 0;
   config.default_deadline_micros = 60'000'000;  // Generous: never expires.
 
   Table table({"Rate", "Requests", "Full", "Fallback", "Prior", "Invalid",

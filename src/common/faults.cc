@@ -44,6 +44,10 @@ const char* FaultKindName(FaultKind kind) {
       return "nan-activation";
     case FaultKind::kStall:
       return "stall";
+    case FaultKind::kReplicaDown:
+      return "replica-down";
+    case FaultKind::kReplicaSlow:
+      return "replica-slow";
   }
   return "unknown";
 }
@@ -58,6 +62,10 @@ double FaultConfig::RateFor(FaultKind kind) const {
       return nan_rate;
     case FaultKind::kStall:
       return stall_rate;
+    case FaultKind::kReplicaDown:
+      return replica_down_rate;
+    case FaultKind::kReplicaSlow:
+      return replica_slow_rate;
   }
   return 0.0;
 }
@@ -79,12 +87,20 @@ FaultConfig ParseFaultSpec(const std::string& spec) {
       config.stall_rate = std::atof(value.c_str());
     } else if (key == "stall_us") {
       config.stall_micros = std::atoi(value.c_str());
+    } else if (key == "replica_down") {
+      config.replica_down_rate = std::atof(value.c_str());
+    } else if (key == "replica_slow") {
+      config.replica_slow_rate = std::atof(value.c_str());
+    } else if (key == "slow_factor") {
+      config.slow_factor = std::atoi(value.c_str());
     } else if (key == "seed") {
       config.seed = std::strtoull(value.c_str(), nullptr, 10);
     }
   }
   config.enabled = config.transient_rate > 0.0 || config.corrupt_rate > 0.0 ||
-                   config.nan_rate > 0.0 || config.stall_rate > 0.0;
+                   config.nan_rate > 0.0 || config.stall_rate > 0.0 ||
+                   config.replica_down_rate > 0.0 ||
+                   config.replica_slow_rate > 0.0;
   return config;
 }
 

@@ -37,8 +37,10 @@ enum class FaultKind {
   kCorruptFrame = 1,   ///< Input frame treated as corrupted/blank.
   kNanActivation = 2,  ///< Activations poisoned with NaN.
   kStall = 3,          ///< Worker stalls for `stall_micros`.
+  kReplicaDown = 4,    ///< Whole replica unreachable for a heartbeat epoch.
+  kReplicaSlow = 5,    ///< Replica serves at `slow_factor` times its cost.
 };
-inline constexpr int kNumFaultKinds = 4;
+inline constexpr int kNumFaultKinds = 6;
 
 const char* FaultKindName(FaultKind kind);
 
@@ -50,6 +52,13 @@ struct FaultConfig {
   double corrupt_rate = 0.0;
   double nan_rate = 0.0;
   double stall_rate = 0.0;
+  /// Replica-level faults, probed per (replica id, heartbeat epoch) by the
+  /// replica pool rather than per request: a down replica fails whole
+  /// batches over to its peers; a slow one serves at `slow_factor` times
+  /// its modeled cost.
+  double replica_down_rate = 0.0;
+  double replica_slow_rate = 0.0;
+  int slow_factor = 4;
   /// How long an injected stall sleeps.
   int stall_micros = 2000;
 

@@ -489,14 +489,37 @@ void CheckPerSamplePredict(const FileCtx& ctx) {
 // ---------------------------------------------------------------------------
 // blocking-wait-no-deadline: the serving layer's liveness contract is that
 // every accepted request resolves — which only holds if no code path can
-// block forever. A bare condition_variable wait() (no predicate timeout) or
-// a future get()/wait() parks the thread until someone else acts; under
-// fault injection (stalled workers, dropped notifications) that someone may
-// never come. Scoped to src/serve/: all waits there must be bounded
-// (wait_for/wait_until), and futures polled with wait_for before get().
+// block forever. A bare one-argument condition_variable wait(lock) (no
+// predicate) or a future get()/wait() parks the thread until someone else
+// acts; under fault injection (stalled workers, dropped notifications) that
+// someone may never come. Scoped to src/serve/: waits there must be bounded
+// (wait_for/wait_until) or predicated (wait(lock, pred), which re-checks
+// its condition on every wakeup so a lost notification costs one spurious
+// pass, not a hang), and futures polled with wait_for before get().
 // Intentional unbounded waits carry an explicit
 // allow(blocking-wait-no-deadline) suppression comment with a reason.
 // ---------------------------------------------------------------------------
+
+/// Counts commas at paren depth 1 inside the call whose '(' is at
+/// `open_paren` (i.e. between the call's own parentheses, not inside nested
+/// calls/lambdas): a two-or-more-argument call has at least one.
+int TopLevelCommas(const std::vector<Token>& toks, size_t open_paren) {
+  int depth = 0;
+  int commas = 0;
+  for (size_t j = open_paren; j < toks.size(); ++j) {
+    const std::string& t = toks[j].text;
+    if (t == "(" || t == "[" || t == "{") {
+      ++depth;
+    } else if (t == ")" || t == "]" || t == "}") {
+      --depth;
+      if (depth <= 0) break;
+    } else if (t == "," && depth == 1) {
+      ++commas;
+    }
+  }
+  return commas;
+}
+
 void CheckBlockingWait(const FileCtx& ctx) {
   if (!StartsWith(ctx.path, "src/serve/")) return;
   const auto& toks = ctx.lex.tokens;
@@ -506,10 +529,14 @@ void CheckBlockingWait(const FileCtx& ctx) {
     if (access != "." && access != "->") continue;
     if (toks[k + 1].text != "(") continue;
     if (toks[k].text == "wait") {
+      // wait(lock, pred) is fine; only the predicate-less form can hang on
+      // a lost notification.
+      if (TopLevelCommas(toks, k + 1) >= 1) continue;
       ctx.Report(toks[k].line, "blocking-wait-no-deadline",
-                 "unbounded 'wait()' in the serving layer; use "
-                 "wait_for/wait_until so a lost notification or stalled "
-                 "producer cannot park this thread forever");
+                 "predicate-less 'wait()' in the serving layer; pass a "
+                 "predicate (wait(lock, pred)) or use wait_for/wait_until "
+                 "so a lost notification or stalled producer cannot park "
+                 "this thread forever");
     } else if (toks[k].text == "get") {
       // unique_ptr::get() and friends are everywhere; only a receiver that
       // names a future is a blocking retrieval.

@@ -27,8 +27,9 @@ struct Finding {
 ///  * include-order   — include group mixes <>/"" kinds or is unsorted
 ///  * unordered-iter  — iteration over unordered containers in result paths
 ///  * per-sample-predict — single-sample predict call looped in bench/core
-///  * blocking-wait-no-deadline — unbounded cv wait() / future get() in
-///    src/serve/ (every serving-layer wait must be bounded)
+///  * blocking-wait-no-deadline — predicate-less cv wait() / future get()
+///    in src/serve/ (every serving-layer wait must be bounded or
+///    predicated: wait_for/wait_until/wait(lock, pred))
 ///  * unguarded-capture — by-reference capture written in a ParallelFor/
 ///    Submit body without mutex/atomic/per-index subscript (captures.h)
 ///  * wall-clock     — wall-clock reads (system_clock, time, ...) in result

@@ -1,0 +1,79 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace vsd::serve {
+
+const char* QosClassName(QosClass qos) {
+  switch (qos) {
+    case QosClass::kInteractive:
+      return "interactive";
+    case QosClass::kBatch:
+      return "batch";
+  }
+  VSD_CHECK(false) << "unknown QosClass";
+  return "?";
+}
+
+const TenantQuota& AdmissionController::QuotaFor(uint64_t tenant) const {
+  const auto it = config_.tenant_quotas.find(tenant);
+  return it != config_.tenant_quotas.end() ? it->second
+                                           : config_.default_quota;
+}
+
+AdmissionController::Bucket& AdmissionController::RefillLocked(
+    uint64_t tenant, int64_t now_micros) {
+  const TenantQuota& quota = QuotaFor(tenant);
+  Bucket& bucket = buckets_[tenant];
+  if (!bucket.initialized) {
+    // A tenant's first request finds a full bucket.
+    bucket.tokens = quota.burst;
+    bucket.last_refill_micros = now_micros;
+    bucket.initialized = true;
+    return bucket;
+  }
+  // A manual clock may be re-set between sessions; never refill backwards.
+  const int64_t elapsed =
+      std::max<int64_t>(0, now_micros - bucket.last_refill_micros);
+  bucket.tokens = std::min(
+      quota.burst, bucket.tokens + static_cast<double>(elapsed) * 1e-6 *
+                                       quota.tokens_per_sec);
+  bucket.last_refill_micros = now_micros;
+  return bucket;
+}
+
+Status AdmissionController::Admit(uint64_t tenant, QosClass qos,
+                                  int64_t now_micros) {
+  if (!config_.enabled) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  const TenantQuota& quota = QuotaFor(tenant);
+  Bucket& bucket = RefillLocked(tenant, now_micros);
+  // Epsilon absorbs refill rounding (elapsed * 1e-6 * rate is not exact in
+  // binary), so a tenant refilled to "one token" is not shed by 1e-16.
+  constexpr double kEps = 1e-9;
+  const double after = bucket.tokens - 1.0;
+  if (after < -kEps) {
+    return Status::Unavailable("tenant " + std::to_string(tenant) +
+                               " over quota; request shed");
+  }
+  if (qos == QosClass::kBatch &&
+      after < quota.burst * config_.batch_headroom - kEps) {
+    return Status::Unavailable(
+        "tenant " + std::to_string(tenant) +
+        " batch-class quota exhausted (interactive headroom reserved)");
+  }
+  bucket.tokens = std::max(after, 0.0);
+  return Status::OK();
+}
+
+double AdmissionController::TokensForTest(uint64_t tenant,
+                                          int64_t now_micros) {
+  if (!config_.enabled) return 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return RefillLocked(tenant, now_micros).tokens;
+}
+
+}  // namespace vsd::serve

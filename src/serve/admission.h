@@ -1,0 +1,88 @@
+#ifndef VSD_SERVE_ADMISSION_H_
+#define VSD_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace vsd::serve {
+
+/// Quality-of-service class of a request. Interactive requests are cut
+/// into batches ahead of batch-class ones and keep admission headroom
+/// reserved for them under quota pressure; batch-class requests are the
+/// first to be shed.
+enum class QosClass {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
+const char* QosClassName(QosClass qos);
+
+/// Token-bucket quota for one tenant: sustained `tokens_per_sec` with
+/// bursts up to `burst` requests.
+struct TenantQuota {
+  double tokens_per_sec = 100.0;
+  double burst = 20.0;
+};
+
+struct AdmissionConfig {
+  bool enabled = false;
+  TenantQuota default_quota;
+  /// Per-tenant overrides of the default quota.
+  std::map<uint64_t, TenantQuota> tenant_quotas;
+  /// Fraction of a tenant's burst capacity reserved for interactive
+  /// traffic: a batch-class request is admitted only while
+  /// `tokens - 1 >= burst * batch_headroom`, so under quota pressure the
+  /// batch class sheds first and interactive requests keep landing.
+  double batch_headroom = 0.25;
+};
+
+/// \brief Per-tenant token-bucket admission control.
+///
+/// `Admit` refills the tenant's bucket from elapsed time (taken from the
+/// injectable serve clock, passed in as `now_micros`), then spends one
+/// token or sheds the request with `Unavailable` — *before* it touches any
+/// replica queue, so an over-quota tenant cannot occupy queue slots or
+/// batch positions that belong to others. Decisions are pure functions of
+/// the (tenant, qos, now) call sequence: under a manual clock the shed
+/// schedule is bit-reproducible.
+///
+/// Thread-safe; the mutex spans one map lookup and a few arithmetic ops
+/// per request.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config)
+      : config_(config) {}
+
+  /// OK = admitted (one token consumed); `Unavailable` = shed.
+  /// Disabled controllers admit everything.
+  Status Admit(uint64_t tenant, QosClass qos, int64_t now_micros);
+
+  /// Tokens currently available to `tenant` at `now_micros` (refill
+  /// applied, nothing consumed). For tests and introspection.
+  double TokensForTest(uint64_t tenant, int64_t now_micros);
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    int64_t last_refill_micros = 0;
+    bool initialized = false;
+  };
+
+  const TenantQuota& QuotaFor(uint64_t tenant) const;
+
+  /// Caller holds mu_.
+  Bucket& RefillLocked(uint64_t tenant, int64_t now_micros);
+
+  AdmissionConfig config_;
+  std::mutex mu_;
+  std::map<uint64_t, Bucket> buckets_;
+};
+
+}  // namespace vsd::serve
+
+#endif  // VSD_SERVE_ADMISSION_H_

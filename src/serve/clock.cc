@@ -1,0 +1,16 @@
+#include "serve/clock.h"
+
+namespace vsd::serve {
+
+std::chrono::steady_clock::time_point SteadyClockSource::Epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+const Clock* RealClock() {
+  static const SteadyClockSource* clock = new SteadyClockSource();
+  return clock;
+}
+
+}  // namespace vsd::serve

@@ -1,0 +1,73 @@
+#ifndef VSD_SERVE_CLOCK_H_
+#define VSD_SERVE_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace vsd::serve {
+
+/// \brief Injectable time source for the serving layer.
+///
+/// Every time-dependent serving decision — batch-age cuts, deadlines, retry
+/// backoff gates, circuit-breaker open windows, admission token refill —
+/// reads time through this interface instead of a hardwired clock. Real
+/// deployments (and `examples/`) use the default `RealClock()`, a monotonic
+/// steady clock; deterministic tests and the virtual-time load bench inject
+/// a `ManualClock` they advance explicitly, which makes breaker state,
+/// health transitions, and latency percentiles pure functions of the event
+/// sequence — bit-reproducible at any thread count.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic microseconds. The epoch is arbitrary but fixed per clock;
+  /// only differences are meaningful.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Manual clocks only advance when told to, so worker threads cannot
+  /// sleep against them; replicas with worker threads require `!IsManual()`.
+  virtual bool IsManual() const { return false; }
+};
+
+/// Monotonic wall time (steady_clock) since process start. Stateless and
+/// thread-safe.
+class SteadyClockSource : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - Epoch())
+        .count();
+  }
+
+ private:
+  static std::chrono::steady_clock::time_point Epoch();
+};
+
+/// The process-wide real clock (a `SteadyClockSource` singleton); the
+/// default when a `ServeConfig` carries no injected clock.
+const Clock* RealClock();
+
+/// Test/simulation clock: time is an atomic counter advanced explicitly by
+/// the driver. Thread-safe to read; Set/Advance are driver-side.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  bool IsManual() const override { return true; }
+
+  void Set(int64_t micros) { now_.store(micros, std::memory_order_relaxed); }
+  void Advance(int64_t micros) {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace vsd::serve
+
+#endif  // VSD_SERVE_CLOCK_H_

@@ -19,19 +19,70 @@ const char* DegradationLevelName(DegradationLevel level) {
 
 int64_t BackoffMicros(const RetryPolicy& policy, int attempt) {
   VSD_CHECK(attempt >= 1) << "backoff is for retries, attempt must be >= 1";
+  const double max = static_cast<double>(policy.max_backoff_micros);
   double backoff = static_cast<double>(policy.initial_backoff_micros);
-  for (int i = 1; i < attempt; ++i) {
-    backoff *= policy.backoff_multiplier;
-    if (backoff >= static_cast<double>(policy.max_backoff_micros)) break;
+  // A non-growing multiplier never reaches the cap: return the base rather
+  // than spinning `attempt` iterations (attempt can be arbitrarily large).
+  if (policy.backoff_multiplier > 1.0) {
+    for (int i = 1; i < attempt && backoff < max; ++i) {
+      backoff *= policy.backoff_multiplier;
+    }
   }
-  const auto capped = static_cast<int64_t>(backoff);
-  return capped < policy.max_backoff_micros ? capped
-                                            : policy.max_backoff_micros;
+  // Cap in double space BEFORE narrowing: at high attempt counts the
+  // exponential overshoots INT64_MAX and a raw cast would be UB.
+  if (backoff >= max) return policy.max_backoff_micros;
+  return static_cast<int64_t>(backoff);
 }
 
 bool IsRetryable(const Status& status) {
   return status.code() == StatusCode::kInternal ||
          status.code() == StatusCode::kUnavailable;
+}
+
+bool CircuitBreaker::ShouldShortCircuit(int64_t now_micros) {
+  if (!enabled()) return false;
+  switch (state_) {
+    case State::kClosed:
+      return false;
+    case State::kOpen:
+      if (now_micros < open_until_micros_) return true;
+      // Window elapsed: admit this batch as the half-open probe.
+      state_ = State::kHalfOpen;
+      return false;
+    case State::kHalfOpen:
+      // Further batches while the probe is in flight pass through too; a
+      // failure from any of them re-opens the window.
+      return false;
+  }
+  VSD_CHECK(false) << "unknown breaker state";
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  failures_ = 0;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::RecordFailure(int64_t now_micros) {
+  if (!enabled()) return;
+  ++failures_;
+  if (state_ == State::kHalfOpen || failures_ >= threshold_) {
+    state_ = State::kOpen;
+    open_until_micros_ = now_micros + open_micros_;
+  }
+}
+
+const char* BreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  VSD_CHECK(false) << "unknown breaker state";
+  return "?";
 }
 
 }  // namespace vsd::serve

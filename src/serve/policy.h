@@ -7,13 +7,15 @@
 
 namespace vsd::serve {
 
-/// \brief Retry and degradation policy for the serving layer.
+/// \brief Retry, degradation, and circuit-breaker policy for the serving
+/// layer.
 ///
-/// Every decision here is a pure function of its arguments — backoff is a
-/// deterministic capped exponential, never jittered by wall-clock or a
-/// shared RNG — so a request's retry schedule depends only on its own
-/// attempt history, and the same fault schedule yields the same outcomes
-/// at any thread count.
+/// Every decision here is a pure function of its arguments and call
+/// sequence — backoff is a deterministic capped exponential, never jittered
+/// by wall-clock or a shared RNG, and the breaker reads time only through
+/// values its caller passes in (taken from the injectable serve `Clock`) —
+/// so a request's retry schedule depends only on its own attempt history,
+/// and under a manual clock the breaker walk is bit-reproducible.
 
 /// How a request was ultimately answered. The ladder is ordered: the
 /// server walks down it one rung at a time as failures accumulate.
@@ -36,13 +38,63 @@ struct RetryPolicy {
 
 /// Backoff before retry number `attempt` (1-based: the delay after the
 /// attempt'th failure). Deterministic: initial * multiplier^(attempt-1),
-/// capped at max_backoff_micros.
+/// capped at max_backoff_micros. Safe at any attempt count: the cap is
+/// applied in double space before narrowing, so a huge exponent can never
+/// overflow the int64 (and a non-growing multiplier short-circuits instead
+/// of iterating `attempt` times).
 int64_t BackoffMicros(const RetryPolicy& policy, int attempt);
 
 /// Whether a failed prediction is worth retrying. Transient backend
 /// failures (`Internal`, `Unavailable`) are; caller errors
 /// (`InvalidArgument`) and expired deadlines (`DeadlineExceeded`) are not.
 bool IsRetryable(const Status& status);
+
+/// \brief Consecutive-failure circuit breaker with a timed open window and
+/// a half-open probe, per replica.
+///
+/// Closed until `threshold` consecutive retryable failures, then open for
+/// `open_micros` (short-circuiting whole batches to the degraded answer
+/// without touching the pipeline). Once the window elapses the next batch
+/// is admitted as a half-open probe: success closes the breaker, failure
+/// re-opens the window. All transitions are functions of
+/// (call sequence, now_micros) only — under a `ManualClock` the walk is
+/// bit-reproducible, which is what lets benches finally run with the
+/// breaker enabled. Not internally synchronized: the owning replica calls
+/// it under its own mutex.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  /// `threshold` <= 0 disables the breaker (never short-circuits).
+  CircuitBreaker(int threshold, int64_t open_micros)
+      : threshold_(threshold), open_micros_(open_micros) {}
+
+  bool enabled() const { return threshold_ > 0; }
+
+  /// Called before a batch is processed. True = the batch must be
+  /// short-circuited to the degraded answer. An open breaker whose window
+  /// has elapsed transitions to half-open and admits the batch as a probe.
+  bool ShouldShortCircuit(int64_t now_micros);
+
+  /// A full-fidelity answer: closes the breaker and clears the streak.
+  void RecordSuccess();
+
+  /// A retryable pipeline failure. Opens the breaker when the streak
+  /// reaches the threshold, or immediately when a half-open probe fails.
+  void RecordFailure(int64_t now_micros);
+
+  State state() const { return state_; }
+  int consecutive_failures() const { return failures_; }
+
+ private:
+  int threshold_;
+  int64_t open_micros_;
+  State state_ = State::kClosed;
+  int failures_ = 0;
+  int64_t open_until_micros_ = 0;
+};
+
+const char* BreakerStateName(CircuitBreaker::State state);
 
 }  // namespace vsd::serve
 

@@ -1,0 +1,160 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/faults.h"
+#include "common/logging.h"
+
+namespace vsd::serve {
+
+namespace {
+
+/// Salt separating session placement hashes from fault-draw keys that may
+/// share the same FaultHash mixer.
+constexpr uint64_t kSessionSalt = 0x5E5510FULL;
+
+std::future<vsd::Result<ServeResult>> ResolvedFuture(Status status) {
+  std::promise<vsd::Result<ServeResult>> p;
+  p.set_value(std::move(status));
+  return p.get_future();
+}
+
+}  // namespace
+
+Router::Router(ReplicaPool* pool, const RouterConfig& config)
+    : pool_(pool), config_(config), admission_(config.admission) {
+  VSD_CHECK(pool_ != nullptr) << "null pool";
+  VSD_CHECK(config_.vnodes >= 1) << "vnodes must be >= 1";
+  const int n = pool_->num_replicas();
+  ring_.reserve(static_cast<size_t>(n * config_.vnodes));
+  for (int r = 0; r < n; ++r) {
+    for (int v = 0; v < config_.vnodes; ++v) {
+      ring_.push_back(RingPoint{
+          FaultHash(static_cast<uint64_t>(r) + 1, static_cast<uint64_t>(v)),
+          r});
+    }
+  }
+  // Hash ties (vanishingly rare) break by replica index so the ring order
+  // is fully determined.
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingPoint& a, const RingPoint& b) {
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.replica < b.replica;
+            });
+  pool_->SetFailoverHandler(
+      [this](std::unique_ptr<Request>& req) { return HandleFailover(req); });
+}
+
+Router::~Router() { pool_->SetFailoverHandler(nullptr); }
+
+int Router::PickReplica(uint64_t session, uint64_t tried_mask) const {
+  if (ring_.empty()) return -1;
+  // Re-mix the session id so adjacent sessions spread over the ring.
+  const uint64_t point = FaultHash(session, kSessionSalt);
+  size_t start = std::lower_bound(ring_.begin(), ring_.end(), point,
+                                  [](const RingPoint& p, uint64_t h) {
+                                    return p.hash < h;
+                                  }) -
+                 ring_.begin();
+  if (start == ring_.size()) start = 0;  // Wrap.
+  // One clockwise lap: the first untried routable replica wins; failing
+  // that, the first untried replica of any health (better a quarantined
+  // replica's degraded answer path than none at all).
+  int fallback = -1;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const int r = ring_[(start + i) % ring_.size()].replica;
+    if ((tried_mask >> r) & 1) continue;
+    if (pool_->IsRoutable(r)) return r;
+    if (fallback < 0) fallback = r;
+  }
+  return fallback;
+}
+
+std::future<vsd::Result<ServeResult>> Router::Submit(
+    const data::VideoSample& sample, const RequestOptions& options) {
+  const Replica& first = pool_->replica(0);
+  const int64_t now = first.config().clock != nullptr
+                          ? first.config().clock->NowMicros()
+                          : RealClock()->NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.submitted += 1;
+  }
+  const Status admitted =
+      admission_.Admit(options.tenant, options.qos, now);
+  if (!admitted.ok()) {
+    Add(&RouterStatsSnapshot::shed_admission);
+    return ResolvedFuture(admitted);
+  }
+
+  auto req = std::make_unique<Request>();
+  req->session = options.session;
+  req->tenant = options.tenant;
+  req->qos = options.qos;
+  req->sample = sample;
+  req->arrival_micros = now;
+  const int64_t effective_deadline =
+      options.deadline_micros > 0
+          ? options.deadline_micros
+          : first.config().default_deadline_micros;
+  if (effective_deadline > 0) {
+    req->has_deadline = true;
+    req->deadline_micros = now + effective_deadline;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    req->id = next_id_++;
+  }
+  std::future<vsd::Result<ServeResult>> future = req->promise.get_future();
+
+  // Placement walk: preferred replica first, then — on queue-full refusal
+  // — the next untried one clockwise, until every replica refused.
+  uint64_t tried = req->tried_mask;
+  for (;;) {
+    const int r = PickReplica(req->session, tried);
+    if (r < 0) {
+      Add(&RouterStatsSnapshot::shed_queue_full);
+      req->promise.set_value(Status::Unavailable(
+          "every replica refused the request (queues full); retry later"));
+      return future;
+    }
+    if (pool_->replica(r).SubmitRouted(req)) return future;
+    tried |= uint64_t{1} << r;
+  }
+}
+
+bool Router::HandleFailover(std::unique_ptr<Request>& req) {
+  if (config_.max_failovers >= 0 &&
+      req->failovers >= config_.max_failovers) {
+    Add(&RouterStatsSnapshot::failover_exhausted);
+    return false;
+  }
+  uint64_t tried = req->tried_mask;
+  for (;;) {
+    const int r = PickReplica(req->session, tried);
+    if (r < 0) {
+      Add(&RouterStatsSnapshot::failover_exhausted);
+      return false;
+    }
+    req->failovers += 1;
+    if (pool_->replica(r).SubmitRouted(req)) {
+      Add(&RouterStatsSnapshot::failovers);
+      return true;
+    }
+    req->failovers -= 1;  // Refused: the hop did not happen.
+    tried |= uint64_t{1} << r;
+  }
+}
+
+RouterStatsSnapshot Router::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Router::Add(int64_t RouterStatsSnapshot::* field) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.*field += 1;
+}
+
+}  // namespace vsd::serve

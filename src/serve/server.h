@@ -1,99 +1,49 @@
 #ifndef VSD_SERVE_SERVER_H_
 #define VSD_SERVE_SERVER_H_
 
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 #include "baselines/baseline.h"
 #include "common/result.h"
 #include "cot/pipeline.h"
 #include "data/sample.h"
-#include "serve/policy.h"
-#include "serve/stats.h"
+#include "serve/replica_pool.h"
 
 namespace vsd::serve {
-
-/// Server knobs. The defaults suit tests; benches size them explicitly.
-struct ServeConfig {
-  /// Bounded open-request queue: submissions beyond this are rejected with
-  /// `Unavailable` (backpressure) instead of growing memory without bound.
-  int max_queue = 64;
-
-  /// Dynamic batching: a batch is cut when `max_batch` requests are ready,
-  /// or when the oldest ready request has waited `max_batch_delay_micros`
-  /// since submission, whichever comes first.
-  int max_batch = 8;
-  int64_t max_batch_delay_micros = 2000;
-
-  /// Worker threads cutting and processing batches. 0 means no workers:
-  /// requests queue up until `Shutdown`, which resolves them as dropped
-  /// (useful for testing queue behavior in isolation).
-  int num_workers = 1;
-
-  RetryPolicy retry;
-
-  /// Circuit breaker: after this many consecutive retryable pipeline
-  /// failures the server routes requests straight to the degraded answer
-  /// until a success closes the breaker. 0 disables the breaker (required
-  /// for deterministic benches: breaker state depends on cross-request
-  /// failure ordering, which is timing-dependent under multiple workers).
-  int breaker_threshold = 0;
-
-  /// How long an open breaker stays open before the next batch probes the
-  /// pipeline again (half-open).
-  int64_t breaker_reset_micros = 100000;
-
-  /// p(stressed) served at the `kPrior` rung (no fallback model available).
-  /// 0.5 is the maximum-entropy prior; calibrate to the deployment base
-  /// rate when known.
-  double prior_prob = 0.5;
-
-  /// Deadline applied to requests submitted without one. 0 = no deadline.
-  int64_t default_deadline_micros = 0;
-};
-
-/// A served answer, tagged with how it was produced.
-struct ServeResult {
-  double prob_stressed = 0.0;
-  int label = 0;  ///< prob_stressed >= 0.5.
-  DegradationLevel degradation = DegradationLevel::kFull;
-  int attempts = 1;  ///< Pipeline attempts consumed (1 = first try).
-};
 
 /// \brief Asynchronous stress-detection server: deadline-aware dynamic
 /// batching over `ChainPipeline::PredictBatch` with fault tolerance.
 ///
-/// Callers `Submit` single samples and get a future; worker threads cut
-/// batches by size or age and run them through the pipeline's validated
-/// batch surface on the global thread pool. Every accepted request's
-/// future resolves — with a full answer, a degraded answer (fallback
-/// classifier or prior, see `DegradationLevel`), or an error status
-/// (`InvalidArgument` for bad inputs, `DeadlineExceeded` for expired
-/// deadlines, `Unavailable` for shutdown) — there are no hung futures.
+/// A thin façade over a single standalone `Replica` (serve/replica_pool.h),
+/// which owns the engine: callers `Submit` single samples and get a future;
+/// worker threads cut batches by size or age and run them through the
+/// pipeline's validated batch surface on the global thread pool. Every
+/// accepted request's future resolves — with a full answer, a degraded
+/// answer (fallback classifier or prior, see `DegradationLevel`), or an
+/// error status (`InvalidArgument` for bad inputs, `DeadlineExceeded` for
+/// expired deadlines, `Unavailable` for shutdown) — there are no hung
+/// futures. Multi-replica serving with routing, health-checked failover,
+/// and admission control lives in `ReplicaPool` + `Router`.
 ///
 /// Determinism: with faults off, the served probabilities are bit-identical
 /// to a direct `PredictBatch` over the same samples at every worker count,
 /// batch-cut size, and thread-pool width (entry independence, PR 3). With
 /// faults on, the fault schedule is a pure function of the fault seed and
 /// per-request keys, so request *outcomes* are run-to-run identical even
-/// though batch composition is timing-dependent.
+/// though batch composition is timing-dependent. All time flows through
+/// the config's injectable `Clock` (real steady clock by default).
 class StressServer {
  public:
   /// `pipeline` (and `fallback`, when given) must outlive the server.
   /// `fallback` must already be fitted; null removes the kFallback rung so
   /// degradation goes straight to the prior.
   StressServer(const cot::ChainPipeline* pipeline, const ServeConfig& config,
-               const baselines::StressClassifier* fallback = nullptr);
+               const baselines::StressClassifier* fallback = nullptr)
+      : replica_(0, pipeline, config, fallback, nullptr) {}
 
   /// Joins workers; resolves any still-pending request as dropped.
-  ~StressServer();
+  ~StressServer() { Shutdown(); }
 
   StressServer(const StressServer&) = delete;
   StressServer& operator=(const StressServer&) = delete;
@@ -107,67 +57,27 @@ class StressServer {
   /// results stay bit-identical to a direct PredictBatch (pinned by
   /// serve_test's multi-producer ingest test).
   std::future<vsd::Result<ServeResult>> Submit(
-      const data::VideoSample& sample, int64_t deadline_micros = 0);
+      const data::VideoSample& sample, int64_t deadline_micros = 0) {
+    RequestOptions options;
+    options.deadline_micros = deadline_micros;
+    return replica_.Submit(sample, options);
+  }
 
   /// Stops intake, drains the queue (workers finish everything pending,
   /// skipping any remaining backoff waits), joins workers, and resolves
   /// leftover requests (workerless servers) as `Unavailable`. Idempotent.
-  void Shutdown();
+  void Shutdown() { replica_.Shutdown(); }
 
-  ServeStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  /// Stepped mode (num_workers == 0): processes everything due at the
+  /// current clock time on the calling thread. See `Replica::Pump`.
+  int Pump() { return replica_.Pump(); }
 
-  const ServeConfig& config() const { return config_; }
+  ServeStatsSnapshot Stats() const { return replica_.Stats(); }
+
+  const ServeConfig& config() const { return replica_.config(); }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
-  struct Request {
-    int64_t id = 0;
-    data::VideoSample sample;
-    std::promise<vsd::Result<ServeResult>> promise;
-    Clock::time_point enqueued_at;
-    Clock::time_point ready_at;  ///< Backoff gate; = enqueued_at initially.
-    Clock::time_point deadline;
-    bool has_deadline = false;
-    int attempt = 0;  ///< Completed pipeline attempts so far.
-  };
-
-  void WorkerLoop();
-
-  /// Resolves expired requests in place. Caller holds mu_.
-  void ResolveExpiredLocked(Clock::time_point now);
-
-  /// Pops up to max_batch ready requests when a cut is due (size, age, or
-  /// drain), else returns empty. Caller holds mu_.
-  std::vector<std::unique_ptr<Request>> CutBatchLocked(Clock::time_point now);
-
-  /// How long a worker may sleep before the next deadline / backoff expiry
-  /// / age-based cut could need attention. Caller holds mu_.
-  Clock::duration NextWakeDelayLocked(Clock::time_point now) const;
-
-  /// Runs one cut batch through the pipeline and resolves, retries, or
-  /// degrades each request. Called without mu_.
-  void ProcessBatch(std::vector<std::unique_ptr<Request>> batch);
-
-  /// Answers a request from the degradation ladder's lower rungs.
-  void Degrade(std::vector<std::unique_ptr<Request>> requests);
-
-  const cot::ChainPipeline* pipeline_;
-  const baselines::StressClassifier* fallback_;  ///< May be null.
-  ServeConfig config_;
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::unique_ptr<Request>> pending_;
-  bool stop_ = false;
-  int64_t next_id_ = 0;
-  /// Consecutive retryable pipeline failures (breaker state); guarded by
-  /// mu_ even though workers read it outside batch processing.
-  int consecutive_failures_ = 0;
-  Clock::time_point breaker_open_until_{};
-
-  std::vector<std::thread> workers_;
-  ServeStats stats_;
+  Replica replica_;
 };
 
 }  // namespace vsd::serve

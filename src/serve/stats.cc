@@ -5,11 +5,12 @@
 namespace vsd::serve {
 
 std::string ServeStatsSnapshot::ToString() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "submitted=%lld ok=%lld fallback=%lld prior=%lld "
                 "invalid=%lld deadline=%lld rejected=%lld dropped=%lld "
-                "retries=%lld batches=%lld fill=%.2f stalls=%lld",
+                "retries=%lld batches=%lld fill=%.2f stalls=%lld "
+                "failover=%lld shorted=%lld",
                 static_cast<long long>(submitted),
                 static_cast<long long>(completed_full),
                 static_cast<long long>(completed_fallback),
@@ -20,25 +21,29 @@ std::string ServeStatsSnapshot::ToString() const {
                 static_cast<long long>(dropped_on_shutdown),
                 static_cast<long long>(retries),
                 static_cast<long long>(batches_cut), MeanBatchFill(),
-                static_cast<long long>(stalls));
+                static_cast<long long>(stalls),
+                static_cast<long long>(failed_over),
+                static_cast<long long>(breaker_short_circuits));
   return buf;
 }
 
-ServeStatsSnapshot ServeStats::Snapshot() const {
-  ServeStatsSnapshot snap;
-  snap.submitted = submitted_.load(kOrder);
-  snap.rejected_queue_full = rejected_queue_full_.load(kOrder);
-  snap.invalid_arguments = invalid_arguments_.load(kOrder);
-  snap.completed_full = completed_full_.load(kOrder);
-  snap.completed_fallback = completed_fallback_.load(kOrder);
-  snap.completed_prior = completed_prior_.load(kOrder);
-  snap.deadline_exceeded = deadline_exceeded_.load(kOrder);
-  snap.dropped_on_shutdown = dropped_on_shutdown_.load(kOrder);
-  snap.retries = retries_.load(kOrder);
-  snap.batches_cut = batches_cut_.load(kOrder);
-  snap.batched_samples = batched_samples_.load(kOrder);
-  snap.stalls = stalls_.load(kOrder);
-  return snap;
+ServeStatsSnapshot& ServeStatsSnapshot::operator+=(
+    const ServeStatsSnapshot& other) {
+  submitted += other.submitted;
+  rejected_queue_full += other.rejected_queue_full;
+  invalid_arguments += other.invalid_arguments;
+  completed_full += other.completed_full;
+  completed_fallback += other.completed_fallback;
+  completed_prior += other.completed_prior;
+  deadline_exceeded += other.deadline_exceeded;
+  dropped_on_shutdown += other.dropped_on_shutdown;
+  retries += other.retries;
+  batches_cut += other.batches_cut;
+  batched_samples += other.batched_samples;
+  stalls += other.stalls;
+  failed_over += other.failed_over;
+  breaker_short_circuits += other.breaker_short_circuits;
+  return *this;
 }
 
 }  // namespace vsd::serve

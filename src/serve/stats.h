@@ -1,17 +1,18 @@
 #ifndef VSD_SERVE_STATS_H_
 #define VSD_SERVE_STATS_H_
 
-#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace vsd::serve {
 
-/// Point-in-time copy of a server's counters. Outcome counters partition
-/// the submitted requests: every accepted request resolves into exactly one
-/// of {completed_full, completed_fallback, completed_prior,
-/// invalid_arguments, deadline_exceeded, dropped_on_shutdown}; rejected
-/// requests (rejected_queue_full) never enter the queue.
+/// Point-in-time copy of a replica's counters. Outcome counters partition
+/// the submitted requests: every request accepted into the queue resolves
+/// into exactly one of {completed_full, completed_fallback, completed_prior,
+/// invalid_arguments, deadline_exceeded, dropped_on_shutdown} or is handed
+/// to another replica (failed_over); rejected requests
+/// (rejected_queue_full) never enter the queue.
 struct ServeStatsSnapshot {
   int64_t submitted = 0;
   int64_t rejected_queue_full = 0;
@@ -25,12 +26,14 @@ struct ServeStatsSnapshot {
   int64_t batches_cut = 0;    ///< Dynamic batches dispatched to workers.
   int64_t batched_samples = 0;  ///< Requests across all cut batches.
   int64_t stalls = 0;         ///< Injected worker stalls endured.
+  int64_t failed_over = 0;    ///< Requests handed to another replica.
+  int64_t breaker_short_circuits = 0;  ///< Requests shorted by an open breaker.
 
   /// Requests answered without the full pipeline (the degradation ladder's
   /// lower rungs).
   int64_t Degraded() const { return completed_fallback + completed_prior; }
 
-  /// Requests that resolved, one way or another.
+  /// Requests that resolved here, one way or another.
   int64_t Resolved() const {
     return completed_full + completed_fallback + completed_prior +
            invalid_arguments + deadline_exceeded + dropped_on_shutdown;
@@ -46,44 +49,62 @@ struct ServeStatsSnapshot {
 
   /// One-line human-readable rendering for logs.
   std::string ToString() const;
+
+  ServeStatsSnapshot& operator+=(const ServeStatsSnapshot& other);
 };
 
-/// \brief Thread-safe serving counters (relaxed atomics; counts are
-/// monotonic tallies, never used for synchronization).
+/// \brief Thread-safe serving counters.
+///
+/// One mutex guards the whole struct so `Snapshot()` is a single consistent
+/// copy: cross-counter invariants (`Resolved() + pending == submitted`,
+/// batch fill ratios) hold in every snapshot, even ones taken mid-run while
+/// workers are mutating — unlike the earlier per-field atomics, where a
+/// reader could observe a completion without its submission. Increment
+/// frequency is per request / per batch, so the lock is never on a
+/// per-sample hot path.
 class ServeStats {
  public:
-  void AddSubmitted() { submitted_.fetch_add(1, kOrder); }
-  void AddRejectedQueueFull() { rejected_queue_full_.fetch_add(1, kOrder); }
-  void AddInvalidArgument() { invalid_arguments_.fetch_add(1, kOrder); }
-  void AddCompletedFull() { completed_full_.fetch_add(1, kOrder); }
-  void AddCompletedFallback() { completed_fallback_.fetch_add(1, kOrder); }
-  void AddCompletedPrior() { completed_prior_.fetch_add(1, kOrder); }
-  void AddDeadlineExceeded() { deadline_exceeded_.fetch_add(1, kOrder); }
-  void AddDroppedOnShutdown() { dropped_on_shutdown_.fetch_add(1, kOrder); }
-  void AddRetry() { retries_.fetch_add(1, kOrder); }
-  void AddBatch(int64_t num_requests) {
-    batches_cut_.fetch_add(1, kOrder);
-    batched_samples_.fetch_add(num_requests, kOrder);
+  void AddSubmitted() { Add(&ServeStatsSnapshot::submitted); }
+  void AddRejectedQueueFull() {
+    Add(&ServeStatsSnapshot::rejected_queue_full);
   }
-  void AddStall() { stalls_.fetch_add(1, kOrder); }
+  void AddInvalidArgument() { Add(&ServeStatsSnapshot::invalid_arguments); }
+  void AddCompletedFull() { Add(&ServeStatsSnapshot::completed_full); }
+  void AddCompletedFallback() {
+    Add(&ServeStatsSnapshot::completed_fallback);
+  }
+  void AddCompletedPrior() { Add(&ServeStatsSnapshot::completed_prior); }
+  void AddDeadlineExceeded() { Add(&ServeStatsSnapshot::deadline_exceeded); }
+  void AddDroppedOnShutdown() {
+    Add(&ServeStatsSnapshot::dropped_on_shutdown);
+  }
+  void AddRetry() { Add(&ServeStatsSnapshot::retries); }
+  void AddBatch(int64_t num_requests) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_.batches_cut += 1;
+    counts_.batched_samples += num_requests;
+  }
+  void AddStall() { Add(&ServeStatsSnapshot::stalls); }
+  void AddFailedOver() { Add(&ServeStatsSnapshot::failed_over); }
+  void AddBreakerShortCircuit() {
+    Add(&ServeStatsSnapshot::breaker_short_circuits);
+  }
 
-  ServeStatsSnapshot Snapshot() const;
+  /// One consistent copy of every counter, taken under the same lock the
+  /// mutators hold.
+  ServeStatsSnapshot Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_;
+  }
 
  private:
-  static constexpr std::memory_order kOrder = std::memory_order_relaxed;
+  void Add(int64_t ServeStatsSnapshot::* field) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_.*field += 1;
+  }
 
-  std::atomic<int64_t> submitted_{0};
-  std::atomic<int64_t> rejected_queue_full_{0};
-  std::atomic<int64_t> invalid_arguments_{0};
-  std::atomic<int64_t> completed_full_{0};
-  std::atomic<int64_t> completed_fallback_{0};
-  std::atomic<int64_t> completed_prior_{0};
-  std::atomic<int64_t> deadline_exceeded_{0};
-  std::atomic<int64_t> dropped_on_shutdown_{0};
-  std::atomic<int64_t> retries_{0};
-  std::atomic<int64_t> batches_cut_{0};
-  std::atomic<int64_t> batched_samples_{0};
-  std::atomic<int64_t> stalls_{0};
+  mutable std::mutex mu_;
+  ServeStatsSnapshot counts_;
 };
 
 }  // namespace vsd::serve

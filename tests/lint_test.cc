@@ -382,7 +382,7 @@ TEST(BlockingWaitRule, FlagsBareCvWaitAndFutureGetInServe) {
   const std::string bare_wait = R"cc(
     void Drain() {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return done_; });
+      cv_.wait(lock);
     }
   )cc";
   EXPECT_TRUE(HasRule(Rules("src/serve/server.cc", bare_wait),
@@ -406,6 +406,16 @@ TEST(BlockingWaitRule, AllowsBoundedWaitsOtherGettersAndOtherPaths) {
     }
   )cc";
   EXPECT_TRUE(Rules("src/serve/server.cc", bounded).empty());
+  // A predicated wait re-checks its condition on every wakeup, so a lost
+  // notification cannot park the thread: allowed, even with a lambda whose
+  // body contains commas or nested calls.
+  const std::string predicated = R"cc(
+    void Drain() {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return Done(a, b) || stop_; });
+    }
+  )cc";
+  EXPECT_TRUE(Rules("src/serve/server.cc", predicated).empty());
   // unique_ptr::get() and promise::get_future() are not blocking waits.
   const std::string other_getters = R"cc(
     Request* Raw() { return req.get(); }
@@ -424,7 +434,7 @@ TEST(BlockingWaitRule, AllowsBoundedWaitsOtherGettersAndOtherPaths) {
   const std::string suppressed = R"cc(
     void Drain() {
       // vsd-lint: allow(blocking-wait-no-deadline) joined at shutdown only
-      cv_.wait(lock, [&] { return done_; });
+      cv_.wait(lock);
     }
   )cc";
   EXPECT_TRUE(Rules("src/serve/server.cc", suppressed).empty());
