@@ -3,11 +3,14 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <utility>
 
+#include "common/annotations.h"
 #include "common/batching.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -138,22 +141,42 @@ BenchData MakeBenchData(const BenchOptions& options) {
   return data;
 }
 
-const vlm::FoundationModel& PretrainedBase(const BenchOptions& options) {
-  // Reader/writer guarded so parallel folds share the lazily built backbone
-  // without serializing on the hot path: cache hits take the shared lock
-  // (after construction the model is only read), and only a miss upgrades
-  // to the exclusive lock, re-checking in case another thread built it
-  // while we waited.
-  static std::shared_mutex mu;
-  static std::map<uint64_t, std::unique_ptr<vlm::FoundationModel>> cache;
-  {
-    std::shared_lock<std::shared_mutex> lock(mu);
-    auto it = cache.find(options.seed);
-    if (it != cache.end()) return *it->second;
+namespace {
+
+/// Process-lifetime cache of pretrained models shared by parallel folds.
+/// Reader/writer guarded so folds share the lazily built model without
+/// serializing on the hot path: cache hits take the shared lock (after
+/// construction a model is only read), and only a miss upgrades to the
+/// exclusive lock, re-checking in case another thread built the model
+/// while we waited.
+template <typename Key>
+class ModelCache {
+ public:
+  const vlm::FoundationModel& GetOrBuild(
+      Key key,
+      const std::function<std::unique_ptr<vlm::FoundationModel>()>& build) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) return *it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) it = cache_.emplace(key, build()).first;
+    return *it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu);
-  auto it = cache.find(options.seed);
-  if (it == cache.end()) {
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<Key, std::unique_ptr<vlm::FoundationModel>> cache_
+      VSD_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+const vlm::FoundationModel& PretrainedBase(const BenchOptions& options) {
+  static ModelCache<uint64_t> cache;
+  return cache.GetOrBuild(options.seed, [&options] {
     std::fprintf(stderr, "[bench] pretraining generalist backbone...\n");
     vlm::ApiModelSpec spec = vlm::BackboneInitSpec();
     if (options.quick) {
@@ -162,25 +185,15 @@ const vlm::FoundationModel& PretrainedBase(const BenchOptions& options) {
     }
     auto model = std::make_unique<vlm::FoundationModel>(spec.config);
     vlm::PretrainGeneralist(model.get(), spec, options.seed * 11 + 5);
-    it = cache.emplace(options.seed, std::move(model)).first;
-  }
-  return *it->second;
+    return model;
+  });
 }
 
 const vlm::FoundationModel& ApiModel(vlm::ApiModelKind kind,
                                      const BenchOptions& options) {
-  // Same reader/writer discipline as PretrainedBase.
-  static std::shared_mutex mu;
-  static std::map<int, std::unique_ptr<vlm::FoundationModel>> cache;
+  static ModelCache<int> cache;
   const int key = static_cast<int>(kind);
-  {
-    std::shared_lock<std::shared_mutex> lock(mu);
-    auto it = cache.find(key);
-    if (it != cache.end()) return *it->second;
-  }
-  std::unique_lock<std::shared_mutex> lock(mu);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
+  return cache.GetOrBuild(key, [&options, kind, key] {
     std::fprintf(stderr, "[bench] pretraining %s...\n",
                  vlm::ApiModelName(kind));
     vlm::ApiModelSpec spec = vlm::GetApiModelSpec(kind);
@@ -195,9 +208,8 @@ const vlm::FoundationModel& ApiModel(vlm::ApiModelKind kind,
     // VSD_QUANT=int8 applies here. The backbone in PretrainedBase must
     // stay fp32 — it is cloned and fine-tuned.
     if (vlm::QuantEnabled()) vlm::QuantizeFrozenModel(model.get());
-    it = cache.emplace(key, std::move(model)).first;
-  }
-  return *it->second;
+    return model;
+  });
 }
 
 cot::ChainConfig OursChainConfig(const BenchOptions& options) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/annotations.h"
 #include "common/status.h"
 
 namespace vsd {
@@ -120,8 +121,8 @@ class FaultInjector {
   FaultInjector();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;  ///< Guards config_ against concurrent Configure.
-  FaultConfig config_;
+  mutable std::mutex mu_;
+  FaultConfig config_ VSD_GUARDED_BY(mu_);
   std::array<std::atomic<int64_t>, kNumFaultKinds> counts_{};
 };
 

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace vsd {
 
 /// Number of work chunks a loop of `n` iterations is split into. Depends
@@ -100,12 +102,12 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   std::mutex submit_mu_;  ///< Serializes concurrent external submitters.
-  std::mutex mu_;         ///< Guards work_, generation_, stop_, Work counters.
+  std::mutex mu_;         ///< Also guards the counters inside *work_.
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  Work* work_ = nullptr;
-  uint64_t generation_ = 0;
-  bool stop_ = false;
+  Work* work_ VSD_GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ VSD_GUARDED_BY(mu_) = 0;
+  bool stop_ VSD_GUARDED_BY(mu_) = false;
 };
 
 /// `ThreadPool::Global().ParallelFor(n, fn)`.

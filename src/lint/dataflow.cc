@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "lint/annotations.h"
+
 namespace vsd::lint {
 namespace {
 
@@ -14,7 +16,8 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
 
 bool IsIdent(const Token& t) { return t.kind == TokenKind::kIdentifier; }
 
-/// Keywords that can precede '(' without being a call or definition head.
+}  // namespace
+
 const std::set<std::string>& HeadKeywords() {
   static const std::set<std::string> kw = {
       "if",      "for",      "while",    "switch",        "catch",
@@ -27,8 +30,6 @@ const std::set<std::string>& HeadKeywords() {
   return kw;
 }
 
-/// Index of the token matching the opener at `open` ("(" / "{" / "["), or
-/// toks.size() when unbalanced.
 size_t MatchForward(const std::vector<Token>& toks, size_t open,
                     const char* opener, const char* closer) {
   int depth = 1;
@@ -42,8 +43,6 @@ size_t MatchForward(const std::vector<Token>& toks, size_t open,
   return k;
 }
 
-/// With toks[open] == "<", returns the index one past the matching ">".
-/// Handles ">>" closing two levels (template shorthand).
 size_t SkipAngles(const std::vector<Token>& toks, size_t open) {
   int depth = 1;
   size_t j = open + 1;
@@ -55,8 +54,6 @@ size_t SkipAngles(const std::vector<Token>& toks, size_t open) {
   }
   return j;
 }
-
-}  // namespace
 
 std::vector<DfFunction> ExtractFunctions(const std::string& file,
                                          const std::vector<Token>& toks) {
@@ -102,6 +99,13 @@ std::vector<DfFunction> ExtractFunctions(const std::string& file,
         if (j < toks.size() && toks[j].text == "(") {
           j = MatchForward(toks, j, "(", ")") + 1;
         }
+        continue;
+      }
+      // Thread-safety annotation macros (common/annotations.h) expand to
+      // nothing; skip `VSD_REQUIRES(mu_)` and friends like a specifier.
+      if (t.rfind("VSD_", 0) == 0 && j + 1 < toks.size() &&
+          toks[j + 1].text == "(") {
+        j = MatchForward(toks, j + 1, "(", ")") + 1;
         continue;
       }
       if (t == "->") {  // Trailing return type.
@@ -188,11 +192,18 @@ std::set<std::string> CollectBodyLocals(const std::vector<Token>& toks,
     if (!IsIdent(toks[k]) || HeadKeywords().count(toks[k].text)) continue;
     const Token& prev = toks[k - 1];
     const Token& next = toks[k + 1];
+    const auto type_ish = [](const Token& t) {
+      return (IsIdent(t) && !kNotType.count(t.text) &&
+              !HeadKeywords().count(t.text)) ||
+             t.text == ">";
+    };
+    // A declarator sigil only counts when a type precedes it: `int* p`
+    // and `Foo& r` declare, but the `&`/`*` in `f(&x)` or `= &v[0]` are
+    // address-of/deref operators and `x`/`v` are not being declared.
+    const bool sigil =
+        prev.text == "*" || prev.text == "&" || prev.text == "&&";
     const bool type_before =
-        (IsIdent(prev) && !kNotType.count(prev.text) &&
-         !HeadKeywords().count(prev.text)) ||
-        prev.text == ">" || prev.text == "*" || prev.text == "&" ||
-        prev.text == "&&";
+        sigil ? (k >= 2 && type_ish(toks[k - 2])) : type_ish(prev);
     if (!type_before) continue;
     if (next.text == "=" || next.text == ";" || next.text == "(" ||
         next.text == "{" || next.text == "[") {
@@ -205,7 +216,22 @@ std::set<std::string> CollectBodyLocals(const std::vector<Token>& toks,
 void DataflowProgram::AddFile(const std::string& path, const LexResult& lex) {
   files_.push_back(path);
   tokens_[path] = lex.tokens;
+  const std::vector<ClassExtent> extents = FindClassExtents(tokens_[path]);
   for (DfFunction& fn : ExtractFunctions(path, tokens_[path])) {
+    if (fn.qualifier.empty()) {
+      // Inline member functions carry no lexical qualifier; the innermost
+      // class extent containing the body names them, which is what makes
+      // member-mutex lock identities ("ServeStats::mu_") consistent between
+      // header-inline and out-of-class definitions.
+      size_t innermost = 0;
+      for (const ClassExtent& c : extents) {
+        if (fn.body_open > c.body_open && fn.body_close < c.body_close &&
+            (fn.qualifier.empty() || c.body_open > innermost)) {
+          fn.qualifier = c.name;
+          innermost = c.body_open;
+        }
+      }
+    }
     by_name_[fn.name].push_back(functions_.size());
     functions_.push_back(std::move(fn));
   }
@@ -248,8 +274,6 @@ std::vector<const DfFunction*> DataflowProgram::Resolve(
 // lock-order
 // ---------------------------------------------------------------------------
 
-namespace {
-
 const std::set<std::string>& GuardTypes() {
   static const std::set<std::string> kGuards = {
       "lock_guard", "unique_lock", "shared_lock", "scoped_lock",
@@ -257,9 +281,6 @@ const std::set<std::string>& GuardTypes() {
   return kGuards;
 }
 
-/// Receiver chain ending at token `e`, walked back through . / -> (and a
-/// leading `this->`), e.g. "entry.mu". Empty when the receiver is dynamic
-/// (call or subscript result) or not an identifier.
 std::string WalkBackChain(const std::vector<Token>& toks, size_t e) {
   if (e >= toks.size() || !IsIdent(toks[e])) return {};
   std::vector<std::string> parts{toks[e].text};
@@ -277,9 +298,6 @@ std::string WalkBackChain(const std::vector<Token>& toks, size_t e) {
   return chain;
 }
 
-/// Canonical graph identity for a mutex named by `chain` inside `fn`:
-/// locals/statics are per-function, members are per-class, everything else
-/// (file-scope globals seen from free functions) is per-file.
 std::string LockId(const DfFunction& fn, const std::set<std::string>& locals,
                    const std::string& chain) {
   const std::string base = chain.substr(0, chain.find('.'));
@@ -290,9 +308,6 @@ std::string LockId(const DfFunction& fn, const std::set<std::string>& locals,
   return fn.file + "::" + chain;
 }
 
-/// Mutex argument chains of a guard constructor: top-level comma-separated
-/// args in (open, close), std lock tags skipped, dynamic expressions
-/// dropped.
 std::vector<std::string> GuardArgChains(const std::vector<Token>& toks,
                                         size_t open, size_t close) {
   static const std::set<std::string> kTags = {"defer_lock", "adopt_lock",
@@ -330,6 +345,8 @@ std::vector<std::string> GuardArgChains(const std::vector<Token>& toks,
   return chains;
 }
 
+namespace {
+
 struct Held {
   std::string id;
   std::string guard;  ///< Guard variable; empty for a manual .lock().
@@ -348,11 +365,18 @@ struct LockScanHooks {
       on_call;
 };
 
+/// `initial` seeds the held set on entry (VSD_REQUIRES contracts: the
+/// caller already holds those locks). Seeded entries are `manual`, so brace
+/// pops never release them.
 void ScanFunctionLocks(const std::vector<Token>& toks, const DfFunction& fn,
-                       const LockScanHooks& hooks) {
+                       const LockScanHooks& hooks,
+                       const std::set<std::string>& initial = {}) {
   const std::set<std::string> locals =
       CollectBodyLocals(toks, fn.body_open, fn.body_close);
   std::vector<Held> held;
+  for (const std::string& id : initial) {
+    held.push_back(Held{id, "", 0, true});
+  }
   int depth = 0;
   for (size_t k = fn.body_open + 1; k < fn.body_close && k < toks.size();
        ++k) {
@@ -451,13 +475,28 @@ void ScanFunctionLocks(const std::vector<Token>& toks, const DfFunction& fn,
 
 LockGraph BuildLockGraph(const DataflowProgram& program) {
   const std::vector<DfFunction>& fns = program.functions();
+  const AnnotationIndex ann = BuildAnnotationIndex(program);
+
+  // Per-function REQUIRES set (held on entry) from annotations.
+  std::vector<std::set<std::string>> entry_held(fns.size());
 
   // Pass 1: direct acquisitions per function (for one-level call linking).
+  // VSD_ACQUIRES contracts count as direct acquisitions even when the
+  // acquisition is not lexically recoverable in the body.
   std::vector<std::set<std::string>> direct(fns.size());
   std::map<const DfFunction*, size_t> index;
   std::set<std::string> nodes;
   for (size_t i = 0; i < fns.size(); ++i) {
     index[&fns[i]] = i;
+    if (const MethodContract* c = ann.ContractFor(fns[i].qualifier,
+                                                  fns[i].name)) {
+      entry_held[i] = c->requires_held;
+      for (const std::string& id : c->requires_held) nodes.insert(id);
+      for (const std::string& id : c->acquires) {
+        direct[i].insert(id);
+        nodes.insert(id);
+      }
+    }
     LockScanHooks hooks;
     hooks.on_acquire = [&](const std::string& id, int, const std::vector<Held>&) {
       direct[i].insert(id);
@@ -477,7 +516,8 @@ LockGraph BuildLockGraph(const DataflowProgram& program) {
     graph.edges.push_back(LockEdge{from, to, file, line, via});
   };
   for (size_t i = 0; i < fns.size(); ++i) {
-    if (direct[i].empty()) continue;  // A function with no locks adds nothing.
+    // A function with no locks (direct or REQUIRES-seeded) adds nothing.
+    if (direct[i].empty() && entry_held[i].empty()) continue;
     LockScanHooks hooks;
     hooks.on_acquire = [&](const std::string& id, int line,
                            const std::vector<Held>& held) {
@@ -493,11 +533,12 @@ LockGraph BuildLockGraph(const DataflowProgram& program) {
         }
       }
     };
-    ScanFunctionLocks(program.tokens(fns[i].file), fns[i], hooks);
+    ScanFunctionLocks(program.tokens(fns[i].file), fns[i], hooks,
+                      entry_held[i]);
   }
   // Pass 2 skipped lock-free functions, so re-run call linking for them.
   for (size_t i = 0; i < fns.size(); ++i) {
-    if (!direct[i].empty()) continue;
+    if (!direct[i].empty() || !entry_held[i].empty()) continue;
     LockScanHooks hooks;
     hooks.on_call = [&](const std::string& name, int line,
                         const std::vector<Held>& held) {

@@ -54,6 +54,42 @@ struct DfFunction {
 std::vector<DfFunction> ExtractFunctions(const std::string& file,
                                          const std::vector<Token>& toks);
 
+// Token-walk utilities shared with the annotation analyses
+// (lint/annotations.h). Semantics are pinned by tests/dataflow_test.cc.
+
+/// Keywords that can precede '(' without being a call or definition head.
+const std::set<std::string>& HeadKeywords();
+
+/// Index of the token matching the opener at `open` ("(" / "{" / "["), or
+/// toks.size() when unbalanced.
+size_t MatchForward(const std::vector<Token>& toks, size_t open,
+                    const char* opener, const char* closer);
+
+/// With toks[open] == "<", returns the index one past the matching ">".
+/// Handles ">>" closing two levels (template shorthand).
+size_t SkipAngles(const std::vector<Token>& toks, size_t open);
+
+/// Receiver chain ending at token `e`, walked back through . / -> (and a
+/// leading `this->`), e.g. "entry.mu". Empty when the receiver is dynamic
+/// (call or subscript result) or not an identifier.
+std::string WalkBackChain(const std::vector<Token>& toks, size_t e);
+
+/// Canonical graph identity for a mutex named by `chain` inside `fn`:
+/// locals/statics are per-function, members are per-class, everything else
+/// (file-scope globals seen from free functions) is per-file.
+std::string LockId(const DfFunction& fn, const std::set<std::string>& locals,
+                   const std::string& chain);
+
+/// RAII guard class names treated as lock acquisitions (lock_guard,
+/// unique_lock, shared_lock, scoped_lock).
+const std::set<std::string>& GuardTypes();
+
+/// Mutex argument chains of a guard constructor: top-level comma-separated
+/// args in (open, close), std lock tags skipped, dynamic expressions
+/// dropped.
+std::vector<std::string> GuardArgChains(const std::vector<Token>& toks,
+                                        size_t open, size_t close);
+
 /// Names declared as locals inside [body_open, body_close): `Type name ...`
 /// shapes, including static locals. Used to scope lock identities and to
 /// distinguish per-function statics from class members.

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "lint/annotations.h"
 #include "lint/captures.h"
 #include "lint/dataflow.h"
 #include "lint/include_graph.h"
@@ -715,7 +716,8 @@ const std::vector<std::string>& AllRules() {
       "unguarded-capture",  "wall-clock", "thread-id",
       "pointer-key",    "layering",      "include-cycle",
       "lock-order",     "nondet-taint",  "hot-path-alloc",
-      "kernel-bypass",
+      "kernel-bypass",  "guarded-by",    "unannotated-mutex",
+      "ref-invalidation",
   };
   return kRules;
 }
@@ -764,6 +766,16 @@ std::vector<Finding> CollectFileFindings(const std::string& path,
 std::vector<Finding> ProgramFindings(const DataflowProgram& program) {
   std::vector<Finding> findings = CheckHotPathAlloc(program);
   for (Finding& f : CheckLockOrder(BuildLockGraph(program))) {
+    findings.push_back(std::move(f));
+  }
+  const AnnotationIndex ann = BuildAnnotationIndex(program);
+  for (Finding& f : CheckGuardedBy(program, ann)) {
+    findings.push_back(std::move(f));
+  }
+  for (Finding& f : CheckUnannotatedMutex(ann)) {
+    findings.push_back(std::move(f));
+  }
+  for (Finding& f : CheckRefInvalidation(program)) {
     findings.push_back(std::move(f));
   }
   return findings;
@@ -899,28 +911,34 @@ std::vector<Finding> LintTree(const std::string& root,
   return findings;
 }
 
-std::string FindingsToJson(const std::vector<Finding>& findings) {
-  auto escape = [](const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        case '\r': out += "\\r"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
     }
-    return out;
-  };
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  const auto& escape = JsonEscape;
   std::string out = "[";
   for (size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
@@ -930,6 +948,58 @@ std::string FindingsToJson(const std::vector<Finding>& findings) {
            escape(f.rule) + "\", \"message\": \"" + escape(f.message) + "\"}";
   }
   out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+std::string FindingsToSarif(const std::vector<Finding>& findings) {
+  // Minimal SARIF 2.1.0: enough for GitHub code scanning to render each
+  // finding as an inline annotation. Hand-built like FindingsToJson so the
+  // bytes are deterministic.
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n";
+  out += "    {\n";
+  out += "      \"tool\": {\n";
+  out += "        \"driver\": {\n";
+  out += "          \"name\": \"vsd_lint\",\n";
+  out += "          \"rules\": [\n";
+  const std::vector<std::string>& rules = AllRules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\"id\": \"" + JsonEscape(rules[i]) + "\"}";
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out += "          ]\n";
+  out += "        }\n";
+  out += "      },\n";
+  if (findings.empty()) {
+    out += "      \"results\": []\n";
+    out += "    }\n";
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+  }
+  out += "      \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    // SARIF requires startLine >= 1; tree-level findings (io-error) use 0.
+    const int line = f.line > 0 ? f.line : 1;
+    out += "        {\"ruleId\": \"" + JsonEscape(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           JsonEscape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           JsonEscape(f.file) +
+           "\"}, \"region\": {\"startLine\": " + std::to_string(line) +
+           "}}}]}";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out += "      ]\n";
+  out += "    }\n";
+  out += "  ]\n";
+  out += "}\n";
   return out;
 }
 
@@ -1003,6 +1073,39 @@ std::vector<Finding> AuditSuppressions(
     files.emplace_back(rel, std::move(content));
   }
   return AuditFiles(files);
+}
+
+AnnotationAudit AuditAnnotations(const std::string& root,
+                                 const std::vector<std::string>& subdirs) {
+  DataflowProgram program;
+  std::map<std::string, std::map<int, std::set<std::string>>> suppressions;
+  for (const std::string& rel : ListSourceFiles(root, subdirs)) {
+    std::string content;
+    if (!ReadFileToString(root, rel, &content)) continue;
+    LexResult lex = Lex(content);
+    suppressions[rel] = lex.suppressions;
+    program.AddFile(rel, std::move(lex));
+  }
+  const AnnotationIndex index = BuildAnnotationIndex(program);
+
+  AnnotationAudit audit;
+  for (const auto& [cls, ca] : index.classes()) {
+    (void)cls;
+    if (!ca.guarded.empty()) ++audit.annotated_classes;
+    audit.guarded_fields += static_cast<int64_t>(ca.guarded.size());
+    audit.contracts += static_cast<int64_t>(ca.methods.size());
+  }
+  for (Finding& f : CheckUnannotatedMutex(index)) {
+    if (!IsSuppressed(f, suppressions[f.file])) {
+      audit.findings.push_back(std::move(f));
+    }
+  }
+  std::stable_sort(audit.findings.begin(), audit.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.file != b.file ? a.file < b.file
+                                             : a.line < b.line;
+                   });
+  return audit;
 }
 
 }  // namespace vsd::lint

@@ -1,6 +1,7 @@
 #ifndef VSD_LINT_LINT_H_
 #define VSD_LINT_LINT_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,6 +56,16 @@ struct Finding {
 ///    src/tensor/, src/nn/, or src/vlm/ outside src/tensor/kernels*; such
 ///    loops must route through tensor/kernels.h so they dispatch via the
 ///    kernel registry (SIMD/int8 backends, bit-identity contract)
+///  * guarded-by     — read/write of a VSD_GUARDED_BY(mu) field without
+///    holding mu (guard declaration, manual lock window, or VSD_REQUIRES
+///    on the enclosing function), or a resolvable call violating a
+///    VSD_REQUIRES/VSD_EXCLUDES contract (annotations.h)
+///  * unannotated-mutex — a mutex member in src/ whose class has zero
+///    VSD_GUARDED_BY fields: the lock guards nothing the linter can check
+///  * ref-invalidation — reference/pointer/iterator bound into vector or
+///    Tensor storage used after a mutating call (push_back/resize/Append/
+///    clear/...) on the same container, including through one same-class
+///    call level — the static twin of the PR-7 Conv2d use-after-free
 ///
 /// All rule names, for CLI validation and tests.
 const std::vector<std::string>& AllRules();
@@ -94,6 +105,12 @@ std::vector<Finding> LintTree(const std::string& root,
 /// object per line, input order preserved, trailing newline.
 std::string FindingsToJson(const std::vector<Finding>& findings);
 
+/// Findings as a SARIF 2.1.0 log (for `vsd_lint --format=sarif` and the CI
+/// code-scanning artifact): one run, driver "vsd_lint" listing AllRules(),
+/// one result per finding at level "error". Deterministic: input order
+/// preserved, trailing newline.
+std::string FindingsToSarif(const std::vector<Finding>& findings);
+
 /// Stale-suppression audit over in-memory (path, content) pairs: every
 /// `// vsd-lint: allow(<rule>)` comment must still match a raw (pre-
 /// suppression) finding of that rule on its own line or the next one —
@@ -106,6 +123,18 @@ std::vector<Finding> AuditFiles(
 /// AuditFiles over the standard tree walk (for --audit-suppressions).
 std::vector<Finding> AuditSuppressions(const std::string& root,
                                        const std::vector<std::string>& subdirs);
+
+/// Annotation-coverage audit over the standard tree walk (for
+/// --audit-annotations): unannotated-mutex findings after suppressions,
+/// plus coverage counters for the summary line.
+struct AnnotationAudit {
+  std::vector<Finding> findings;
+  int64_t annotated_classes = 0;  ///< Classes with >= 1 guarded field.
+  int64_t guarded_fields = 0;     ///< VSD_GUARDED_BY fields seen.
+  int64_t contracts = 0;          ///< Methods with REQUIRES/ACQUIRES/EXCLUDES.
+};
+AnnotationAudit AuditAnnotations(const std::string& root,
+                                 const std::vector<std::string>& subdirs);
 
 }  // namespace vsd::lint
 

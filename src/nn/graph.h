@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "nn/arena.h"
 #include "tensor/autograd.h"
 #include "tensor/dtype.h"
@@ -231,7 +232,7 @@ class CompiledForward {
 
   BuildFn build_;
   std::mutex mu_;
-  std::unordered_map<int, Entry> entries_;  // keyed by batch size
+  std::unordered_map<int, Entry> entries_ VSD_GUARDED_BY(mu_);  // by batch
 };
 
 }  // namespace vsd::nn::graph

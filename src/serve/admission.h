@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 
+#include "common/annotations.h"
 #include "common/status.h"
 
 namespace vsd::serve {
@@ -75,12 +76,12 @@ class AdmissionController {
 
   const TenantQuota& QuotaFor(uint64_t tenant) const;
 
-  /// Caller holds mu_.
-  Bucket& RefillLocked(uint64_t tenant, int64_t now_micros);
+  Bucket& RefillLocked(uint64_t tenant, int64_t now_micros)
+      VSD_REQUIRES(mu_);
 
   AdmissionConfig config_;
   std::mutex mu_;
-  std::map<uint64_t, Bucket> buckets_;
+  std::map<uint64_t, Bucket> buckets_ VSD_GUARDED_BY(mu_);
 };
 
 }  // namespace vsd::serve

@@ -369,6 +369,10 @@ void Replica::ProcessBatch(std::vector<std::unique_ptr<Request>> batch,
   // An open breaker short-circuits the whole batch before any work (or
   // fault draw) happens: requests go straight to the degraded answer. An
   // elapsed open window lets the batch through as a half-open probe.
+  // enabled() reads only the breaker threshold, which every locked
+  // reassignment copies unchanged from the immutable config_; the
+  // stateful calls below take mu_.
+  // vsd-lint: allow(guarded-by) lock-free early-out on immutable state
   if (breaker_.enabled()) {
     bool shorted;
     {
@@ -453,6 +457,7 @@ void Replica::ProcessBatch(std::vector<std::unique_ptr<Request>> batch,
     }
 
     if (failure.ok()) {
+      // vsd-lint: allow(guarded-by) enabled() is immutable; lock below
       if (breaker_.enabled()) {
         std::lock_guard<std::mutex> lock(mu_);
         breaker_.RecordSuccess();
@@ -474,6 +479,7 @@ void Replica::ProcessBatch(std::vector<std::unique_ptr<Request>> batch,
       continue;
     }
 
+    // vsd-lint: allow(guarded-by) enabled() is immutable; lock below
     if (breaker_.enabled()) {
       std::lock_guard<std::mutex> lock(mu_);
       breaker_.RecordFailure(clock_->NowMicros());

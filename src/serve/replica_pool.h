@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "baselines/baseline.h"
+#include "common/annotations.h"
 #include "common/result.h"
 #include "cot/pipeline.h"
 #include "data/sample.h"
@@ -224,34 +225,32 @@ class Replica {
  private:
   void WorkerLoop();
 
-  /// Resolves expired requests in place. Caller holds mu_.
-  void ResolveExpiredLocked(int64_t now);
+  /// Resolves expired requests in place.
+  void ResolveExpiredLocked(int64_t now) VSD_REQUIRES(mu_);
 
   /// Pops up to max_batch ready requests (interactive QoS first) when a
   /// cut is due (size, age, or drain) and the replica is not busy under
   /// the service model, else returns empty. When the service model is
   /// active, advances busy_until_micros_ and writes the batch's virtual
-  /// completion time to `*completion_micros` (0 otherwise). Caller holds
-  /// mu_.
+  /// completion time to `*completion_micros` (0 otherwise).
   std::vector<std::unique_ptr<Request>> CutBatchLocked(
-      int64_t now, int64_t* completion_micros);
+      int64_t now, int64_t* completion_micros) VSD_REQUIRES(mu_);
 
   /// How long (micros) a worker may sleep before the next deadline /
-  /// backoff expiry / age-based cut could need attention. Caller holds
-  /// mu_.
-  int64_t NextWakeDelayLocked(int64_t now) const;
+  /// backoff expiry / age-based cut could need attention.
+  int64_t NextWakeDelayLocked(int64_t now) const VSD_REQUIRES(mu_);
 
   /// Earliest event time strictly after `now` over the pending queue
   /// (ready gates, age cuts, deadlines, the service-model busy horizon),
-  /// or kNoEvent. Caller holds mu_.
-  int64_t NextEventLocked(int64_t now) const;
+  /// or kNoEvent.
+  int64_t NextEventLocked(int64_t now) const VSD_REQUIRES(mu_);
 
   /// Runs one cut batch through the pipeline and resolves, retries,
   /// fails over, or degrades each request. `completion_micros` is the
   /// service model's virtual completion time (0 = none; resolution time
-  /// is read from the clock). Called without mu_.
+  /// is read from the clock).
   void ProcessBatch(std::vector<std::unique_ptr<Request>> batch,
-                    int64_t completion_micros);
+                    int64_t completion_micros) VSD_EXCLUDES(mu_);
 
   /// Answers requests from the degradation ladder's lower rungs.
   /// `completion_micros` stamps latency (pass the current clock time when
@@ -279,12 +278,12 @@ class Replica {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::unique_ptr<Request>> pending_;
-  bool stop_ = false;
-  int64_t next_id_ = 0;
-  CircuitBreaker breaker_;
+  std::deque<std::unique_ptr<Request>> pending_ VSD_GUARDED_BY(mu_);
+  bool stop_ VSD_GUARDED_BY(mu_) = false;
+  int64_t next_id_ VSD_GUARDED_BY(mu_) = 0;
+  CircuitBreaker breaker_ VSD_GUARDED_BY(mu_);
   /// Service-model gate: the replica is busy until this clock time.
-  int64_t busy_until_micros_ = 0;
+  int64_t busy_until_micros_ VSD_GUARDED_BY(mu_) = 0;
 
   std::atomic<bool> down_{false};
   std::atomic<int> slow_factor_{1};
@@ -397,14 +396,14 @@ class ReplicaPool {
   std::vector<std::unique_ptr<Replica>> replicas_;
 
   mutable std::mutex health_mu_;
-  std::vector<HealthState> health_;
-  int64_t epoch_ = 0;
-  int64_t quarantines_ = 0;
-  int64_t readmissions_ = 0;
-  int64_t down_heartbeats_ = 0;
+  std::vector<HealthState> health_ VSD_GUARDED_BY(health_mu_);
+  int64_t epoch_ VSD_GUARDED_BY(health_mu_) = 0;
+  int64_t quarantines_ VSD_GUARDED_BY(health_mu_) = 0;
+  int64_t readmissions_ VSD_GUARDED_BY(health_mu_) = 0;
+  int64_t down_heartbeats_ VSD_GUARDED_BY(health_mu_) = 0;
 
   mutable std::mutex handler_mu_;
-  FailoverHandler failover_;
+  FailoverHandler failover_ VSD_GUARDED_BY(handler_mu_);
 };
 
 }  // namespace vsd::serve

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "data/sample.h"
 #include "serve/admission.h"
@@ -99,9 +100,9 @@ class Router {
   AdmissionController admission_;
   std::vector<RingPoint> ring_;  ///< Sorted by hash; immutable after ctor.
 
-  mutable std::mutex mu_;  ///< Guards next_id_ and stats_.
-  int64_t next_id_ = 0;
-  RouterStatsSnapshot stats_;
+  mutable std::mutex mu_;
+  int64_t next_id_ VSD_GUARDED_BY(mu_) = 0;
+  RouterStatsSnapshot stats_ VSD_GUARDED_BY(mu_);
 };
 
 }  // namespace vsd::serve

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <string>
 
+#include "common/annotations.h"
+
 namespace vsd::serve {
 
 /// Point-in-time copy of a replica's counters. Outcome counters partition
@@ -104,7 +106,7 @@ class ServeStats {
   }
 
   mutable std::mutex mu_;
-  ServeStatsSnapshot counts_;
+  ServeStatsSnapshot counts_ VSD_GUARDED_BY(mu_);
 };
 
 }  // namespace vsd::serve

@@ -85,13 +85,14 @@ void Backward(const Var& root) {
   visited.insert(root.node().get());
   while (!stack.empty()) {
     Frame& frame = stack.back();
-    if (frame.next_parent < frame.node->parents.size()) {
-      Node* parent = frame.node->parents[frame.next_parent++].get();
-      if (visited.insert(parent).second) stack.push_back({parent, 0});
-    } else {
+    if (frame.next_parent >= frame.node->parents.size()) {
       order.push_back(frame.node);
       stack.pop_back();
+      continue;
     }
+    // `frame` dies here: the push_back below may reallocate the stack.
+    Node* parent = frame.node->parents[frame.next_parent++].get();
+    if (visited.insert(parent).second) stack.push_back({parent, 0});
   }
   root.node()->EnsureGrad().Fill(1.0f);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {

@@ -242,6 +242,58 @@ TEST(LockGraphTest, MemberMutexesAreCanonicalizedPerClass) {
   EXPECT_EQ(graph.edges[0].to, "Pool::mu_");
 }
 
+TEST(LockGraphTest, RequiresAnnotationSeedsTheHeldSet) {
+  // A VSD_REQUIRES(mu_) function acquires nothing itself, but any lock it
+  // takes inside must order after the annotated one — the annotation
+  // contributes the same edge a visible lock_guard would.
+  DataflowProgram program;
+  program.AddFile("x.cc", Lex(R"cc(
+    class Pool {
+     public:
+      void DrainLocked() VSD_REQUIRES(mu_) {
+        std::lock_guard<std::mutex> g(log_mu_);
+      }
+
+     private:
+      std::mutex mu_;
+      std::mutex log_mu_;
+    };
+  )cc"));
+  const LockGraph graph = BuildLockGraph(program);
+  ASSERT_EQ(graph.edges.size(), 1u);
+  EXPECT_EQ(graph.edges[0].from, "Pool::mu_");
+  EXPECT_EQ(graph.edges[0].to, "Pool::log_mu_");
+}
+
+TEST(LockGraphTest, AcquiresAnnotationCountsAsADirectAcquisition) {
+  // An opposing order expressed half in code, half via VSD_ACQUIRES still
+  // closes the deadlock cycle. (Contracts are member-scoped: the index is
+  // keyed by class, so free functions cannot carry one.)
+  DataflowProgram program;
+  program.AddFile("x.cc", Lex(R"cc(
+    class S {
+     public:
+      void TakesB() VSD_ACQUIRES(b_mu_) { }
+      void Forward() {
+        std::lock_guard<std::mutex> g(a_mu_);
+        TakesB();
+      }
+      void Backward() {
+        std::lock_guard<std::mutex> g(b_mu_);
+        std::lock_guard<std::mutex> h(a_mu_);
+      }
+
+     private:
+      std::mutex a_mu_;
+      std::mutex b_mu_;
+    };
+  )cc"));
+  const LockGraph graph = BuildLockGraph(program);
+  const std::vector<Finding> cycles = CheckLockOrder(graph);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].rule, "lock-order");
+}
+
 TEST(LockGraphTest, DumpLockDotEmitsNodesAndLabeledEdges) {
   DataflowProgram program;
   program.AddFile("x.cc", Lex(R"cc(

@@ -127,6 +127,45 @@ TEST(FixTest, IsIdempotent) {
   }
 }
 
+TEST(FixTest, AnnotatedHeaderRoundTripsUnchanged) {
+  // Thread-safety annotation macros must read as ordinary tokens to the
+  // fixer: a clean annotated header passes through byte-for-byte, and a
+  // dirty one converges in one pass with the annotations intact.
+  const std::string annotated =
+      "#ifndef VSD_COT_X_H_\n"
+      "#define VSD_COT_X_H_\n"
+      "\n"
+      "#include <mutex>\n"
+      "\n"
+      "#include \"common/annotations.h\"\n"
+      "\n"
+      "class C {\n"
+      "  void DrainLocked() VSD_REQUIRES(mu_);\n"
+      "  std::mutex mu_;\n"
+      "  int n_ VSD_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "\n"
+      "#endif  // VSD_COT_X_H_\n";
+  const FixOutcome clean = FixContent("src/cot/x.h", annotated);
+  EXPECT_FALSE(clean.changed());
+  EXPECT_EQ(clean.content, annotated);
+
+  const std::string dirty =
+      "#include \"common/annotations.h\"\n"
+      "#include <mutex>\n"
+      "\n"
+      "class C {\n"
+      "  int n_ VSD_GUARDED_BY(mu_) = 0;\n"
+      "  std::mutex mu_;\n"
+      "};\n";
+  const FixOutcome first = FixContent("src/cot/x.h", dirty);
+  EXPECT_TRUE(first.changed());
+  EXPECT_NE(first.content.find("VSD_GUARDED_BY(mu_)"), std::string::npos);
+  const FixOutcome second = FixContent("src/cot/x.h", first.content);
+  EXPECT_FALSE(second.changed());
+  EXPECT_EQ(second.content, first.content);
+}
+
 TEST(FixTest, CleanContentPassesThroughByteForByte) {
   const std::string clean =
       "#ifndef VSD_COT_X_H_\n"

@@ -911,6 +911,266 @@ TEST(FindingsToJsonTest, EmptyIsAnEmptyArray) {
   EXPECT_EQ(FindingsToJson({}), "[]\n");
 }
 
+TEST(FindingsToSarifTest, EmitsRunDriverRulesAndResults) {
+  const std::vector<Finding> findings = {
+      Finding{"src/a.cc", 3, "guarded-by", "say \"hi\""},
+  };
+  const std::string sarif = FindingsToSarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-2.1.0"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"vsd_lint\""), std::string::npos);
+  // Every rule is declared so viewers can resolve any ruleId.
+  for (const std::string& rule : AllRules()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + rule + "\""), std::string::npos);
+  }
+  EXPECT_NE(sarif.find("\"ruleId\": \"guarded-by\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/a.cc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
+  EXPECT_NE(sarif.find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(FindingsToSarifTest, EmptyFindingsIsAValidEmptyRun) {
+  const std::string sarif = FindingsToSarif({});
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
+}
+
+// ------------------------------------------------------ annotation rules ----
+
+TEST(GuardedByRule, FlagsUnlockedAccessAndAcceptsGuardedOne) {
+  const std::string src = R"cc(
+    class Counter {
+     public:
+      void Inc() {
+        std::lock_guard<std::mutex> lock(mu_);
+        n_ += 1;
+      }
+      int BadRead() { return n_; }
+
+     private:
+      std::mutex mu_;
+      int n_ VSD_GUARDED_BY(mu_) = 0;
+    };
+  )cc";
+  const std::vector<Finding> findings = LintContent("src/x/c.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "guarded-by");
+  EXPECT_EQ(findings[0].line, 8);  // the BadRead body, not Inc.
+}
+
+TEST(GuardedByRule, RequiresOnCalleeIsHonoredAndEnforcedAtCallSites) {
+  const std::string good = R"cc(
+    class Q {
+     public:
+      void Push(int v) {
+        std::lock_guard<std::mutex> lock(mu_);
+        PushLocked(v);
+      }
+
+     private:
+      void PushLocked(int v) VSD_REQUIRES(mu_) { items_ += v; }
+      std::mutex mu_;
+      int items_ VSD_GUARDED_BY(mu_) = 0;
+    };
+  )cc";
+  EXPECT_TRUE(Rules("src/x/c.cc", good).empty());
+
+  const std::string bad = R"cc(
+    class Q {
+     public:
+      void Push(int v) { PushLocked(v); }
+
+     private:
+      void PushLocked(int v) VSD_REQUIRES(mu_) { items_ += v; }
+      std::mutex mu_;
+      int items_ VSD_GUARDED_BY(mu_) = 0;
+    };
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/x/c.cc", bad), "guarded-by"));
+}
+
+TEST(GuardedByRule, ManualUnlockWindowIsAFinding) {
+  const std::string src = R"cc(
+    class W {
+     public:
+      void F() {
+        mu_.lock();
+        n_ = 1;
+        mu_.unlock();
+        n_ = 2;
+      }
+
+     private:
+      std::mutex mu_;
+      int n_ VSD_GUARDED_BY(mu_) = 0;
+    };
+  )cc";
+  const std::vector<Finding> findings = LintContent("src/x/c.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "guarded-by");
+  EXPECT_EQ(findings[0].line, 8);  // after unlock(), not the locked write.
+}
+
+TEST(GuardedByRule, MultiMutexClassTracksTheRightLock) {
+  const std::string src = R"cc(
+    class Two {
+     public:
+      void WrongLock() {
+        std::lock_guard<std::mutex> lock(a_mu_);
+        b_ = 1;
+      }
+      void RightLock() {
+        std::lock_guard<std::mutex> lock(b_mu_);
+        b_ = 2;
+      }
+
+     private:
+      std::mutex a_mu_;
+      std::mutex b_mu_;
+      int a_ VSD_GUARDED_BY(a_mu_) = 0;
+      int b_ VSD_GUARDED_BY(b_mu_) = 0;
+    };
+  )cc";
+  const std::vector<Finding> findings = LintContent("src/x/c.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 6);  // b_ under a_mu_ only.
+}
+
+TEST(GuardedByRule, ExcludesContractFlagsCallsMadeUnderTheLock) {
+  const std::string src = R"cc(
+    class R {
+     public:
+      void Drain() VSD_EXCLUDES(mu_) { }
+      void Bad() {
+        std::lock_guard<std::mutex> lock(mu_);
+        n_ = 1;
+        Drain();
+      }
+
+     private:
+      std::mutex mu_;
+      int n_ VSD_GUARDED_BY(mu_) = 0;
+    };
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/x/c.cc", src), "guarded-by"));
+}
+
+TEST(GuardedByRule, SuppressionSilencesIt) {
+  const std::string src = R"cc(
+    class Counter {
+     public:
+      // vsd-lint: allow(guarded-by) reader tolerates a stale value.
+      int Peek() { return n_; }
+
+     private:
+      std::mutex mu_;
+      int n_ VSD_GUARDED_BY(mu_) = 0;
+    };
+  )cc";
+  EXPECT_TRUE(Rules("src/x/c.cc", src).empty());
+}
+
+TEST(UnannotatedMutexRule, FlagsBareMutexInSrcOnly) {
+  const std::string bare = R"cc(
+    class C {
+      std::mutex mu_;
+      int n_ = 0;
+    };
+  )cc";
+  EXPECT_TRUE(HasRule(Rules("src/x/c.cc", bare), "unannotated-mutex"));
+  EXPECT_TRUE(Rules("tests/x/c.cc", bare).empty());
+
+  const std::string annotated = R"cc(
+    class C {
+      std::mutex mu_;
+      int n_ VSD_GUARDED_BY(mu_) = 0;
+    };
+  )cc";
+  EXPECT_TRUE(Rules("src/x/c.cc", annotated).empty());
+}
+
+TEST(RefInvalidationRule, ReferenceUsedAcrossPushBackIsAFinding) {
+  const std::string src = R"cc(
+    int F() {
+      std::vector<int> v;
+      v.push_back(1);
+      int& r = v[0];
+      v.push_back(2);
+      return r;
+    }
+  )cc";
+  const std::vector<Finding> findings = LintContent("src/x/c.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "ref-invalidation");
+  EXPECT_EQ(findings[0].line, 7);  // the use, after the second push_back.
+}
+
+// The minimized PR-7 Conv2d::BuildGraph shape: a pointer into a vector
+// held across a same-class call that appends to the same vector.
+TEST(RefInvalidationRule, PointerHeldAcrossMutatingMemberCallIsAFinding) {
+  const std::string src = R"cc(
+    class Graph {
+     public:
+      int* Append(int v) {
+        nodes_.push_back(v);
+        return &nodes_.back();
+      }
+      int Build() {
+        nodes_.push_back(1);
+        int* first = &nodes_[0];
+        Append(7);
+        return *first;
+      }
+
+     private:
+      std::vector<int> nodes_;
+    };
+  )cc";
+  const std::vector<Finding> findings = LintContent("src/x/c.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "ref-invalidation");
+  EXPECT_EQ(findings[0].line, 12);  // *first after Append().
+}
+
+TEST(RefInvalidationRule, UseBeforeMutationAndNodeContainersAreClean) {
+  const std::string before = R"cc(
+    int F() {
+      std::vector<int> v;
+      v.push_back(1);
+      int& r = v[0];
+      int x = r;
+      v.push_back(2);
+      return x;
+    }
+  )cc";
+  EXPECT_TRUE(Rules("src/x/c.cc", before).empty());
+
+  // std::map references survive insertion; only contiguous containers
+  // invalidate on growth.
+  const std::string node_based = R"cc(
+    int G() {
+      std::map<int, int> m;
+      int& r = m[0];
+      m.emplace(1, 1);
+      return r;
+    }
+  )cc";
+  EXPECT_TRUE(Rules("src/x/c.cc", node_based).empty());
+}
+
+TEST(RefInvalidationRule, SuppressionSilencesIt) {
+  const std::string src = R"cc(
+    int F() {
+      std::vector<int> v;
+      v.reserve(2);
+      int& r = v[0];
+      v.push_back(2);
+      // vsd-lint: allow(ref-invalidation) reserve() above pins capacity.
+      return r;
+    }
+  )cc";
+  EXPECT_TRUE(Rules("src/x/c.cc", src).empty());
+}
+
 // ------------------------------------------------------ suppression audit ----
 
 TEST(AuditFilesTest, FlagsStaleKeepsLiveAndIgnoresUnknownRules) {
@@ -998,7 +1258,8 @@ TEST(AllRulesTest, NamesAreStable) {
       "unguarded-capture",  "wall-clock", "thread-id",
       "pointer-key",    "layering",      "include-cycle",
       "lock-order",     "nondet-taint",  "hot-path-alloc",
-      "kernel-bypass",
+      "kernel-bypass",  "guarded-by",    "unannotated-mutex",
+      "ref-invalidation",
   };
   EXPECT_EQ(AllRules(), expected);
 }

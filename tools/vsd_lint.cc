@@ -8,11 +8,14 @@
 // nondeterminism in result paths, header hygiene, no unordered-container
 // iteration in result paths — plus the whole-program checks: include-graph
 // layering and cycles, lock-order deadlock cycles, nondeterminism taint
-// flow, and hot-path allocation (see src/lint/dataflow.h).
+// flow, hot-path allocation (see src/lint/dataflow.h), annotation-enforced
+// thread safety (guarded-by / unannotated-mutex), and reference
+// invalidation across container mutation (see src/lint/annotations.h).
 //
 // Usage:
-//   vsd_lint [--root DIR] [--fix] [--format=json] [--dump-graph]
-//            [--dump-lock-graph] [--audit-suppressions] [SUBDIR...]
+//   vsd_lint [--root DIR] [--fix] [--format=json|sarif] [--dump-graph]
+//            [--dump-lock-graph] [--audit-suppressions]
+//            [--audit-annotations] [SUBDIR...]
 //
 // With no SUBDIRs, lints src bench tools tests examples under --root
 // (default: the current directory). Exit code 0 = clean, 1 = findings,
@@ -24,6 +27,9 @@
 //   --format=json     print findings as a JSON array (file/line/rule/
 //                     message per finding) instead of text; the finding
 //                     count still goes to stderr.
+//   --format=sarif    print findings as a SARIF 2.1.0 log (for GitHub code
+//                     scanning / IDE import); the finding count still goes
+//                     to stderr.
 //   --dump-graph      print the module-level include graph as DOT on stdout
 //                     (for `dot -Tsvg` and docs/INTERNALS.md) and exit; the
 //                     exit code is 1 if the graph has include cycles (a
@@ -39,6 +45,11 @@
 //                     flag stale `// vsd-lint: allow(<rule>)` comments
 //                     whose rule no longer fires on that line, and exit 1
 //                     if any are found.
+//   --audit-annotations
+//                     flag mutex members in src/ whose class has zero
+//                     VSD_GUARDED_BY fields (common/annotations.h), print
+//                     a coverage summary to stderr, and exit 1 if any
+//                     unannotated mutex lacks a reasoned allow().
 //
 // Suppress a finding with `// vsd-lint: allow(<rule>)` on the offending
 // line or the line above (always include a reason in the comment).
@@ -60,7 +71,9 @@ int main(int argc, char** argv) {
   bool dump_graph = false;
   bool dump_lock_graph = false;
   bool audit = false;
-  bool json = false;
+  bool audit_annotations = false;
+  enum class Format { kText, kJson, kSarif };
+  Format format = Format::kText;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
@@ -72,10 +85,14 @@ int main(int argc, char** argv) {
       dump_lock_graph = true;
     } else if (std::strcmp(argv[i], "--audit-suppressions") == 0) {
       audit = true;
+    } else if (std::strcmp(argv[i], "--audit-annotations") == 0) {
+      audit_annotations = true;
     } else if (std::strcmp(argv[i], "--format=json") == 0) {
-      json = true;
+      format = Format::kJson;
+    } else if (std::strcmp(argv[i], "--format=sarif") == 0) {
+      format = Format::kSarif;
     } else if (std::strcmp(argv[i], "--format=text") == 0) {
-      json = false;
+      format = Format::kText;
     } else if (std::strcmp(argv[i], "--list-rules") == 0) {
       for (const std::string& rule : vsd::lint::AllRules()) {
         std::printf("%s\n", rule.c_str());
@@ -83,9 +100,9 @@ int main(int argc, char** argv) {
       return 0;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: vsd_lint [--root DIR] [--fix] [--format=json] "
+          "usage: vsd_lint [--root DIR] [--fix] [--format=json|sarif] "
           "[--dump-graph] [--dump-lock-graph] [--audit-suppressions] "
-          "[--list-rules] [SUBDIR...]\n");
+          "[--audit-annotations] [--list-rules] [SUBDIR...]\n");
       return 0;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "vsd_lint: unknown flag '%s'\n", argv[i]);
@@ -130,19 +147,47 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  auto print = [&](const std::vector<vsd::lint::Finding>& findings) {
+    switch (format) {
+      case Format::kJson:
+        std::fputs(vsd::lint::FindingsToJson(findings).c_str(), stdout);
+        break;
+      case Format::kSarif:
+        std::fputs(vsd::lint::FindingsToSarif(findings).c_str(), stdout);
+        break;
+      case Format::kText:
+        for (const auto& f : findings) {
+          std::printf("%s\n", f.ToString().c_str());
+        }
+        break;
+    }
+  };
+
   if (audit) {
     const std::vector<vsd::lint::Finding> stale =
         vsd::lint::AuditSuppressions(root, subdirs);
-    if (json) {
-      std::fputs(vsd::lint::FindingsToJson(stale).c_str(), stdout);
-    } else {
-      for (const auto& f : stale) {
-        std::printf("%s\n", f.ToString().c_str());
-      }
-    }
+    print(stale);
     if (!stale.empty()) {
       std::fprintf(stderr, "vsd_lint: %zu stale suppression(s)\n",
                    stale.size());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (audit_annotations) {
+    const vsd::lint::AnnotationAudit result =
+        vsd::lint::AuditAnnotations(root, subdirs);
+    print(result.findings);
+    std::fprintf(stderr,
+                 "vsd_lint: annotation coverage: %lld annotated class(es), "
+                 "%lld guarded field(s), %lld method contract(s)\n",
+                 static_cast<long long>(result.annotated_classes),
+                 static_cast<long long>(result.guarded_fields),
+                 static_cast<long long>(result.contracts));
+    if (!result.findings.empty()) {
+      std::fprintf(stderr, "vsd_lint: %zu unannotated mutex member(s)\n",
+                   result.findings.size());
       return 1;
     }
     return 0;
@@ -157,13 +202,7 @@ int main(int argc, char** argv) {
 
   const std::vector<vsd::lint::Finding> findings =
       vsd::lint::LintTree(root, subdirs);
-  if (json) {
-    std::fputs(vsd::lint::FindingsToJson(findings).c_str(), stdout);
-  } else {
-    for (const auto& f : findings) {
-      std::printf("%s\n", f.ToString().c_str());
-    }
-  }
+  print(findings);
   if (!findings.empty()) {
     std::fprintf(stderr, "vsd_lint: %zu finding(s)\n", findings.size());
     return 1;
